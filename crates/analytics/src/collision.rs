@@ -1,0 +1,214 @@
+//! Collision-rate mathematics (§II-B, Equation 1, Figure 2).
+//!
+//! Drawing `n` keys uniformly from a hash space of size `H`, the paper
+//! defines the collision rate as the expected fraction of draws that land
+//! on an already-drawn key:
+//!
+//! ```text
+//! CollisionRate(H, n) = 1 - (H / n) * (1 - ((H - 1) / H)^n)
+//! ```
+//!
+//! The `H/n * (1 - ((H-1)/H)^n)` term is the expected number of *distinct*
+//! keys divided by `n`; one minus it is the colliding fraction. This module
+//! provides the closed form, a Monte-Carlo cross-check, and the birthday-
+//! bound helper behind the paper's "~50% after only 300 IDs" remark.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Equation 1: the expected collision rate when drawing `n` keys uniformly
+/// from a space of `H` slots.
+///
+/// Returns 0.0 when `n == 0`.
+///
+/// # Panics
+///
+/// Panics if `H == 0`.
+///
+/// # Examples
+///
+/// ```rust
+/// use bigmap_analytics::collision_rate;
+///
+/// // ~30% collision rate for 50k keys in a 64kB map (§III).
+/// let rate = collision_rate(65_536, 50_000);
+/// assert!((0.28..0.34).contains(&rate), "rate = {rate}");
+///
+/// // Tiny in an 8MB map.
+/// assert!(collision_rate(8 << 20, 50_000) < 0.01);
+/// ```
+pub fn collision_rate(hash_space: u64, keys: u64) -> f64 {
+    assert!(hash_space > 0, "hash space must be non-empty");
+    if keys == 0 {
+        return 0.0;
+    }
+    let h = hash_space as f64;
+    let n = keys as f64;
+    // (1 - 1/H)^n via exp/ln for numerical stability at large n.
+    let p_missed = (n * (1.0 - 1.0 / h).ln()).exp();
+    let rate = 1.0 - (h / n) * (1.0 - p_missed);
+    rate.clamp(0.0, 1.0)
+}
+
+/// Expected number of distinct keys after `n` uniform draws from `H` slots:
+/// `H * (1 - ((H-1)/H)^n)`.
+pub fn expected_distinct_keys(hash_space: u64, keys: u64) -> f64 {
+    assert!(hash_space > 0, "hash space must be non-empty");
+    let h = hash_space as f64;
+    let n = keys as f64;
+    h * (1.0 - (n * (1.0 - 1.0 / h).ln()).exp())
+}
+
+/// The number of uniform draws from `H` slots after which the probability
+/// of at least one collision reaches `probability` (the generalized
+/// birthday bound). The paper's §III: ~300 IDs for 50% in a 64 kB map.
+///
+/// # Panics
+///
+/// Panics if `H == 0` or `probability` is outside `(0, 1)`.
+pub fn birthday_keys_for_probability(hash_space: u64, probability: f64) -> u64 {
+    assert!(hash_space > 0, "hash space must be non-empty");
+    assert!(
+        (0.0..1.0).contains(&probability) && probability > 0.0,
+        "probability must be in (0, 1)"
+    );
+    // P(no collision after n draws) = prod_{i=0}^{n-1} (1 - i/H)
+    // ≈ exp(-n(n-1) / (2H));  solve exp(-n^2/2H) = 1 - p.
+    let h = hash_space as f64;
+    let n = (2.0 * h * (1.0 / (1.0 - probability)).ln()).sqrt();
+    n.round() as u64
+}
+
+/// Measures the collision rate empirically: draws `keys` uniform values in
+/// `[0, hash_space)` and counts draws that hit an occupied slot, divided by
+/// the number of draws (the §II-B definition — the example `{4,2,5,3,2}`
+/// has rate 1/5).
+///
+/// Deterministic in `seed`. Complexity `O(keys)` with a bitset of
+/// `hash_space` bits.
+pub fn empirical_collision_rate(hash_space: u64, keys: u64, seed: u64) -> f64 {
+    assert!(hash_space > 0, "hash space must be non-empty");
+    if keys == 0 {
+        return 0.0;
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut occupied = vec![0u64; (hash_space as usize).div_ceil(64)];
+    let mut collisions = 0u64;
+    for _ in 0..keys {
+        let k = rng.gen_range(0..hash_space) as usize;
+        let (word, bit) = (k / 64, k % 64);
+        if occupied[word] & (1 << bit) != 0 {
+            collisions += 1;
+        } else {
+            occupied[word] |= 1 << bit;
+        }
+    }
+    collisions as f64 / keys as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_keys_zero_rate() {
+        assert_eq!(collision_rate(1 << 16, 0), 0.0);
+        assert_eq!(empirical_collision_rate(1 << 16, 0, 1), 0.0);
+    }
+
+    #[test]
+    fn paper_section_iii_figures() {
+        // "a 64kB map is subjected to ~30% collision rate" for the upper
+        // end of the 1k–50k real-world range.
+        assert!((0.28..0.34).contains(&collision_rate(1 << 16, 50_000)));
+        // "probability of having at least one collision is ~50% after
+        // assigning only 300 IDs" in a 64kB map.
+        let n = birthday_keys_for_probability(1 << 16, 0.5);
+        assert!((280..=320).contains(&n), "birthday bound gave {n}");
+    }
+
+    #[test]
+    fn figure2_shape_monotonicity() {
+        // Down the columns: bigger maps, lower rate.
+        let sizes: [u64; 10] = [
+            1 << 16,
+            1 << 17,
+            1 << 18,
+            1 << 19,
+            1 << 20,
+            1 << 21,
+            1 << 22,
+            1 << 23,
+            1 << 24,
+            1 << 25,
+        ];
+        for keys in [5_000u64, 100_000, 1_000_000] {
+            for pair in sizes.windows(2) {
+                assert!(
+                    collision_rate(pair[0], keys) >= collision_rate(pair[1], keys),
+                    "rate must fall as map grows (keys={keys})"
+                );
+            }
+        }
+        // Across a row: more keys, higher rate.
+        for &size in &sizes {
+            assert!(collision_rate(size, 500_000) >= collision_rate(size, 5_000));
+        }
+    }
+
+    #[test]
+    fn extreme_values_saturate_sensibly() {
+        assert!(collision_rate(1 << 16, 100_000_000) > 0.99);
+        assert!(collision_rate(1 << 30, 10) < 1e-6);
+    }
+
+    #[test]
+    fn expected_distinct_bounded_by_space_and_draws() {
+        let d = expected_distinct_keys(1000, 5000);
+        assert!(d <= 1000.0);
+        let d2 = expected_distinct_keys(1 << 20, 100);
+        assert!((99.9..=100.0).contains(&d2));
+    }
+
+    #[test]
+    fn empirical_matches_closed_form() {
+        for (h, n) in [(1u64 << 16, 20_000u64), (1 << 18, 100_000), (1 << 20, 50_000)] {
+            let analytic = collision_rate(h, n);
+            let measured = empirical_collision_rate(h, n, 42);
+            assert!(
+                (analytic - measured).abs() < 0.01,
+                "H={h} n={n}: analytic {analytic:.4} vs measured {measured:.4}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_space_panics() {
+        collision_rate(0, 1);
+    }
+
+    proptest! {
+        #[test]
+        fn rate_always_in_unit_interval(
+            h_bits in 10u32..26,
+            n in 0u64..2_000_000,
+        ) {
+            let r = collision_rate(1 << h_bits, n);
+            prop_assert!((0.0..=1.0).contains(&r));
+        }
+
+        #[test]
+        fn distinct_plus_collisions_consistent(
+            h_bits in 10u32..22,
+            n in 1u64..200_000,
+        ) {
+            // n * (1 - rate) == expected distinct keys (by definition).
+            let h = 1u64 << h_bits;
+            let lhs = n as f64 * (1.0 - collision_rate(h, n));
+            let rhs = expected_distinct_keys(h, n);
+            prop_assert!((lhs - rhs).abs() < 1e-6 * rhs.max(1.0));
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! # bigmap-analytics
+//!
+//! Collision-rate analytics (the paper's §II-B / Equation 1 and Figure 2),
+//! aggregation helpers (geometric means, normalization) and the plain-text
+//! table renderer used by every benchmark harness binary.
+
+#![deny(missing_docs)]
+
+pub mod collision;
+pub mod stats;
+pub mod table;
+
+pub use collision::{
+    birthday_keys_for_probability, collision_rate, empirical_collision_rate,
+    expected_distinct_keys,
+};
+pub use stats::{geometric_mean, mean, normalize_to_first, Summary};
+pub use table::TextTable;

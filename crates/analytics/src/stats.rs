@@ -1,0 +1,234 @@
+//! Aggregation helpers for benchmark reports.
+//!
+//! The paper aggregates per-benchmark speedups with averages and presents
+//! scaling curves normalized to the single-instance run; these helpers keep
+//! that arithmetic in one tested place.
+
+/// Arithmetic mean; 0.0 for an empty slice.
+///
+/// # Examples
+///
+/// ```rust
+/// assert_eq!(bigmap_analytics::mean(&[1.0, 2.0, 3.0]), 2.0);
+/// assert_eq!(bigmap_analytics::mean(&[]), 0.0);
+/// ```
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Geometric mean; 0.0 for an empty slice.
+///
+/// The right aggregate for speedup ratios (a 10x win and a 10x loss cancel
+/// to 1.0 rather than averaging to 5.05x).
+///
+/// # Panics
+///
+/// Panics if any value is not strictly positive.
+///
+/// # Examples
+///
+/// ```rust
+/// let g = bigmap_analytics::geometric_mean(&[10.0, 0.1]);
+/// assert!((g - 1.0).abs() < 1e-12);
+/// ```
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    assert!(
+        values.iter().all(|&v| v > 0.0),
+        "geometric mean requires strictly positive values"
+    );
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Normalizes a series to its first element (the paper's Figure 9a
+/// "normalized to the corresponding single-run version").
+///
+/// Returns an empty vector for empty input.
+///
+/// # Panics
+///
+/// Panics if the first element is zero.
+pub fn normalize_to_first(values: &[f64]) -> Vec<f64> {
+    match values.first() {
+        None => Vec::new(),
+        Some(&first) => {
+            assert!(first != 0.0, "cannot normalize to a zero baseline");
+            values.iter().map(|v| v / first).collect()
+        }
+    }
+}
+
+/// Summary of a sample: mean, standard deviation, min, max.
+///
+/// The paper averages three runs per configuration (§V-B); the harness
+/// reports mean ± stddev so run-to-run variation is visible.
+///
+/// # Examples
+///
+/// ```rust
+/// use bigmap_analytics::stats::Summary;
+///
+/// let s = Summary::of(&[10.0, 12.0, 14.0]);
+/// assert_eq!(s.mean, 12.0);
+/// assert_eq!(s.min, 10.0);
+/// assert_eq!(s.max, 14.0);
+/// assert!((s.stddev - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator; 0 for n < 2).
+    pub stddev: f64,
+    /// Smallest value (0 for empty input).
+    pub min: f64,
+    /// Largest value (0 for empty input).
+    pub max: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Summarizes a sample.
+    pub fn of(values: &[f64]) -> Summary {
+        if values.is_empty() {
+            return Summary { mean: 0.0, stddev: 0.0, min: 0.0, max: 0.0, n: 0 };
+        }
+        let mean = crate::stats::mean(values);
+        let var = if values.len() < 2 {
+            0.0
+        } else {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
+                / (values.len() - 1) as f64
+        };
+        Summary {
+            mean,
+            stddev: var.sqrt(),
+            min: values.iter().cloned().fold(f64::INFINITY, f64::min),
+            max: values.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            n: values.len(),
+        }
+    }
+
+    /// Renders as `mean ± stddev` with the given precision.
+    pub fn display(&self, digits: usize) -> String {
+        format!("{:.digits$} ± {:.digits$}", self.mean, self.stddev)
+    }
+
+    /// Relative spread: stddev / mean (0 when the mean is 0).
+    pub fn coefficient_of_variation(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.stddev / self.mean.abs()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[4.0]), 4.0);
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn geomean_of_equal_values_is_value() {
+        assert!((geometric_mean(&[7.0, 7.0, 7.0]) - 7.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn geomean_rejects_nonpositive() {
+        geometric_mean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn normalize_basic() {
+        assert_eq!(normalize_to_first(&[2.0, 4.0, 8.0]), vec![1.0, 2.0, 4.0]);
+        assert!(normalize_to_first(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero baseline")]
+    fn normalize_rejects_zero_baseline() {
+        normalize_to_first(&[0.0, 1.0]);
+    }
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.n, 4);
+        assert!((s.stddev - 1.2909944487358056).abs() < 1e-12);
+        assert!(s.coefficient_of_variation() > 0.5);
+    }
+
+    #[test]
+    fn summary_degenerate_cases() {
+        let empty = Summary::of(&[]);
+        assert_eq!(empty.n, 0);
+        assert_eq!(empty.mean, 0.0);
+        let single = Summary::of(&[7.0]);
+        assert_eq!(single.stddev, 0.0);
+        assert_eq!(single.min, 7.0);
+        assert_eq!(single.max, 7.0);
+    }
+
+    #[test]
+    fn summary_display() {
+        let s = Summary::of(&[10.0, 12.0, 14.0]);
+        assert_eq!(s.display(1), "12.0 ± 2.0");
+    }
+
+    proptest! {
+        #[test]
+        fn summary_mean_within_bounds(
+            values in prop::collection::vec(-1e6f64..1e6, 1..64),
+        ) {
+            let s = Summary::of(&values);
+            prop_assert!(s.min <= s.mean + 1e-9 && s.mean <= s.max + 1e-9);
+            prop_assert!(s.stddev >= 0.0);
+        }
+
+        #[test]
+        fn geomean_between_min_and_max(
+            values in prop::collection::vec(0.001f64..1000.0, 1..50),
+        ) {
+            let g = geometric_mean(&values);
+            let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = values.iter().cloned().fold(0.0f64, f64::max);
+            prop_assert!(g >= min - 1e-9 && g <= max + 1e-9);
+        }
+
+        #[test]
+        fn geomean_le_mean(
+            values in prop::collection::vec(0.001f64..1000.0, 1..50),
+        ) {
+            // AM-GM inequality.
+            prop_assert!(geometric_mean(&values) <= mean(&values) + 1e-9);
+        }
+
+        #[test]
+        fn normalized_first_is_one(
+            values in prop::collection::vec(0.001f64..1000.0, 1..50),
+        ) {
+            let n = normalize_to_first(&values);
+            prop_assert!((n[0] - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Plain-text table rendering for the harness binaries.
+//!
+//! Every `figN_*` / `tableN_*` binary prints its results as aligned text
+//! tables so the output diffs cleanly against EXPERIMENTS.md.
+
+use std::fmt;
+
+/// A simple right-padded text table.
+///
+/// # Examples
+///
+/// ```rust
+/// use bigmap_analytics::TextTable;
+///
+/// let mut t = TextTable::new(vec!["benchmark", "AFL", "BigMap"]);
+/// t.row(vec!["zlib".into(), "4400".into(), "4310".into()]);
+/// t.row(vec!["sqlite3".into(), "910".into(), "1010".into()]);
+/// let text = t.to_string();
+/// assert!(text.contains("benchmark"));
+/// assert!(text.lines().count() >= 4); // header, rule, two rows
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Shorter rows are padded with empty cells; longer rows
+    /// are truncated to the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        let mut cells = cells;
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate().take(cols) {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:<width$}", width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        write_row(f, &rule)?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with `digits` decimals (report helper).
+pub fn fmt_f(value: f64, digits: usize) -> String {
+    format!("{value:.digits$}")
+}
+
+/// Formats a large count with thousands separators, Table II style
+/// (`1218` → `1,218`).
+pub fn fmt_count(n: usize) -> String {
+    let raw = n.to_string();
+    let mut out = String::with_capacity(raw.len() + raw.len() / 3);
+    let offset = raw.len() % 3;
+    for (i, c) in raw.chars().enumerate() {
+        if i > 0 && (i + 3 - offset).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["a", "bench"]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22".into()]);
+        let text = t.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equally long (right-padded).
+        let width = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() <= width + 1));
+        assert!(lines[1].starts_with("---"));
+    }
+
+    #[test]
+    fn short_rows_padded_long_rows_truncated() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["only".into()]);
+        t.row(vec!["x".into(), "y".into(), "dropped".into()]);
+        let text = t.to_string();
+        assert!(!text.contains("dropped"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn fmt_count_thousands() {
+        assert_eq!(fmt_count(0), "0");
+        assert_eq!(fmt_count(999), "999");
+        assert_eq!(fmt_count(1_218), "1,218");
+        assert_eq!(fmt_count(977_899), "977,899");
+        assert_eq!(fmt_count(5_500_000), "5,500,000");
+    }
+
+    #[test]
+    fn fmt_f_digits() {
+        assert_eq!(fmt_f(4.5181, 1), "4.5");
+        assert_eq!(fmt_f(33.10, 2), "33.10");
+    }
+}

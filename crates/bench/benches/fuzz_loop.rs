@@ -1,0 +1,60 @@
+//! End-to-end fuzz-loop benchmark: full campaigns per (scheme, map size)
+//! over a fixed execution budget — the Criterion-tracked companion to the
+//! Figure 6 harness, useful for regression-tracking the whole pipeline
+//! rather than individual map ops.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bigmap_core::{MapScheme, MapSize};
+use bigmap_coverage::{Instrumentation, MetricKind};
+use bigmap_fuzzer::{Budget, Campaign, CampaignConfig};
+use bigmap_target::{BenchmarkSpec, Interpreter};
+
+fn bench_campaign(c: &mut Criterion) {
+    let spec = BenchmarkSpec::by_name("libpng").expect("in suite");
+    let program = spec.build(0.02);
+    let seeds = spec.build_seeds(&program, 8);
+    const EXECS: u64 = 300;
+
+    let mut group = c.benchmark_group("campaign_300_execs_libpng");
+    group.throughput(Throughput::Elements(EXECS));
+    group.sample_size(10);
+
+    for size in [MapSize::K64, MapSize::M2, MapSize::M8] {
+        let instrumentation =
+            Instrumentation::assign(program.block_count(), program.call_sites, size, 5);
+        for scheme in [MapScheme::Flat, MapScheme::TwoLevel] {
+            let label = format!("{scheme}@{}", size.label());
+            group.bench_with_input(
+                BenchmarkId::from_parameter(&label),
+                &(scheme, size),
+                |b, &(scheme, size)| {
+                    b.iter(|| {
+                        let interpreter = Interpreter::new(&program);
+                        let mut campaign = Campaign::new(
+                            CampaignConfig {
+                                scheme,
+                                map_size: size,
+                                metric: MetricKind::Edge,
+                                budget: Budget::Execs(EXECS),
+                                ..Default::default()
+                            },
+                            &interpreter,
+                            &instrumentation,
+                        );
+                        campaign.add_seeds(seeds.clone());
+                        std::hint::black_box(campaign.run())
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_campaign
+}
+criterion_main!(benches);

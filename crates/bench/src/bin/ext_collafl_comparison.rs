@@ -1,0 +1,76 @@
+//! Extension (not a paper figure): CollAFL-style static assignment vs
+//! AFL's random IDs vs BigMap's map enlargement, on the Table II suite.
+//!
+//! The paper's §VI argues the two mitigations are orthogonal: CollAFL
+//! removes collisions *within* a small map (but only for block/edge
+//! metrics and by enlarging the map to fit all static IDs), while BigMap
+//! makes any map size affordable so collisions can be diluted away for
+//! *any* metric. This harness quantifies the static side of that argument
+//! on our generated CFGs: colliding static edges under (a) random IDs at
+//! 64 kB, (b) CollAFL-greedy IDs at 64 kB, (c) random IDs at 2 MB — the
+//! BigMap answer.
+
+use bigmap_analytics::table::fmt_count;
+use bigmap_analytics::TextTable;
+use bigmap_bench::{report_header, Effort};
+use bigmap_core::MapSize;
+use bigmap_coverage::collafl::{assign_collafl, random_assignment_collisions};
+use bigmap_target::BenchmarkSpec;
+
+fn main() {
+    let effort = Effort::from_args();
+    report_header(
+        "Extension — CollAFL-style static assignment vs map enlargement",
+        effort,
+        "colliding static edges per assignment strategy",
+    );
+
+    let benchmarks = if effort == Effort::Quick {
+        BenchmarkSpec::table_ii().into_iter().take(6).collect::<Vec<_>>()
+    } else {
+        BenchmarkSpec::table_ii()
+    };
+
+    let mut table = TextTable::new(vec![
+        "benchmark",
+        "static edges",
+        "random@64k",
+        "collafl@64k",
+        "random@2M",
+        "collafl gain",
+    ]);
+
+    for spec in &benchmarks {
+        let program = spec.build(effort.scale());
+        let edges = program.static_edge_pairs();
+        let n = program.block_count();
+
+        let random_64k = random_assignment_collisions(n, &edges, MapSize::K64, 7);
+        let collafl_64k = assign_collafl(n, &edges, MapSize::K64, 7);
+        let random_2m = random_assignment_collisions(n, &edges, MapSize::M2, 7);
+
+        table.row(vec![
+            spec.name.into(),
+            fmt_count(edges.len()),
+            fmt_count(random_64k),
+            fmt_count(collafl_64k.colliding_edges),
+            fmt_count(random_2m),
+            if random_64k > 0 {
+                format!(
+                    "{:.0}%",
+                    100.0 * (1.0 - collafl_64k.colliding_edges as f64 / random_64k as f64)
+                )
+            } else {
+                "-".into()
+            },
+        ]);
+        eprintln!("  done: {}", spec.name);
+    }
+    println!("{table}");
+    println!(
+        "reading: CollAFL removes most static collisions without growing \
+         the map, but only for the edge metric; enlarging the map (the \
+         BigMap-enabled route) dilutes collisions for ANY metric — and \
+         composing both is strictly better, as the paper suggests."
+    );
+}

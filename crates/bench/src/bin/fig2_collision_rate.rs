@@ -1,0 +1,78 @@
+//! Figure 2: hash collision rate vs. bitmap size (Equation 1).
+//!
+//! Prints the analytic collision rate for the paper's sweep — map sizes
+//! 64k to 32M, key populations 5k to 1M — plus a Monte-Carlo cross-check
+//! column for a sample of cells and the §III birthday-bound remark.
+
+use bigmap_analytics::{
+    birthday_keys_for_probability, collision_rate, empirical_collision_rate, TextTable,
+};
+use bigmap_bench::{report_header, Effort};
+
+fn main() {
+    let effort = Effort::from_args();
+    report_header(
+        "Figure 2 — Collision rate vs bitmap size (Equation 1)",
+        effort,
+        "rows: number of keys drawn; columns: map size; cells: collision rate (%)",
+    );
+
+    let sizes: Vec<(&str, u64)> = vec![
+        ("64k", 1 << 16),
+        ("128k", 1 << 17),
+        ("256k", 1 << 18),
+        ("512k", 1 << 19),
+        ("1M", 1 << 20),
+        ("2M", 1 << 21),
+        ("4M", 1 << 22),
+        ("8M", 1 << 23),
+        ("16M", 1 << 24),
+        ("32M", 1 << 25),
+    ];
+    let key_counts: Vec<(&str, u64)> = vec![
+        ("5k", 5_000),
+        ("10k", 10_000),
+        ("20k", 20_000),
+        ("50k", 50_000),
+        ("100k", 100_000),
+        ("200k", 200_000),
+        ("500k", 500_000),
+        ("1M", 1_000_000),
+    ];
+
+    let mut headers = vec!["keys \\ map".to_string()];
+    headers.extend(sizes.iter().map(|(label, _)| label.to_string()));
+    let mut table = TextTable::new(headers);
+    for (key_label, n) in &key_counts {
+        let mut row = vec![key_label.to_string()];
+        for (_, h) in &sizes {
+            row.push(format!("{:.2}", 100.0 * collision_rate(*h, *n)));
+        }
+        table.row(row);
+    }
+    println!("{table}");
+
+    // Monte-Carlo cross-check on a diagonal sample.
+    println!("Monte-Carlo cross-check (analytic vs measured, seed 42):");
+    let mut check = TextTable::new(vec!["map", "keys", "analytic %", "measured %"]);
+    for &(size_label, h, keys_label, n) in &[
+        ("64k", 1u64 << 16, "50k", 50_000u64),
+        ("256k", 1 << 18, "100k", 100_000),
+        ("2M", 1 << 21, "500k", 500_000),
+        ("8M", 1 << 23, "1M", 1_000_000),
+    ] {
+        check.row(vec![
+            size_label.into(),
+            keys_label.into(),
+            format!("{:.3}", 100.0 * collision_rate(h, n)),
+            format!("{:.3}", 100.0 * empirical_collision_rate(h, n, 42)),
+        ]);
+    }
+    println!("{check}");
+
+    println!(
+        "Birthday bound (paper §III): ~50% probability of at least one \
+         collision in a 64kB map after {} IDs (paper: ~300).",
+        birthday_keys_for_probability(1 << 16, 0.5)
+    );
+}

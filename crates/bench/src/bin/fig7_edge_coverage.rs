@@ -1,0 +1,66 @@
+//! Figure 7: edge coverage with varying map sizes.
+//!
+//! Runs equal-time campaigns per (scheme, map size), collects the output
+//! corpus and replays it against the bias-free structural coverage build
+//! (distinct program edges — no bitmap, no collisions). The paper's
+//! finding: AFL's coverage suffers on big maps purely because its
+//! throughput collapses; BigMap plateaus everywhere; collision mitigation
+//! itself barely moves edge coverage.
+
+use bigmap_analytics::TextTable;
+use bigmap_bench::{evaluated_sizes, report_header, Effort, PreparedBenchmark};
+use bigmap_core::MapScheme;
+use bigmap_coverage::MetricKind;
+use bigmap_fuzzer::{replay_edge_coverage, Budget};
+use bigmap_target::{BenchmarkSpec, Interpreter};
+
+fn main() {
+    let effort = Effort::from_args();
+    report_header(
+        "Figure 7 — Edge coverage with varying map sizes",
+        effort,
+        "coverage = distinct structural edges of the replayed output corpus",
+    );
+
+    // The figure shows a benchmark subset for clarity; we use the same six
+    // as Figure 3 plus two of the LLVM passes.
+    let mut benchmarks = BenchmarkSpec::figure3();
+    if effort != Effort::Quick {
+        benchmarks.push(BenchmarkSpec::by_name("licm").unwrap());
+        benchmarks.push(BenchmarkSpec::by_name("instcombine").unwrap());
+    }
+
+    let mut headers = vec!["benchmark".to_string()];
+    for size in evaluated_sizes() {
+        headers.push(format!("AFL@{}", size.label()));
+        headers.push(format!("BigMap@{}", size.label()));
+    }
+    let mut table = TextTable::new(headers);
+
+    for spec in &benchmarks {
+        let mut row = vec![spec.name.to_string()];
+        for &size in &evaluated_sizes() {
+            for scheme in [MapScheme::Flat, MapScheme::TwoLevel] {
+                let prepared = PreparedBenchmark::build(spec, size, effort);
+                let (_, corpus) = prepared.run_campaign_with_corpus(
+                    scheme,
+                    MetricKind::Edge,
+                    Budget::Time(effort.arm_budget()),
+                    11,
+                );
+                let interp = Interpreter::new(&prepared.program);
+                row.push(format!("{}", replay_edge_coverage(&interp, &corpus)));
+            }
+        }
+        // Reorder: we filled AFL,BigMap per size already in column order.
+        table.row(row);
+        eprintln!("  done: {}", spec.name);
+    }
+    println!("{table}");
+    println!(
+        "expected shape (paper): columns are nearly flat for BigMap; AFL's \
+         large-map columns sag on the bigger benchmarks (throughput loss \
+         prevents reaching the plateau). Collision reduction itself does \
+         not lift edge coverage much."
+    );
+}

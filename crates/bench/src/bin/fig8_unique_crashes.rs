@@ -1,0 +1,86 @@
+//! Figure 8: unique crashes found with varying map sizes (LLVM benchmarks).
+//!
+//! Equal-time campaigns per (scheme, map size), Crashwalk deduplication.
+//! The paper's finding: going 64k → 256k helps both fuzzers (fewer
+//! collisions); 2M and 8M keep helping BigMap but hurt AFL (throughput
+//! collapse), so AFL peaks at 256k while BigMap keeps its gains.
+//!
+//! Crash discovery is a day-scale phenomenon (the paper ran 24 hours;
+//! crashes sit behind guard ladders that only get mutation attention once
+//! the discovery burst subsides), so alongside the per-arm crash counts
+//! this harness reports the *mechanism observables* that reproduce at any
+//! budget: per-arm executions (the throughput side) and distinct coverage
+//! keys discovered plus their Equation-1 collision rate at the arm's map
+//! size (the feedback-loss side).
+
+use bigmap_analytics::{collision_rate, TextTable};
+use bigmap_bench::{evaluated_sizes, report_header, Effort, PreparedBenchmark};
+use bigmap_core::MapScheme;
+use bigmap_coverage::MetricKind;
+use bigmap_fuzzer::Budget;
+use bigmap_target::BenchmarkSpec;
+
+fn main() {
+    let effort = Effort::from_args();
+    report_header(
+        "Figure 8 — Unique crashes with varying map sizes (LLVM benchmarks)",
+        effort,
+        "unique = Crashwalk dedup; keys/coll% show the collision mechanism at any budget",
+    );
+
+    let benchmarks = if effort == Effort::Quick {
+        BenchmarkSpec::llvm().into_iter().take(2).collect::<Vec<_>>()
+    } else {
+        BenchmarkSpec::llvm()
+    };
+
+    for spec in &benchmarks {
+        let mut table = TextTable::new(vec![
+            "arm",
+            "execs",
+            "keys",
+            "coll% (Eq.1)",
+            "unique crashes",
+        ]);
+        for &size in &evaluated_sizes() {
+            for scheme in [MapScheme::Flat, MapScheme::TwoLevel] {
+                let prepared =
+                    PreparedBenchmark::build_scaled(spec, size, effort, effort.crash_scale());
+                let stats = prepared.run_campaign(
+                    scheme,
+                    MetricKind::Edge,
+                    Budget::Time(effort.crash_arm_budget()),
+                    23,
+                );
+                // Distinct keys discovered: BigMap's used_key is exact; for
+                // the flat map use the virgin-map discovery count.
+                let keys = match scheme {
+                    MapScheme::TwoLevel => stats.used_len,
+                    MapScheme::Flat => stats.discovered_slots,
+                };
+                table.row(vec![
+                    format!("{scheme}@{}", size.label()),
+                    stats.execs.to_string(),
+                    keys.to_string(),
+                    format!(
+                        "{:.1}",
+                        100.0 * collision_rate(size.bytes() as u64, keys as u64)
+                    ),
+                    stats.unique_crashes.to_string(),
+                ]);
+            }
+        }
+        println!("{}:", spec.name);
+        println!("{table}");
+        eprintln!("  done: {}", spec.name);
+    }
+    println!(
+        "expected shape (paper): AFL peaks at 256k (collisions vs \
+         throughput trade-off); BigMap is flat-or-rising with map size. \
+         At seconds-scale budgets the crash columns are sparse (crashes \
+         need day-scale attention); the mechanism shows in the other \
+         columns — AFL's exec column collapsing with map size, and the \
+         64k arms discovering measurably fewer keys than the 2M arms \
+         (collision-hidden feedback) at double-digit Eq.1 collision rates."
+    );
+}

@@ -1,0 +1,81 @@
+//! Table I: access patterns of the bitmap operations.
+//!
+//! Feeds the address traces each data structure generates during the
+//! per-test-case pipeline through the simulated Xeon E5645 hierarchy and
+//! prints measured temporal locality (line-grain hit ratio), spatial
+//! locality (same-pass line reuse), and cache pollution (dead-line
+//! fraction), with the paper's qualitative High/Low/None labels derived
+//! from thresholds. Rows follow the paper's table: Update vs Others, per
+//! bitmap (BigMap's update splits into Index + Coverage).
+
+use bigmap_analytics::TextTable;
+use bigmap_bench::{report_header, Effort};
+use bigmap_cache::{trace_bigmap, trace_flat, TraceRow, TraceWorkload};
+
+fn print_rows(structure: &str, rows: &[TraceRow]) {
+    println!("{structure}:");
+    let mut table = TextTable::new(vec![
+        "operation",
+        "bitmap",
+        "accesses/exec",
+        "temporal-hit %",
+        "same-pass reuse %",
+        "dead bytes %",
+        "temporal",
+        "spatial",
+        "pollution",
+    ]);
+    let mut sorted = rows.to_vec();
+    sorted.sort_by_key(|r| (r.op.label(), r.bitmap.label()));
+    for r in sorted {
+        table.row(vec![
+            r.op.label().into(),
+            r.bitmap.label().into(),
+            format!("{:.0}", r.accesses_per_exec),
+            format!("{:.1}", 100.0 * r.temporal_hit),
+            format!("{:.1}", 100.0 * r.spatial_ratio),
+            format!("{:.1}", 100.0 * r.dead_byte_fraction),
+            r.temporal_label().into(),
+            r.spatial_label().into(),
+            r.pollution_label().into(),
+        ]);
+    }
+    println!("{table}");
+}
+
+fn main() {
+    let effort = Effort::from_args();
+    report_header(
+        "Table I — Access patterns of the bitmap operations (cache simulation)",
+        effort,
+        "gvn-like workload on a 2MB map; simulated Xeon E5645 (32K L1 / 256K L2 / 12M L3)",
+    );
+
+    let mut workload = TraceWorkload::gvn_like(2 << 20);
+    if effort == Effort::Quick {
+        workload.active_keys = 12_000;
+        workload.events_per_exec = 2_000;
+        workload.executions = 4;
+    }
+    println!(
+        "workload: {} active keys, {} events/exec, {} executions\n",
+        workload.active_keys, workload.events_per_exec, workload.executions
+    );
+
+    print_rows("(a) AFL's data structure", &trace_flat(&workload));
+    print_rows("(b) BigMap's data structure", &trace_bigmap(&workload));
+
+    println!(
+        "expected labels (paper Table I): (a) Update = high temporal / low \
+         spatial / low pollution; Others = low temporal / high spatial / \
+         high pollution. (b) Update Index like (a)'s update; Update \
+         Coverage = high/high/none; Others Coverage = high/high/none; \
+         Others never touch the Index bitmap.\n\
+         note: at this workload's scale (~65k active keys) the *scattered* \
+         update working sets (flat coverage, BigMap index) exceed the \
+         256 KiB L2, so their measured temporal hit ratio drops below the \
+         High threshold — run with --quick (12k keys) to see the paper's \
+         small-working-set labels. BigMap's condensed coverage stays High \
+         at every scale, which is the §IV-C2 comparison that matters."
+    );
+}

@@ -1,0 +1,63 @@
+//! Table II: benchmark characteristics.
+//!
+//! Prints the paper's published characteristics next to the generated
+//! substitutes' actual numbers at the chosen scale: static edges of the
+//! generated program, empirically discovered edges (seed corpus replay +
+//! a short fuzzing shakeout), and the 64 kB collision rate implied by the
+//! discovered-edge count (Equation 1).
+
+use bigmap_analytics::{collision_rate, TextTable};
+use bigmap_analytics::table::fmt_count;
+use bigmap_bench::{report_header, Effort, PreparedBenchmark};
+use bigmap_core::{MapScheme, MapSize};
+use bigmap_coverage::MetricKind;
+use bigmap_fuzzer::{replay_edge_coverage, Budget};
+use bigmap_target::{BenchmarkSpec, Interpreter};
+
+fn main() {
+    let effort = Effort::from_args();
+    report_header(
+        "Table II — Benchmark characteristics (paper vs generated substitute)",
+        effort,
+        "discovered edges measured by corpus replay after a short campaign",
+    );
+
+    let mut table = TextTable::new(vec![
+        "benchmark",
+        "version",
+        "seeds(paper)",
+        "disc.edges(paper)",
+        "static(paper)",
+        "static(gen)",
+        "disc.edges(gen)",
+        "collision%@64k(gen)",
+    ]);
+
+    for spec in BenchmarkSpec::table_ii() {
+        let prepared = PreparedBenchmark::build(&spec, MapSize::K64, effort);
+        let (_, corpus) = prepared.run_campaign_with_corpus(
+            MapScheme::TwoLevel,
+            MetricKind::Edge,
+            Budget::Time(effort.arm_budget()),
+            7,
+        );
+        let interp = Interpreter::new(&prepared.program);
+        let discovered = replay_edge_coverage(&interp, &corpus);
+        table.row(vec![
+            spec.name.into(),
+            spec.version.into(),
+            fmt_count(spec.seeds),
+            fmt_count(spec.discovered_edges),
+            fmt_count(spec.static_edges),
+            fmt_count(prepared.program.static_edge_count()),
+            fmt_count(discovered),
+            format!("{:.2}", 100.0 * collision_rate(1 << 16, discovered as u64)),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "note: generated numbers are at scale {}; the paper column is the \
+         published Table II.",
+        effort.scale()
+    );
+}

@@ -1,0 +1,316 @@
+//! # bigmap-bench
+//!
+//! Shared plumbing for the per-figure/table harness binaries (`fig2_*` …
+//! `table3_*`) and the Criterion micro-benchmarks. Each binary regenerates
+//! one table or figure from the paper's evaluation; this library holds the
+//! common CLI handling and campaign construction so the binaries stay
+//! declarative.
+//!
+//! All harness binaries accept:
+//!
+//! * `--quick` — seconds-scale smoke run (small target scale, short
+//!   budgets),
+//! * `--full` — closer-to-paper scale (minutes to tens of minutes),
+//! * neither — a balanced default.
+//!
+//! Reports print the run's actual parameters in the header so measured
+//! numbers in EXPERIMENTS.md are always traceable.
+
+#![deny(missing_docs)]
+
+use std::time::Duration;
+
+use bigmap_core::{MapScheme, MapSize};
+use bigmap_coverage::{Instrumentation, MetricKind};
+use bigmap_fuzzer::{Budget, Campaign, CampaignConfig, CampaignStats};
+use bigmap_target::{BenchmarkSpec, Interpreter, Program};
+
+/// Harness effort level, from the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// Smoke run: tiny targets, sub-second arms.
+    Quick,
+    /// Balanced default.
+    Standard,
+    /// Closer-to-paper scale.
+    Full,
+}
+
+impl Effort {
+    /// Parses `--quick` / `--full` from the process arguments.
+    pub fn from_args() -> Effort {
+        let args: Vec<String> = std::env::args().collect();
+        if args.iter().any(|a| a == "--quick") {
+            Effort::Quick
+        } else if args.iter().any(|a| a == "--full") {
+            Effort::Full
+        } else {
+            Effort::Standard
+        }
+    }
+
+    /// Target scale factor relative to the paper's benchmark sizes.
+    pub fn scale(self) -> f64 {
+        match self {
+            Effort::Quick => 0.01,
+            Effort::Standard => 0.05,
+            Effort::Full => 0.25,
+        }
+    }
+
+    /// Per-arm wall-clock budget for throughput experiments.
+    pub fn arm_budget(self) -> Duration {
+        match self {
+            Effort::Quick => Duration::from_millis(250),
+            Effort::Standard => Duration::from_millis(1500),
+            Effort::Full => Duration::from_secs(8),
+        }
+    }
+
+    /// Per-arm wall-clock budget for the crash experiments: crashes are
+    /// sparse (the paper ran 24 hours), so these arms run 8x longer than
+    /// the throughput arms.
+    pub fn crash_arm_budget(self) -> Duration {
+        self.arm_budget() * 8
+    }
+
+    /// Target scale for the crash experiments (Figures 8, 10, Table III).
+    /// Kept at the base scale: LLVM-scale targets cost ~1 ms/exec like
+    /// the real binaries, and seconds-scale arms need the smaller
+    /// programs' exec rates for crash ladders to fire at all.
+    pub fn crash_scale(self) -> f64 {
+        self.scale()
+    }
+
+    /// Seed-corpus cap.
+    pub fn max_seeds(self) -> usize {
+        match self {
+            Effort::Quick => 8,
+            Effort::Standard => 32,
+            Effort::Full => 128,
+        }
+    }
+
+    /// Label for report headers.
+    pub fn label(self) -> &'static str {
+        match self {
+            Effort::Quick => "quick",
+            Effort::Standard => "standard",
+            Effort::Full => "full",
+        }
+    }
+}
+
+/// A benchmark prepared for campaigns at one map size: program +
+/// instrumentation + seeds.
+pub struct PreparedBenchmark {
+    /// The benchmark spec (paper characteristics).
+    pub spec: BenchmarkSpec,
+    /// The generated program.
+    pub program: Program,
+    /// ID tables for the requested map size.
+    pub instrumentation: Instrumentation,
+    /// Seed corpus.
+    pub seeds: Vec<Vec<u8>>,
+}
+
+impl PreparedBenchmark {
+    /// Builds (generates + "compiles" + seeds) a benchmark.
+    pub fn build(spec: &BenchmarkSpec, map_size: MapSize, effort: Effort) -> Self {
+        Self::build_scaled(spec, map_size, effort, effort.scale())
+    }
+
+    /// Builds at an explicit target scale (the crash experiments use
+    /// [`Effort::crash_scale`]).
+    pub fn build_scaled(
+        spec: &BenchmarkSpec,
+        map_size: MapSize,
+        effort: Effort,
+        scale: f64,
+    ) -> Self {
+        let program = spec.build(scale);
+        let instrumentation = Instrumentation::assign(
+            program.block_count(),
+            program.call_sites,
+            map_size,
+            0xB16_3A9,
+        );
+        let seeds = spec.build_seeds(&program, effort.max_seeds());
+        PreparedBenchmark {
+            spec: spec.clone(),
+            program,
+            instrumentation,
+            seeds,
+        }
+    }
+
+    /// Builds from an explicit program (laf-intel-transformed variants).
+    pub fn from_program(
+        spec: &BenchmarkSpec,
+        program: Program,
+        map_size: MapSize,
+        effort: Effort,
+    ) -> Self {
+        let instrumentation = Instrumentation::assign(
+            program.block_count(),
+            program.call_sites,
+            map_size,
+            0xB16_3A9,
+        );
+        let seeds = spec.build_seeds(&program, effort.max_seeds());
+        PreparedBenchmark {
+            spec: spec.clone(),
+            program,
+            instrumentation,
+            seeds,
+        }
+    }
+
+    /// Runs one campaign arm over this benchmark.
+    pub fn run_campaign(
+        &self,
+        scheme: MapScheme,
+        metric: MetricKind,
+        budget: Budget,
+        seed: u64,
+    ) -> CampaignStats {
+        self.run_campaign_opts(scheme, metric, budget, seed, true)
+    }
+
+    /// Runs one campaign arm with an explicit classify/compare pipeline
+    /// choice (`merged = false` reproduces the paper's Figure 3 separate
+    /// bars).
+    pub fn run_campaign_opts(
+        &self,
+        scheme: MapScheme,
+        metric: MetricKind,
+        budget: Budget,
+        seed: u64,
+        merged_classify_compare: bool,
+    ) -> CampaignStats {
+        let interpreter = Interpreter::new(&self.program);
+        let mut campaign = Campaign::new(
+            CampaignConfig {
+                scheme,
+                map_size: self.instrumentation.map_size(),
+                metric,
+                budget,
+                mutations_per_seed: 512,
+                deterministic: false,
+                merged_classify_compare,
+                dictionary: Vec::new(),
+                trim_new_entries: false,
+                seed,
+                exec: Default::default(),
+            },
+            &interpreter,
+            &self.instrumentation,
+        );
+        campaign.add_seeds(self.seeds.clone());
+        campaign.run()
+    }
+
+    /// Runs a campaign arm and returns the final corpus alongside the stats
+    /// (coverage replay experiments).
+    pub fn run_campaign_with_corpus(
+        &self,
+        scheme: MapScheme,
+        metric: MetricKind,
+        budget: Budget,
+        seed: u64,
+    ) -> (CampaignStats, Vec<Vec<u8>>) {
+        let interpreter = Interpreter::new(&self.program);
+        let mut campaign = Campaign::new(
+            CampaignConfig {
+                scheme,
+                map_size: self.instrumentation.map_size(),
+                metric,
+                budget,
+                mutations_per_seed: 512,
+                deterministic: false,
+                merged_classify_compare: true,
+                dictionary: Vec::new(),
+                trim_new_entries: false,
+                seed,
+                exec: Default::default(),
+            },
+            &interpreter,
+            &self.instrumentation,
+        );
+        campaign.add_seeds(self.seeds.clone());
+        campaign.run_with_corpus()
+    }
+
+    /// Average of `runs` campaign arms' throughput (the paper aggregates
+    /// three runs per configuration, §V-B).
+    pub fn mean_throughput(
+        &self,
+        scheme: MapScheme,
+        budget: Budget,
+        runs: usize,
+    ) -> f64 {
+        let total: f64 = (0..runs)
+            .map(|r| {
+                self.run_campaign(scheme, MetricKind::Edge, budget, 0x5EED + r as u64)
+                    .throughput()
+            })
+            .sum();
+        total / runs.max(1) as f64
+    }
+}
+
+/// Prints the standard report header.
+pub fn report_header(title: &str, effort: Effort, notes: &str) {
+    println!("================================================================");
+    println!("{title}");
+    println!(
+        "mode: {} | target scale: {} | arm budget: {:?}",
+        effort.label(),
+        effort.scale(),
+        effort.arm_budget()
+    );
+    if !notes.is_empty() {
+        println!("{notes}");
+    }
+    println!("================================================================");
+}
+
+/// The map sizes every size-sweep experiment uses (the paper's four).
+pub fn evaluated_sizes() -> [MapSize; 4] {
+    MapSize::EVALUATED
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effort_parameters_ordered() {
+        assert!(Effort::Quick.scale() < Effort::Standard.scale());
+        assert!(Effort::Standard.scale() < Effort::Full.scale());
+        assert!(Effort::Quick.arm_budget() < Effort::Full.arm_budget());
+        assert_eq!(Effort::Quick.label(), "quick");
+    }
+
+    #[test]
+    fn prepared_benchmark_runs() {
+        let spec = BenchmarkSpec::by_name("zlib").unwrap();
+        let prepared = PreparedBenchmark::build(&spec, MapSize::K64, Effort::Quick);
+        let stats = prepared.run_campaign(
+            MapScheme::TwoLevel,
+            MetricKind::Edge,
+            Budget::Execs(500),
+            1,
+        );
+        assert_eq!(stats.execs, 500);
+        assert!(stats.used_len > 0);
+    }
+
+    #[test]
+    fn mean_throughput_positive() {
+        let spec = BenchmarkSpec::by_name("zlib").unwrap();
+        let prepared = PreparedBenchmark::build(&spec, MapSize::K64, Effort::Quick);
+        let t = prepared.mean_throughput(MapScheme::Flat, Budget::Execs(300), 2);
+        assert!(t > 0.0);
+    }
+}

@@ -1,0 +1,472 @@
+//! Map-operation address-trace adapters (reproduces Table I).
+//!
+//! Generates the byte-address sequences each map data structure emits
+//! during the per-test-case pipeline, feeds them through the simulated
+//! hierarchy, and reports three measures per (operation, bitmap) row —
+//! quantitative versions of the paper's qualitative Table I columns:
+//!
+//! * **temporal locality** — for *Update* rows, the fast-level (L1/L2)
+//!   hit ratio over all accesses: the same edges are traversed again and
+//!   again within and across executions, so their slots should be found
+//!   hot. For *Others* (scan) rows, the fast-level hit ratio of line-new
+//!   accesses: whether the pass's working set survived in the per-core
+//!   caches since the previous test case (the paper's "high reuse
+//!   distance" argument).
+//! * **spatial locality** — the fraction of accesses that touch a line
+//!   already touched earlier in the same pass (sequential scans are nearly
+//!   all such accesses; scattered updates almost none).
+//! * **cache pollution** — for scan (*Others*) rows, the fraction of
+//!   fetched *bytes* that carry no active coverage data ("most of these
+//!   locations do not contain any useful information", §IV-C1): a flat
+//!   whole-map scan drags megabytes of dead bytes through the hierarchy,
+//!   while BigMap's condensed prefix is 100% live. Update rows fetch only
+//!   lines they actually write, so their pollution is the residual dead
+//!   part of those demanded lines.
+
+use std::collections::HashSet;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::hierarchy::{CacheHierarchy, HitLevel};
+
+const FLAT_COVERAGE_BASE: u64 = 0x1000_0000;
+const INDEX_BASE: u64 = 0x4000_0000;
+const CONDENSED_BASE: u64 = 0x7000_0000;
+const VIRGIN_BASE: u64 = 0xA000_0000;
+const LINE: u64 = 64;
+
+/// Which map operation a trace models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TracedOp {
+    /// Bitmap update during target execution.
+    Update,
+    /// The whole-map (or used-prefix) passes: reset, classify, compare,
+    /// hash — the paper's "Others" row. They share one access pattern, so
+    /// Table I groups them.
+    Others,
+}
+
+impl TracedOp {
+    /// Table I label.
+    pub fn label(self) -> &'static str {
+        match self {
+            TracedOp::Update => "Update",
+            TracedOp::Others => "Others",
+        }
+    }
+}
+
+/// Which allocation a row describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BitmapKind {
+    /// The coverage map (flat, or BigMap's condensed map).
+    Coverage,
+    /// BigMap's index bitmap.
+    Index,
+}
+
+impl BitmapKind {
+    /// Table I label.
+    pub fn label(self) -> &'static str {
+        match self {
+            BitmapKind::Coverage => "Coverage",
+            BitmapKind::Index => "Index",
+        }
+    }
+}
+
+/// A synthetic fuzzing workload for trace generation.
+///
+/// Edge accesses repeat heavily within an execution (loops, shared
+/// functions) — the temporal locality Table I row one relies on — so the
+/// per-execution key sequence draws from the active set with heavy-tailed
+/// repetition.
+#[derive(Debug, Clone)]
+pub struct TraceWorkload {
+    /// Map size in bytes (the hash space).
+    pub map_size: usize,
+    /// Number of distinct active keys (≈ discovered edges).
+    pub active_keys: usize,
+    /// Edge events per execution.
+    pub events_per_exec: usize,
+    /// Number of executions simulated.
+    pub executions: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TraceWorkload {
+    /// A gvn-like default: ~65k active keys on a 2 MB map.
+    pub fn gvn_like(map_size: usize) -> Self {
+        TraceWorkload {
+            map_size,
+            active_keys: 65_000.min(map_size / 2),
+            events_per_exec: 8_000,
+            executions: 12,
+            seed: 0xA11CE,
+        }
+    }
+}
+
+/// One (operation, bitmap) row of the measured Table I.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceRow {
+    /// The operation.
+    pub op: TracedOp,
+    /// The allocation the row describes.
+    pub bitmap: BitmapKind,
+    /// Accesses per execution (cost proxy).
+    pub accesses_per_exec: f64,
+    /// Fast-level (L1/L2) hit ratio: over all accesses for Update rows,
+    /// over line-new accesses for Others rows (see module docs).
+    pub temporal_hit: f64,
+    /// Fraction of accesses that re-touch a line already touched in the
+    /// same pass.
+    pub spatial_ratio: f64,
+    /// Fraction of fetched bytes holding no active data (scan rows only;
+    /// update rows report 0 — their fetches are demanded writes).
+    pub dead_byte_fraction: f64,
+}
+
+impl TraceRow {
+    /// Paper-style temporal-locality label.
+    pub fn temporal_label(&self) -> &'static str {
+        if self.temporal_hit > 0.5 {
+            "High"
+        } else {
+            "Low"
+        }
+    }
+
+    /// Paper-style spatial-locality label.
+    pub fn spatial_label(&self) -> &'static str {
+        if self.spatial_ratio > 0.5 {
+            "High"
+        } else {
+            "Low"
+        }
+    }
+
+    /// Paper-style pollution label.
+    pub fn pollution_label(&self) -> &'static str {
+        if self.dead_byte_fraction > 0.5 {
+            "High"
+        } else if self.dead_byte_fraction > 0.05 {
+            "Low"
+        } else {
+            "None"
+        }
+    }
+}
+
+/// An access annotated with the bitmap it belongs to.
+#[derive(Debug, Clone, Copy)]
+struct Access {
+    addr: u64,
+    bitmap: BitmapKind,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct RowAccum {
+    accesses: u64,
+    fast_hits: u64,
+    line_new: u64,
+    line_new_hits: u64,
+    repeats: u64,
+    fetched_bytes: u64,
+    live_fetched_bytes: u64,
+}
+
+/// Measures one operation: `passes` yields the access list of each
+/// execution; `live_bytes_per_line` maps a line address to the number of
+/// bytes in it holding active data.
+fn measure(
+    op: TracedOp,
+    workload: &TraceWorkload,
+    live_bytes_per_line: &std::collections::HashMap<u64, u32>,
+    mut passes: impl FnMut(usize) -> Vec<Access>,
+) -> Vec<TraceRow> {
+    let mut h = CacheHierarchy::xeon_e5645();
+    let mut accum: std::collections::HashMap<BitmapKind, RowAccum> =
+        std::collections::HashMap::new();
+
+    for exec in 0..workload.executions {
+        let trace = passes(exec);
+        let mut seen_this_pass: HashSet<u64> = HashSet::new();
+        for a in trace {
+            let line = a.addr / LINE;
+            let entry = accum.entry(a.bitmap).or_default();
+            entry.accesses += 1;
+            let level = h.access(a.addr);
+            if matches!(level, HitLevel::L1 | HitLevel::L2) {
+                entry.fast_hits += 1;
+            }
+            if seen_this_pass.insert(line) {
+                entry.line_new += 1;
+                if matches!(level, HitLevel::L1 | HitLevel::L2) {
+                    entry.line_new_hits += 1;
+                }
+                entry.fetched_bytes += LINE;
+                entry.live_fetched_bytes +=
+                    u64::from(live_bytes_per_line.get(&line).copied().unwrap_or(0).min(64));
+            } else {
+                entry.repeats += 1;
+            }
+        }
+    }
+
+    let mut rows: Vec<TraceRow> = accum
+        .into_iter()
+        .map(|(bitmap, a)| TraceRow {
+            op,
+            bitmap,
+            accesses_per_exec: a.accesses as f64 / workload.executions.max(1) as f64,
+            temporal_hit: match op {
+                TracedOp::Update if a.accesses > 0 => a.fast_hits as f64 / a.accesses as f64,
+                TracedOp::Others if a.line_new > 0 => {
+                    a.line_new_hits as f64 / a.line_new as f64
+                }
+                _ => 0.0,
+            },
+            spatial_ratio: if a.accesses == 0 {
+                0.0
+            } else {
+                a.repeats as f64 / a.accesses as f64
+            },
+            dead_byte_fraction: match op {
+                // Update fetches are demanded by actual writes; only scan
+                // passes can pollute in the paper's sense.
+                TracedOp::Update => 0.0,
+                TracedOp::Others if a.fetched_bytes > 0 => {
+                    1.0 - a.live_fetched_bytes as f64 / a.fetched_bytes as f64
+                }
+                TracedOp::Others => 0.0,
+            },
+        })
+        .collect();
+    rows.sort_by_key(|r| r.bitmap.label());
+    rows
+}
+
+fn draw_keys(workload: &TraceWorkload) -> Vec<u32> {
+    let mut rng = SmallRng::seed_from_u64(workload.seed);
+    (0..workload.active_keys)
+        .map(|_| rng.gen_range(0..workload.map_size as u32))
+        .collect()
+}
+
+fn exec_key_sequence(workload: &TraceWorkload, keys: &[u32], rng: &mut SmallRng) -> Vec<u32> {
+    let hot = (keys.len() / 8).max(1);
+    (0..workload.events_per_exec)
+        .map(|_| {
+            if rng.gen_bool(0.8) {
+                keys[rng.gen_range(0..hot)]
+            } else {
+                keys[rng.gen_range(0..keys.len())]
+            }
+        })
+        .collect()
+}
+
+/// Accumulates per-line active-byte counts for `width`-byte slots at
+/// `base + slot * width`.
+fn add_live(
+    map: &mut std::collections::HashMap<u64, u32>,
+    base: u64,
+    slots: impl Iterator<Item = u64>,
+    width: u64,
+) {
+    for s in slots {
+        *map.entry((base + s * width) / LINE).or_default() += width as u32;
+    }
+}
+
+/// Runs the pipeline traces for **AFL's flat structure**.
+pub fn trace_flat(workload: &TraceWorkload) -> Vec<TraceRow> {
+    let keys = draw_keys(workload);
+    let map = workload.map_size as u64;
+    let mut live_all = std::collections::HashMap::new();
+    add_live(&mut live_all, FLAT_COVERAGE_BASE, keys.iter().map(|&k| k as u64), 1);
+    // The virgin map's live bytes mirror the coverage map's.
+    add_live(&mut live_all, VIRGIN_BASE, keys.iter().map(|&k| k as u64), 1);
+
+    let mut rows = Vec::new();
+    // Update: scattered writes at the key addresses.
+    let mut rng = SmallRng::seed_from_u64(workload.seed ^ 0xD15C);
+    rows.extend(measure(TracedOp::Update, workload, &live_all, |_| {
+        exec_key_sequence(workload, &keys, &mut rng)
+            .into_iter()
+            .map(|k| Access {
+                addr: FLAT_COVERAGE_BASE + k as u64,
+                bitmap: BitmapKind::Coverage,
+            })
+            .collect()
+    }));
+    // Others: whole-map sequential scan (8-byte stride like the word-wise
+    // implementation), local map + virgin map (the compare pass).
+    rows.extend(measure(TracedOp::Others, workload, &live_all, |_| {
+        let mut t = Vec::with_capacity((map / 8) as usize * 2);
+        for addr in (0..map).step_by(8) {
+            t.push(Access { addr: FLAT_COVERAGE_BASE + addr, bitmap: BitmapKind::Coverage });
+            t.push(Access { addr: VIRGIN_BASE + addr, bitmap: BitmapKind::Coverage });
+        }
+        t
+    }));
+    rows
+}
+
+/// Runs the pipeline traces for **BigMap's two-level structure**.
+pub fn trace_bigmap(workload: &TraceWorkload) -> Vec<TraceRow> {
+    let keys = draw_keys(workload);
+    // Condensed slot of each key = discovery order; the draw order is a
+    // uniform permutation, so the draw rank is equivalent for tracing.
+    let slot_map: std::collections::HashMap<u32, u64> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| (k, i as u64))
+        .collect();
+    let used = workload.active_keys as u64;
+
+    // Every condensed-prefix byte is live; index entries are 4 live bytes.
+    let mut live = std::collections::HashMap::new();
+    add_live(&mut live, CONDENSED_BASE, 0..used, 1);
+    add_live(&mut live, VIRGIN_BASE, 0..used, 1);
+    add_live(&mut live, INDEX_BASE, keys.iter().map(|&k| k as u64), 4);
+
+    let mut rows = Vec::new();
+    let mut rng = SmallRng::seed_from_u64(workload.seed ^ 0xD15C);
+    rows.extend(measure(TracedOp::Update, workload, &live, |_| {
+        exec_key_sequence(workload, &keys, &mut rng)
+            .into_iter()
+            .flat_map(|k| {
+                [
+                    Access { addr: INDEX_BASE + 4 * k as u64, bitmap: BitmapKind::Index },
+                    Access { addr: CONDENSED_BASE + slot_map[&k], bitmap: BitmapKind::Coverage },
+                ]
+            })
+            .collect()
+    }));
+    rows.extend(measure(TracedOp::Others, workload, &live, |_| {
+        let mut t = Vec::with_capacity((used / 8) as usize * 2);
+        for addr in (0..used).step_by(8) {
+            t.push(Access { addr: CONDENSED_BASE + addr, bitmap: BitmapKind::Coverage });
+            t.push(Access { addr: VIRGIN_BASE + addr, bitmap: BitmapKind::Coverage });
+        }
+        t
+    }));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload() -> TraceWorkload {
+        TraceWorkload {
+            map_size: 2 << 20,
+            active_keys: 20_000,
+            events_per_exec: 4_000,
+            executions: 6,
+            seed: 7,
+        }
+    }
+
+    fn row(rows: &[TraceRow], op: TracedOp, bitmap: BitmapKind) -> TraceRow {
+        *rows
+            .iter()
+            .find(|r| r.op == op && r.bitmap == bitmap)
+            .expect("row present")
+    }
+
+    #[test]
+    fn flat_others_low_temporal_high_spatial_high_pollution() {
+        let rows = trace_flat(&workload());
+        let others = row(&rows, TracedOp::Others, BitmapKind::Coverage);
+        // 2x2MB working set exceeds L1/L2; line-new accesses mostly miss
+        // to L3/memory on first pass; spatially 7/8 accesses re-touch the
+        // line; with 20k active keys in 32k lines x2 maps most lines are
+        // dead.
+        assert_eq!(others.spatial_label(), "High");
+        assert_eq!(others.pollution_label(), "High");
+        assert!(
+            others.dead_byte_fraction > 0.5,
+            "dead fraction {:.2}",
+            others.dead_byte_fraction
+        );
+        assert!(others.accesses_per_exec > 100_000.0);
+    }
+
+    #[test]
+    fn flat_update_high_temporal_low_spatial() {
+        let rows = trace_flat(&workload());
+        let update = row(&rows, TracedOp::Update, BitmapKind::Coverage);
+        assert_eq!(update.temporal_label(), "High", "{update:?}");
+        assert_eq!(update.spatial_label(), "Low", "{update:?}");
+        assert_eq!(update.pollution_label(), "None", "{update:?}");
+    }
+
+    #[test]
+    fn bigmap_others_high_everything_no_pollution() {
+        let rows = trace_bigmap(&workload());
+        let others = row(&rows, TracedOp::Others, BitmapKind::Coverage);
+        assert_eq!(others.temporal_label(), "High", "{others:?}");
+        assert_eq!(others.spatial_label(), "High", "{others:?}");
+        assert_eq!(others.pollution_label(), "None", "{others:?}");
+    }
+
+    #[test]
+    fn bigmap_others_orders_of_magnitude_cheaper() {
+        let w = workload();
+        let flat = row(&trace_flat(&w), TracedOp::Others, BitmapKind::Coverage);
+        let big = row(&trace_bigmap(&w), TracedOp::Others, BitmapKind::Coverage);
+        assert!(big.accesses_per_exec * 10.0 < flat.accesses_per_exec);
+    }
+
+    #[test]
+    fn bigmap_update_has_index_and_coverage_rows() {
+        let rows = trace_bigmap(&workload());
+        let index = row(&rows, TracedOp::Update, BitmapKind::Index);
+        let cov = row(&rows, TracedOp::Update, BitmapKind::Coverage);
+        // Index: scattered like the flat update; coverage: condensed, so
+        // spatial locality appears (many slots share lines).
+        assert_eq!(index.spatial_label(), "Low", "{index:?}");
+        assert_eq!(index.temporal_label(), "High", "{index:?}");
+        assert!(cov.spatial_ratio > index.spatial_ratio, "{cov:?} vs {index:?}");
+        assert_eq!(cov.pollution_label(), "None", "{cov:?}");
+        // Two accesses per event total.
+        let w = workload();
+        assert!(
+            ((index.accesses_per_exec + cov.accesses_per_exec)
+                / w.events_per_exec as f64
+                - 2.0)
+                .abs()
+                < 0.01
+        );
+    }
+
+    #[test]
+    fn labels_thresholds() {
+        let mk = |t, s, d| TraceRow {
+            op: TracedOp::Others,
+            bitmap: BitmapKind::Coverage,
+            accesses_per_exec: 0.0,
+            temporal_hit: t,
+            spatial_ratio: s,
+            dead_byte_fraction: d,
+        };
+        assert_eq!(mk(0.9, 0.0, 0.0).temporal_label(), "High");
+        assert_eq!(mk(0.1, 0.0, 0.0).temporal_label(), "Low");
+        assert_eq!(mk(0.0, 0.9, 0.0).spatial_label(), "High");
+        assert_eq!(mk(0.0, 0.0, 0.9).pollution_label(), "High");
+        assert_eq!(mk(0.0, 0.0, 0.2).pollution_label(), "Low");
+        assert_eq!(mk(0.0, 0.0, 0.0).pollution_label(), "None");
+    }
+
+    #[test]
+    fn gvn_like_workload_is_consistent() {
+        let w = TraceWorkload::gvn_like(2 << 20);
+        assert_eq!(w.map_size, 2 << 20);
+        assert!(w.active_keys <= w.map_size / 2);
+    }
+}

@@ -1,0 +1,262 @@
+//! Page-aligned, optionally huge-page-backed map buffers (§IV-E).
+//!
+//! Large coverage maps occupy many DTLB slots; the paper's final §IV-E
+//! optimization backs the index and coverage bitmaps with huge pages to cut
+//! page-walk overhead. [`MapBuffer`] allocates zeroed memory aligned to the
+//! huge-page size and, on Linux, issues a best-effort
+//! `madvise(MADV_HUGEPAGE)` so the kernel promotes the range to transparent
+//! huge pages.
+
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
+
+/// Alignment used for map allocations: the x86-64 huge-page size (2 MiB).
+/// Smaller maps still benefit from the page alignment (no straddled lines,
+/// SIMD stores are always aligned).
+pub const HUGE_PAGE_BYTES: usize = 2 * 1024 * 1024;
+
+/// A fixed-size, zero-initialized, huge-page-aligned buffer of `T`.
+///
+/// `T` is restricted (via the sealed [`MapElement`] trait) to plain integer
+/// element types for which the all-zeroes bit pattern is a valid value, which
+/// is what makes `alloc_zeroed` initialization sound.
+///
+/// # Examples
+///
+/// ```rust
+/// use bigmap_core::alloc::MapBuffer;
+///
+/// let mut buf: MapBuffer<u8> = MapBuffer::zeroed(4096);
+/// assert!(buf.iter().all(|&b| b == 0));
+/// buf[7] = 42;
+/// assert_eq!(buf[7], 42);
+/// ```
+pub struct MapBuffer<T: MapElement> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<T>,
+}
+
+// SAFETY: MapBuffer owns its allocation exclusively; T is a plain integer.
+unsafe impl<T: MapElement> Send for MapBuffer<T> {}
+// SAFETY: shared access only hands out &[T]; no interior mutability.
+unsafe impl<T: MapElement> Sync for MapBuffer<T> {}
+
+mod private {
+    pub trait Sealed {}
+    impl Sealed for u8 {}
+    impl Sealed for u32 {}
+    impl Sealed for u64 {}
+}
+
+/// Element types allowed in a [`MapBuffer`].
+///
+/// This trait is sealed: it is implemented for `u8`, `u32` and `u64` and
+/// cannot be implemented outside this crate. All implementors are plain
+/// integers whose all-zeroes bit pattern is a valid value.
+pub trait MapElement: private::Sealed + Copy + 'static {}
+
+impl MapElement for u8 {}
+impl MapElement for u32 {}
+impl MapElement for u64 {}
+
+impl<T: MapElement> MapBuffer<T> {
+    /// Allocates a zeroed buffer of `len` elements, aligned to
+    /// [`HUGE_PAGE_BYTES`], and advises the kernel to back it with huge
+    /// pages where supported.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero or if the allocation size overflows `isize`.
+    /// Aborts (via [`handle_alloc_error`]) if the allocator fails.
+    pub fn zeroed(len: usize) -> Self {
+        assert!(len > 0, "MapBuffer length must be non-zero");
+        let layout = Self::layout(len);
+        // SAFETY: layout has non-zero size (len > 0, size_of::<T>() >= 1).
+        let raw = unsafe { alloc_zeroed(layout) };
+        if raw.is_null() {
+            handle_alloc_error(layout);
+        }
+        let ptr = raw.cast::<T>();
+        advise_huge_pages(raw, layout.size());
+        MapBuffer {
+            ptr,
+            len,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Allocates a buffer of `len` elements with every element set to `fill`.
+    ///
+    /// BigMap's index bitmap uses this with `u32::MAX` (the paper's `-1`
+    /// sentinel) — the single whole-map touch of the entire campaign.
+    pub fn filled(len: usize, fill: T) -> Self {
+        let mut buf = Self::zeroed(len);
+        buf.as_mut_slice().fill(fill);
+        buf
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer holds zero elements. Always `false` (construction
+    /// rejects empty buffers); provided for API completeness.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// View of the whole buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        // SAFETY: ptr is valid for len elements for the lifetime of self.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// Mutable view of the whole buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        // SAFETY: ptr is valid for len elements; &mut self guarantees
+        // exclusivity.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr, self.len) }
+    }
+
+    /// Raw pointer to the first element (used by the non-temporal reset).
+    #[inline]
+    pub fn as_ptr(&self) -> *const T {
+        self.ptr
+    }
+
+    /// Raw mutable pointer to the first element.
+    #[inline]
+    pub fn as_mut_ptr(&mut self) -> *mut T {
+        self.ptr
+    }
+
+    fn layout(len: usize) -> Layout {
+        let size = len
+            .checked_mul(std::mem::size_of::<T>())
+            .expect("MapBuffer size overflow");
+        Layout::from_size_align(size, HUGE_PAGE_BYTES).expect("valid layout")
+    }
+}
+
+impl<T: MapElement> Drop for MapBuffer<T> {
+    fn drop(&mut self) {
+        let layout = Self::layout(self.len);
+        // SAFETY: ptr was allocated with exactly this layout in `zeroed`.
+        unsafe { dealloc(self.ptr.cast(), layout) }
+    }
+}
+
+impl<T: MapElement> Deref for MapBuffer<T> {
+    type Target = [T];
+
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: MapElement> DerefMut for MapBuffer<T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: MapElement + fmt::Debug> fmt::Debug for MapBuffer<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MapBuffer")
+            .field("len", &self.len)
+            .field("align", &HUGE_PAGE_BYTES)
+            .finish()
+    }
+}
+
+impl<T: MapElement> Clone for MapBuffer<T> {
+    fn clone(&self) -> Self {
+        let mut out = Self::zeroed(self.len);
+        out.as_mut_slice().copy_from_slice(self.as_slice());
+        out
+    }
+}
+
+/// Best-effort request to back `[ptr, ptr+len)` with transparent huge pages.
+///
+/// A failed or unsupported call is silently ignored: huge pages are an
+/// optimization (§IV-E), never a correctness requirement.
+#[cfg(target_os = "linux")]
+fn advise_huge_pages(ptr: *mut u8, len: usize) {
+    if len >= HUGE_PAGE_BYTES {
+        // SAFETY: the range [ptr, ptr+len) is a live allocation we own;
+        // MADV_HUGEPAGE does not alter memory contents.
+        unsafe {
+            libc::madvise(ptr.cast(), len, libc::MADV_HUGEPAGE);
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn advise_huge_pages(_ptr: *mut u8, _len: usize) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_is_all_zero() {
+        let buf: MapBuffer<u8> = MapBuffer::zeroed(1 << 16);
+        assert!(buf.iter().all(|&b| b == 0));
+        assert_eq!(buf.len(), 1 << 16);
+        assert!(!buf.is_empty());
+    }
+
+    #[test]
+    fn filled_sets_sentinel() {
+        let buf: MapBuffer<u32> = MapBuffer::filled(1024, u32::MAX);
+        assert!(buf.iter().all(|&w| w == u32::MAX));
+    }
+
+    #[test]
+    fn alignment_is_huge_page() {
+        let buf: MapBuffer<u8> = MapBuffer::zeroed(4096);
+        assert_eq!(buf.as_ptr() as usize % HUGE_PAGE_BYTES, 0);
+    }
+
+    #[test]
+    fn deref_and_index() {
+        let mut buf: MapBuffer<u8> = MapBuffer::zeroed(64);
+        buf[3] = 9;
+        assert_eq!(buf[3], 9);
+        assert_eq!(buf.iter().filter(|&&b| b != 0).count(), 1);
+    }
+
+    #[test]
+    fn clone_copies_contents() {
+        let mut buf: MapBuffer<u64> = MapBuffer::zeroed(128);
+        buf[100] = 0xdead_beef;
+        let copy = buf.clone();
+        assert_eq!(copy[100], 0xdead_beef);
+        assert_eq!(copy.len(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_length_rejected() {
+        let _ = MapBuffer::<u8>::zeroed(0);
+    }
+
+    #[test]
+    fn large_allocation_works() {
+        // The paper's 8 MiB point plus the 32 MiB sweep extreme.
+        let buf: MapBuffer<u8> = MapBuffer::zeroed(32 << 20);
+        assert_eq!(buf.len(), 32 << 20);
+        assert_eq!(buf[32 << 20 >> 1], 0);
+    }
+}

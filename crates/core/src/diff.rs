@@ -1,0 +1,260 @@
+//! Word-wise region diffing shared by both map schemes.
+//!
+//! This is the engine behind the *compare* operation (AFL's
+//! `has_new_bits`) and the §IV-E merged *classify + compare*: a single pass
+//! over the active region, eight map slots at a time, with a fast skip for
+//! all-zero words.
+
+use crate::classify::{bucket_of, classify_word};
+use crate::traits::NewCoverage;
+
+#[inline]
+fn diff_byte(cur: u8, virgin: &mut u8, verdict: &mut NewCoverage) {
+    if cur != 0 && (cur & *virgin) != 0 {
+        let v = if *virgin == 0xFF {
+            NewCoverage::NewEdge
+        } else {
+            NewCoverage::NewBucket
+        };
+        *verdict = (*verdict).max(v);
+        *virgin &= !cur;
+    }
+}
+
+#[inline]
+fn diff_word(cur: u64, virgin: &mut u64, verdict: &mut NewCoverage) {
+    if cur != 0 && (cur & *virgin) != 0 {
+        if *verdict < NewCoverage::NewEdge {
+            // Inspect bytes only when the word-level test fires — the
+            // AFL fast path.
+            let cur_b = cur.to_ne_bytes();
+            let vir_b = virgin.to_ne_bytes();
+            for i in 0..8 {
+                if cur_b[i] != 0 && (cur_b[i] & vir_b[i]) != 0 {
+                    if vir_b[i] == 0xFF {
+                        *verdict = NewCoverage::NewEdge;
+                        break;
+                    }
+                    *verdict = (*verdict).max(NewCoverage::NewBucket);
+                }
+            }
+        }
+        *virgin &= !cur;
+    }
+}
+
+/// Diffs an already-classified region against the matching virgin region,
+/// clearing the virgin bits now covered. Returns the strongest novelty
+/// verdict found.
+///
+/// # Panics
+///
+/// Panics if the regions have different lengths.
+pub fn compare_region(cur: &[u8], virgin: &mut [u8]) -> NewCoverage {
+    assert_eq!(cur.len(), virgin.len(), "region length mismatch");
+    let mut verdict = NewCoverage::None;
+
+    // Word-wise processing requires the two regions to share their
+    // alignment phase (they always do in practice: both come from
+    // huge-page-aligned buffers at offset 0).
+    if cur.as_ptr() as usize % 8 == virgin.as_ptr() as usize % 8 {
+        let (cur_head, cur_words, cur_tail) = unsafe { cur.align_to::<u64>() };
+        let head_len = cur_head.len();
+        let words_len = cur_words.len();
+        for (i, b) in cur_head.iter().enumerate() {
+            diff_byte(*b, &mut virgin[i], &mut verdict);
+        }
+        let (_, virgin_words, _) = unsafe { virgin[head_len..].align_to_mut::<u64>() };
+        for (c, v) in cur_words.iter().zip(virgin_words.iter_mut()) {
+            diff_word(*c, v, &mut verdict);
+        }
+        let base = head_len + words_len * 8;
+        for (i, b) in cur_tail.iter().enumerate() {
+            diff_byte(*b, &mut virgin[base + i], &mut verdict);
+        }
+    } else {
+        for (c, v) in cur.iter().zip(virgin.iter_mut()) {
+            diff_byte(*c, v, &mut verdict);
+        }
+    }
+    verdict
+}
+
+/// Merged classify + compare (§IV-E): classifies `cur` in place and diffs it
+/// against `virgin` in the same pass.
+///
+/// Observationally identical to [`crate::classify::classify_slice`] followed
+/// by [`compare_region`], but touches each cache line of the region once
+/// instead of twice.
+///
+/// # Panics
+///
+/// Panics if the regions have different lengths.
+pub fn classify_and_compare_region(cur: &mut [u8], virgin: &mut [u8]) -> NewCoverage {
+    assert_eq!(cur.len(), virgin.len(), "region length mismatch");
+    let mut verdict = NewCoverage::None;
+
+    let cur_ptr = cur.as_ptr() as usize;
+    let vir_ptr = virgin.as_ptr() as usize;
+    if cur_ptr % 8 == vir_ptr % 8 {
+        let (head, words, tail) = unsafe { cur.align_to_mut::<u64>() };
+        let head_len = head.len();
+        let words_len = words.len();
+        for (i, b) in head.iter_mut().enumerate() {
+            *b = bucket_of(*b);
+            diff_byte(*b, &mut virgin[i], &mut verdict);
+        }
+        let (_, virgin_words, _) = unsafe { virgin[head_len..].align_to_mut::<u64>() };
+        for (c, v) in words.iter_mut().zip(virgin_words.iter_mut()) {
+            if *c != 0 {
+                *c = classify_word(*c);
+                diff_word(*c, v, &mut verdict);
+            }
+        }
+        let base = head_len + words_len * 8;
+        for (i, b) in tail.iter_mut().enumerate() {
+            *b = bucket_of(*b);
+            diff_byte(*b, &mut virgin[base + i], &mut verdict);
+        }
+    } else {
+        for (c, v) in cur.iter_mut().zip(virgin.iter_mut()) {
+            *c = bucket_of(*c);
+            diff_byte(*c, v, &mut verdict);
+        }
+    }
+    verdict
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::classify_slice;
+    use proptest::prelude::*;
+
+    #[test]
+    fn first_touch_is_new_edge() {
+        let cur = vec![0, 1, 0, 0];
+        let mut virgin = vec![0xFF; 4];
+        assert_eq!(compare_region(&cur, &mut virgin), NewCoverage::NewEdge);
+        assert_eq!(virgin, vec![0xFF, 0xFE, 0xFF, 0xFF]);
+    }
+
+    #[test]
+    fn repeat_touch_is_none() {
+        let cur = vec![0, 1, 0, 0];
+        let mut virgin = vec![0xFF; 4];
+        compare_region(&cur, &mut virgin);
+        assert_eq!(compare_region(&cur, &mut virgin), NewCoverage::None);
+    }
+
+    #[test]
+    fn new_bucket_on_known_slot() {
+        let mut virgin = vec![0xFF; 4];
+        compare_region(&[0, 1, 0, 0], &mut virgin);
+        // Same slot, higher bucket (2): new bucket, not new edge.
+        assert_eq!(
+            compare_region(&[0, 2, 0, 0], &mut virgin),
+            NewCoverage::NewBucket
+        );
+        // Third time with bucket already cleared: nothing.
+        assert_eq!(compare_region(&[0, 2, 0, 0], &mut virgin), NewCoverage::None);
+    }
+
+    #[test]
+    fn new_edge_dominates_new_bucket() {
+        let mut virgin = vec![0xFF; 16];
+        compare_region([1; 16][..8].to_vec().iter().map(|_| 0).chain([1u8;8]).collect::<Vec<_>>().as_slice(), &mut virgin);
+        // slots 8..16 seen with bucket 1. Now bucket 2 on slot 8 (new
+        // bucket) plus first touch of slot 0 (new edge): verdict NewEdge.
+        let mut cur = vec![0u8; 16];
+        cur[8] = 2;
+        cur[0] = 1;
+        assert_eq!(compare_region(&cur, &mut virgin), NewCoverage::NewEdge);
+    }
+
+    #[test]
+    fn merged_equals_split() {
+        let mut raw = vec![0u8; 256];
+        raw[3] = 5;
+        raw[64] = 200;
+        raw[255] = 1;
+        let mut split_cur = raw.clone();
+        let mut split_virgin = vec![0xFF; 256];
+        classify_slice(&mut split_cur);
+        let split_verdict = compare_region(&split_cur, &mut split_virgin);
+
+        let mut merged_cur = raw.clone();
+        let mut merged_virgin = vec![0xFF; 256];
+        let merged_verdict = classify_and_compare_region(&mut merged_cur, &mut merged_virgin);
+
+        assert_eq!(split_verdict, merged_verdict);
+        assert_eq!(split_cur, merged_cur);
+        assert_eq!(split_virgin, merged_virgin);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        compare_region(&[0; 4], &mut [0xFF; 8]);
+    }
+
+    proptest! {
+        #[test]
+        fn merged_equals_split_prop(
+            raw in prop::collection::vec(any::<u8>(), 0..300),
+            prior in prop::collection::vec(any::<u8>(), 0..300),
+        ) {
+            // Build a virgin state with some history: classify `prior` and
+            // fold it in first, so virgin bytes are a realistic mix.
+            let n = raw.len().min(prior.len());
+            let raw = &raw[..n];
+            let mut virgin_a = vec![0xFFu8; n];
+            let mut virgin_b = vec![0xFFu8; n];
+            let mut prior_c = prior[..n].to_vec();
+            classify_slice(&mut prior_c);
+            compare_region(&prior_c, &mut virgin_a);
+            compare_region(&prior_c, &mut virgin_b);
+
+            let mut split_cur = raw.to_vec();
+            classify_slice(&mut split_cur);
+            let split = compare_region(&split_cur, &mut virgin_a);
+
+            let mut merged_cur = raw.to_vec();
+            let merged = classify_and_compare_region(&mut merged_cur, &mut virgin_b);
+
+            prop_assert_eq!(split, merged);
+            prop_assert_eq!(split_cur, merged_cur);
+            prop_assert_eq!(virgin_a, virgin_b);
+        }
+
+        #[test]
+        fn compare_agrees_with_bytewise_model(
+            cur in prop::collection::vec(any::<u8>(), 0..300),
+            virgin_seed in prop::collection::vec(any::<u8>(), 0..300),
+        ) {
+            let n = cur.len().min(virgin_seed.len());
+            let cur = &cur[..n];
+            let mut virgin = virgin_seed[..n].to_vec();
+            let mut model_virgin = virgin.clone();
+
+            // Reference model: plain byte loop.
+            let mut model = NewCoverage::None;
+            for i in 0..n {
+                let c = cur[i];
+                if c != 0 && (c & model_virgin[i]) != 0 {
+                    let v = if model_virgin[i] == 0xFF {
+                        NewCoverage::NewEdge
+                    } else {
+                        NewCoverage::NewBucket
+                    };
+                    model = model.max(v);
+                    model_virgin[i] &= !c;
+                }
+            }
+
+            let got = compare_region(cur, &mut virgin);
+            prop_assert_eq!(got, model);
+            prop_assert_eq!(virgin, model_virgin);
+        }
+    }
+}

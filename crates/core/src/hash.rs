@@ -1,0 +1,212 @@
+//! Bitmap hashing: CRC32 with the paper's watermark rule (§IV-D).
+//!
+//! AFL hashes the classified coverage bitmap of every interesting test case
+//! so that future executions can be compared by hash instead of a full map
+//! diff. The paper keeps AFL's CRC32 but must decide *how much* of the
+//! condensed map to hash: always hashing `[0 .. used_key)` is wrong, because
+//! `used_key` grows over the campaign and the same execution path would then
+//! hash differently before and after an unrelated discovery (the paper's
+//! P1/P3 example). BigMap therefore hashes **up to the last non-zero byte**
+//! of the used region, making the hash a pure function of the path.
+
+/// Table-driven CRC32 (IEEE 802.3 polynomial, reflected: `0xEDB88320`).
+///
+/// Implemented from scratch — the reproduction has no external hashing
+/// dependency. Matches the standard `crc32` used by zlib and by AFL's
+/// toolchain.
+///
+/// # Examples
+///
+/// ```rust
+/// use bigmap_core::Crc32;
+///
+/// // Standard test vector: crc32("123456789") = 0xCBF43926.
+/// assert_eq!(Crc32::checksum(b"123456789"), 0xCBF4_3926);
+///
+/// // Incremental hashing produces the same result.
+/// let mut h = Crc32::new();
+/// h.update(b"1234");
+/// h.update(b"56789");
+/// assert_eq!(h.finalize(), 0xCBF4_3926);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crc32 {
+    state: u32,
+}
+
+const POLY: u32 = 0xEDB8_8320;
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
+            }
+            *entry = crc;
+        }
+        table
+    })
+}
+
+impl Crc32 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds `data` into the hash.
+    pub fn update(&mut self, data: &[u8]) {
+        let table = table();
+        let mut crc = self.state;
+        for &byte in data {
+            crc = (crc >> 8) ^ table[((crc ^ byte as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// Returns the final CRC value.
+    pub fn finalize(self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+
+    /// One-shot convenience: CRC32 of `data`.
+    pub fn checksum(data: &[u8]) -> u32 {
+        let mut h = Crc32::new();
+        h.update(data);
+        h.finalize()
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+/// Hashes a coverage region using BigMap's watermark rule: only the bytes up
+/// to and including the **last non-zero** byte participate.
+///
+/// With this rule, two executions that produce identical hit counts hash
+/// identically even if `used_key` grew in between (the §IV-D P1 = P3 case).
+/// An all-zero region hashes as the empty string.
+///
+/// # Examples
+///
+/// ```rust
+/// use bigmap_core::hash::{hash_to_last_nonzero, Crc32};
+///
+/// // The §IV-D example: {1,1} and {1,1,0,...} must hash identically.
+/// assert_eq!(
+///     hash_to_last_nonzero(&[1, 1]),
+///     hash_to_last_nonzero(&[1, 1, 0, 0, 0]),
+/// );
+/// assert_eq!(hash_to_last_nonzero(&[1, 1]), Crc32::checksum(&[1, 1]));
+/// ```
+pub fn hash_to_last_nonzero(region: &[u8]) -> u32 {
+    let end = match region.iter().rposition(|&b| b != 0) {
+        Some(pos) => pos + 1,
+        None => 0,
+    };
+    Crc32::checksum(&region[..end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(Crc32::checksum(b""), 0);
+        assert_eq!(Crc32::checksum(b"123456789"), 0xCBF4_3926);
+        assert_eq!(Crc32::checksum(b"a"), 0xE8B7_BE43);
+        assert_eq!(Crc32::checksum(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn hash_paper_example_p1_p2_p3() {
+        // §IV-D: P1 = A->B->C with used_key 2, P2 discovers D (used_key 3),
+        // P3 repeats P1 but with used_key now 3. Naive prefix hashing gives
+        // crc({1,1}) != crc({1,1,0}); the watermark rule restores equality.
+        let p1 = [1u8, 1];
+        let p2 = [1u8, 1, 1];
+        let p3 = [1u8, 1, 0];
+
+        // Demonstrate the discrepancy the paper warns about:
+        assert_ne!(Crc32::checksum(&p1), Crc32::checksum(&p3));
+
+        // And that the watermark rule fixes it without conflating P2:
+        assert_eq!(hash_to_last_nonzero(&p1), hash_to_last_nonzero(&p3));
+        assert_ne!(hash_to_last_nonzero(&p1), hash_to_last_nonzero(&p2));
+    }
+
+    #[test]
+    fn all_zero_region_hashes_like_empty() {
+        assert_eq!(hash_to_last_nonzero(&[0; 64]), Crc32::checksum(b""));
+        assert_eq!(hash_to_last_nonzero(&[]), 0);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..=255).collect();
+        let mut h = Crc32::new();
+        for chunk in data.chunks(7) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize(), Crc32::checksum(&data));
+    }
+
+    #[test]
+    fn default_equals_new() {
+        assert_eq!(Crc32::default(), Crc32::new());
+    }
+
+    proptest! {
+        #[test]
+        fn watermark_invariant_under_zero_padding(
+            data in prop::collection::vec(any::<u8>(), 0..256),
+            pad in 0usize..64,
+        ) {
+            let mut padded = data.clone();
+            padded.extend(std::iter::repeat_n(0, pad));
+            prop_assert_eq!(
+                hash_to_last_nonzero(&data),
+                hash_to_last_nonzero(&padded)
+            );
+        }
+
+        #[test]
+        fn split_updates_agree(
+            data in prop::collection::vec(any::<u8>(), 0..512),
+            split in 0usize..512,
+        ) {
+            let split = split.min(data.len());
+            let mut h = Crc32::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            prop_assert_eq!(h.finalize(), Crc32::checksum(&data));
+        }
+
+        #[test]
+        fn different_last_nonzero_changes_hash(
+            data in prop::collection::vec(1u8..=255, 1..128),
+        ) {
+            // Appending a nonzero byte must change the hashed region.
+            let mut longer = data.clone();
+            longer.push(1);
+            // (CRC32 collisions are possible in principle but not for a
+            // one-byte extension of the same prefix.)
+            prop_assert_ne!(
+                hash_to_last_nonzero(&data),
+                hash_to_last_nonzero(&longer)
+            );
+        }
+    }
+}

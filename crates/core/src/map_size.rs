@@ -1,0 +1,220 @@
+//! Validated coverage-map sizes.
+//!
+//! AFL-family fuzzers require the map size to be a power of two so that a raw
+//! coverage hash can be folded into the map with a single mask instead of a
+//! division. [`MapSize`] enforces that invariant at construction time and
+//! provides the sizes the paper evaluates (64 KiB, 256 KiB, 2 MiB, 8 MiB) as
+//! constants.
+
+use std::fmt;
+
+/// Smallest supported map: 1 KiB. Below this the classify LUT and word-wise
+/// loops stop being meaningful.
+pub const MIN_MAP_BYTES: usize = 1 << 10;
+/// Largest supported map: 1 GiB. The paper's Figure 2 sweeps to 32 MiB; the
+/// headroom is the point of the scheme ("arbitrarily large").
+pub const MAX_MAP_BYTES: usize = 1 << 30;
+
+/// A validated coverage-map size in bytes.
+///
+/// Always a power of two in `[MIN_MAP_BYTES, MAX_MAP_BYTES]`, so that
+/// `key & (size - 1)` is a correct and cheap fold of a raw coverage hash
+/// into the map.
+///
+/// # Examples
+///
+/// ```rust
+/// use bigmap_core::MapSize;
+///
+/// # fn main() -> Result<(), bigmap_core::MapSizeError> {
+/// let size = MapSize::new(1 << 20)?;
+/// assert_eq!(size.bytes(), 1048576);
+/// assert_eq!(size.mask(), 1048575);
+/// assert_eq!(MapSize::K64.bytes(), 65536);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MapSize(usize);
+
+/// Error returned when constructing a [`MapSize`] from an invalid byte count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapSizeError {
+    /// The requested size is not a power of two.
+    NotPowerOfTwo(usize),
+    /// The requested size lies outside `[MIN_MAP_BYTES, MAX_MAP_BYTES]`.
+    OutOfRange(usize),
+}
+
+impl fmt::Display for MapSizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            MapSizeError::NotPowerOfTwo(n) => {
+                write!(f, "map size {n} is not a power of two")
+            }
+            MapSizeError::OutOfRange(n) => write!(
+                f,
+                "map size {n} is outside the supported range [{MIN_MAP_BYTES}, {MAX_MAP_BYTES}]"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MapSizeError {}
+
+impl MapSize {
+    /// AFL's carefully tuned default: 64 KiB.
+    pub const K64: MapSize = MapSize(1 << 16);
+    /// 256 KiB — the paper's second evaluation point.
+    pub const K256: MapSize = MapSize(1 << 18);
+    /// 1 MiB.
+    pub const M1: MapSize = MapSize(1 << 20);
+    /// 2 MiB — the paper's headline "4.5x average speedup" point.
+    pub const M2: MapSize = MapSize(1 << 21);
+    /// 8 MiB — the paper's "33.1x average speedup" point.
+    pub const M8: MapSize = MapSize(1 << 23);
+    /// 32 MiB — the largest size in the paper's Figure 2 sweep.
+    pub const M32: MapSize = MapSize(1 << 25);
+
+    /// The four sizes evaluated throughout the paper's Section V-B.
+    pub const EVALUATED: [MapSize; 4] = [Self::K64, Self::K256, Self::M2, Self::M8];
+
+    /// Creates a map size from a byte count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapSizeError::NotPowerOfTwo`] if `bytes` is not a power of
+    /// two, or [`MapSizeError::OutOfRange`] if it falls outside
+    /// `[MIN_MAP_BYTES, MAX_MAP_BYTES]`.
+    pub fn new(bytes: usize) -> Result<Self, MapSizeError> {
+        if !bytes.is_power_of_two() {
+            return Err(MapSizeError::NotPowerOfTwo(bytes));
+        }
+        if !(MIN_MAP_BYTES..=MAX_MAP_BYTES).contains(&bytes) {
+            return Err(MapSizeError::OutOfRange(bytes));
+        }
+        Ok(MapSize(bytes))
+    }
+
+    /// The size in bytes (also the number of addressable coverage slots,
+    /// since each slot is one byte).
+    #[inline]
+    pub fn bytes(self) -> usize {
+        self.0
+    }
+
+    /// The mask that folds a raw coverage hash into this map:
+    /// `key & mask` is always a valid slot index.
+    #[inline]
+    pub fn mask(self) -> u32 {
+        (self.0 - 1) as u32
+    }
+
+    /// log2 of the size in bytes.
+    #[inline]
+    pub fn bits(self) -> u32 {
+        self.0.trailing_zeros()
+    }
+
+    /// Human-friendly rendering used in benchmark report headers
+    /// (`64k`, `256k`, `2M`, ...), matching the paper's figure labels.
+    pub fn label(self) -> String {
+        let b = self.0;
+        if b >= 1 << 20 && b.is_multiple_of(1 << 20) {
+            format!("{}M", b >> 20)
+        } else {
+            format!("{}k", b >> 10)
+        }
+    }
+}
+
+impl fmt::Display for MapSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+impl TryFrom<usize> for MapSize {
+    type Error = MapSizeError;
+
+    fn try_from(bytes: usize) -> Result<Self, Self::Error> {
+        MapSize::new(bytes)
+    }
+}
+
+impl From<MapSize> for usize {
+    fn from(size: MapSize) -> usize {
+        size.bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructs_powers_of_two() {
+        for bits in 10..=30 {
+            let size = MapSize::new(1 << bits).unwrap();
+            assert_eq!(size.bytes(), 1 << bits);
+            assert_eq!(size.bits(), bits as u32);
+        }
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert_eq!(
+            MapSize::new(65537),
+            Err(MapSizeError::NotPowerOfTwo(65537))
+        );
+        assert_eq!(MapSize::new(0), Err(MapSizeError::NotPowerOfTwo(0)));
+        assert_eq!(MapSize::new(3 << 16), Err(MapSizeError::NotPowerOfTwo(3 << 16)));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert_eq!(MapSize::new(512), Err(MapSizeError::OutOfRange(512)));
+        assert_eq!(
+            MapSize::new(1 << 31),
+            Err(MapSizeError::OutOfRange(1 << 31))
+        );
+    }
+
+    #[test]
+    fn mask_folds_keys_in_range() {
+        let size = MapSize::K64;
+        assert_eq!(size.mask(), 0xFFFF);
+        assert_eq!(0xdead_beef_u32 & size.mask(), 0xbeef);
+    }
+
+    #[test]
+    fn paper_constants_match() {
+        assert_eq!(MapSize::K64.bytes(), 64 * 1024);
+        assert_eq!(MapSize::K256.bytes(), 256 * 1024);
+        assert_eq!(MapSize::M2.bytes(), 2 * 1024 * 1024);
+        assert_eq!(MapSize::M8.bytes(), 8 * 1024 * 1024);
+        assert_eq!(MapSize::M32.bytes(), 32 * 1024 * 1024);
+    }
+
+    #[test]
+    fn labels_match_paper_figures() {
+        assert_eq!(MapSize::K64.label(), "64k");
+        assert_eq!(MapSize::K256.label(), "256k");
+        assert_eq!(MapSize::M2.label(), "2M");
+        assert_eq!(MapSize::M8.label(), "8M");
+        assert_eq!(MapSize::M32.to_string(), "32M");
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let size = MapSize::try_from(1usize << 21).unwrap();
+        assert_eq!(usize::from(size), 1 << 21);
+    }
+
+    #[test]
+    fn error_display_is_lowercase_and_informative() {
+        let msg = MapSizeError::NotPowerOfTwo(100).to_string();
+        assert!(msg.contains("100"));
+        assert!(msg.starts_with("map size"));
+    }
+}

@@ -1,0 +1,423 @@
+//! BigMap's adaptive two-level coverage bitmap — the paper's contribution.
+//!
+//! Three data structures (§IV-A):
+//!
+//! 1. an **index bitmap** mapping each coverage key to a slot in the
+//!    condensed coverage map (`u32::MAX` = the paper's `-1` sentinel:
+//!    "no slot assigned yet"),
+//! 2. a **coverage bitmap** holding the hit counts, densely packed,
+//! 3. **`used_key`**, the next free slot / length of the used prefix.
+//!
+//! On the first touch of a key the update path assigns the next free slot
+//! and bumps `used_key` (Listing 2 of the paper); every later touch is one
+//! extra well-cached index load plus the same coverage increment AFL does.
+//! Because the index bitmap is **never reset**, a key keeps its slot for the
+//! whole campaign, so the global virgin maps can be condensed the same way
+//! and every per-test-case operation runs over `[0 .. used_key)` instead of
+//! the whole allocation.
+
+use crate::alloc::MapBuffer;
+use crate::classify::classify_slice;
+use crate::diff::{classify_and_compare_region, compare_region};
+use crate::hash::hash_to_last_nonzero;
+use crate::map_size::{MapSize, MapSizeError};
+use crate::traits::{CoverageMap, MapScheme, NewCoverage};
+use crate::virgin::VirginState;
+
+/// The paper's `-1`: "this key has no condensed slot yet".
+pub const UNASSIGNED: u32 = u32::MAX;
+
+/// BigMap's two-level condensed coverage bitmap.
+///
+/// # Examples
+///
+/// ```rust
+/// use bigmap_core::{BigMap, CoverageMap, MapSize};
+///
+/// # fn main() -> Result<(), bigmap_core::MapSizeError> {
+/// let mut map = BigMap::new(MapSize::M8)?;
+///
+/// // Three events on two distinct keys consume two condensed slots:
+/// map.record(0xAAAA);
+/// map.record(0xBBBB);
+/// map.record(0xAAAA);
+/// assert_eq!(map.used_len(), 2);
+///
+/// // Slots are assigned in discovery order and are stable:
+/// assert_eq!(map.slot_of_key(0xAAAA), Some(0));
+/// assert_eq!(map.slot_of_key(0xBBBB), Some(1));
+/// assert_eq!(map.value_of_key(0xAAAA), 2);
+///
+/// // Reset clears the 2-byte used prefix, not 8 MiB — and keeps the
+/// // slot assignments.
+/// map.reset();
+/// assert_eq!(map.slot_of_key(0xAAAA), Some(0));
+/// assert_eq!(map.value_of_key(0xAAAA), 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct BigMap {
+    index: MapBuffer<u32>,
+    coverage: MapBuffer<u8>,
+    used_key: u32,
+    size: MapSize,
+    mask: u32,
+}
+
+impl BigMap {
+    /// Creates a two-level bitmap for a hash space of `size` keys.
+    ///
+    /// This performs the campaign's **single** whole-map touch: the index
+    /// bitmap is filled with the [`UNASSIGNED`] sentinel and the coverage
+    /// bitmap is zeroed (§IV-B "initialize").
+    ///
+    /// # Errors
+    ///
+    /// Infallible for validated [`MapSize`] values; the `Result` mirrors the
+    /// construction-from-bytes path used by callers that parse sizes.
+    pub fn new(size: MapSize) -> Result<Self, MapSizeError> {
+        Ok(BigMap {
+            index: MapBuffer::filled(size.bytes(), UNASSIGNED),
+            coverage: MapBuffer::zeroed(size.bytes()),
+            used_key: 0,
+            size,
+            mask: size.mask(),
+        })
+    }
+
+    /// The current `used_key` watermark: number of condensed slots assigned
+    /// so far (= number of distinct coverage keys ever recorded).
+    #[inline]
+    pub fn used_key(&self) -> u32 {
+        self.used_key
+    }
+
+    /// The condensed slot assigned to `key`, or `None` if the key has never
+    /// been recorded.
+    pub fn slot_of_key(&self, key: u32) -> Option<u32> {
+        let entry = self.index[self.fold(key)];
+        (entry != UNASSIGNED).then_some(entry)
+    }
+
+    /// Read-only view of the full index bitmap (tests, cache-trace adapters).
+    pub fn index_slice(&self) -> &[u32] {
+        self.index.as_slice()
+    }
+
+    /// Read-only view of the full coverage allocation (not just the used
+    /// prefix).
+    pub fn coverage_slice(&self) -> &[u8] {
+        self.coverage.as_slice()
+    }
+
+    #[inline]
+    fn fold(&self, key: u32) -> usize {
+        (key & self.mask) as usize
+    }
+
+    #[inline]
+    fn used(&self) -> usize {
+        self.used_key as usize
+    }
+}
+
+impl CoverageMap for BigMap {
+    fn scheme(&self) -> MapScheme {
+        MapScheme::TwoLevel
+    }
+
+    fn map_size(&self) -> MapSize {
+        self.size
+    }
+
+    #[inline]
+    fn record(&mut self, key: u32) {
+        // Listing 2: query the index bitmap; assign the next free slot on
+        // first touch; bump the condensed hit count. The sentinel check is
+        // almost always not-taken (new-edge discovery is rare), which is
+        // why the indirection is nearly free in practice (§IV-D).
+        let e = self.fold(key);
+        let mut k = self.index[e];
+        if k == UNASSIGNED {
+            k = self.used_key;
+            self.index[e] = k;
+            self.used_key += 1;
+        }
+        let v = &mut self.coverage[k as usize];
+        *v = v.saturating_add(1);
+    }
+
+    fn reset(&mut self) {
+        // Only the used prefix — the whole point. The index bitmap is NOT
+        // touched: slot assignments persist for the campaign (§IV-B).
+        let used = self.used();
+        self.coverage[..used].fill(0);
+    }
+
+    fn classify(&mut self) {
+        let used = self.used();
+        classify_slice(&mut self.coverage[..used]);
+    }
+
+    fn compare(&mut self, virgin: &mut VirginState) -> NewCoverage {
+        assert_eq!(virgin.map_size(), self.size, "virgin map size mismatch");
+        let used = self.used();
+        compare_region(&self.coverage[..used], &mut virgin.as_mut_slice()[..used])
+    }
+
+    fn classify_and_compare(&mut self, virgin: &mut VirginState) -> NewCoverage {
+        assert_eq!(virgin.map_size(), self.size, "virgin map size mismatch");
+        let used = self.used();
+        classify_and_compare_region(
+            &mut self.coverage[..used],
+            &mut virgin.as_mut_slice()[..used],
+        )
+    }
+
+    fn hash(&self) -> u32 {
+        // §IV-D: hash up to the last non-zero byte, so the hash is a pure
+        // function of the path and not of how far used_key has grown.
+        hash_to_last_nonzero(&self.coverage[..self.used()])
+    }
+
+    fn count_nonzero(&self) -> usize {
+        self.coverage[..self.used()].iter().filter(|&&b| b != 0).count()
+    }
+
+    fn used_len(&self) -> usize {
+        self.used()
+    }
+
+    fn for_each_nonzero(&self, f: &mut dyn FnMut(usize, u8)) {
+        for (i, &b) in self.coverage[..self.used()].iter().enumerate() {
+            if b != 0 {
+                f(i, b);
+            }
+        }
+    }
+
+    fn active_region(&self) -> &[u8] {
+        &self.coverage[..self.used()]
+    }
+
+    fn value_of_key(&self, key: u32) -> u8 {
+        match self.slot_of_key(key) {
+            Some(slot) => self.coverage[slot as usize],
+            None => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn small() -> BigMap {
+        BigMap::new(MapSize::K64).unwrap()
+    }
+
+    #[test]
+    fn paper_figure4_update_example() {
+        // Figure 4(b): edge ID 8 arrives when used_key = 5; it gets slot 5.
+        let mut map = small();
+        for key in [1u32, 2, 8, 12, 5] {
+            map.record(key);
+        }
+        assert_eq!(map.used_key(), 5);
+        map.record(8); // existing key: no new slot
+        assert_eq!(map.used_key(), 5);
+        assert_eq!(map.slot_of_key(8), Some(2));
+        map.record(40); // brand-new key: next slot = 5
+        assert_eq!(map.slot_of_key(40), Some(5));
+        assert_eq!(map.used_key(), 6);
+    }
+
+    #[test]
+    fn slots_assigned_in_discovery_order() {
+        let mut map = small();
+        map.record(0xCAFE);
+        map.record(0x0001);
+        map.record(0xBEEF);
+        assert_eq!(map.slot_of_key(0xCAFE), Some(0));
+        assert_eq!(map.slot_of_key(0x0001), Some(1));
+        assert_eq!(map.slot_of_key(0xBEEF), Some(2));
+        assert_eq!(map.slot_of_key(0x1234), None);
+    }
+
+    #[test]
+    fn reset_preserves_index_and_clears_prefix_only() {
+        let mut map = small();
+        map.record(7);
+        map.record(9);
+        map.reset();
+        assert_eq!(map.used_key(), 2);
+        assert_eq!(map.slot_of_key(7), Some(0));
+        assert_eq!(map.value_of_key(7), 0);
+        // Re-recording reuses the same slot.
+        map.record(7);
+        assert_eq!(map.slot_of_key(7), Some(0));
+        assert_eq!(map.used_key(), 2);
+    }
+
+    #[test]
+    fn used_key_never_exceeds_distinct_keys() {
+        let mut map = small();
+        for i in 0..1000u32 {
+            map.record(i % 100);
+        }
+        assert_eq!(map.used_key(), 100);
+        assert_eq!(map.used_len(), 100);
+    }
+
+    #[test]
+    fn folding_collides_like_afl() {
+        // Keys equal modulo map size collide — that is the hash collision
+        // the paper mitigates with LARGER maps, not with the indirection.
+        let mut map = small();
+        map.record(5);
+        map.record(5 + (1 << 16));
+        assert_eq!(map.used_key(), 1);
+        assert_eq!(map.value_of_key(5), 2);
+    }
+
+    #[test]
+    fn classify_operates_on_prefix() {
+        let mut map = small();
+        for _ in 0..20 {
+            map.record(11);
+        }
+        map.record(13);
+        map.classify();
+        assert_eq!(map.value_of_key(11), 32); // 20 hits → [16-31] = 32
+        assert_eq!(map.value_of_key(13), 1);
+    }
+
+    #[test]
+    fn compare_lifecycle_condensed_virgin() {
+        let mut map = small();
+        let mut virgin = VirginState::new(MapSize::K64);
+
+        map.record(0xAB);
+        map.classify();
+        assert_eq!(map.compare(&mut virgin), NewCoverage::NewEdge);
+
+        map.reset();
+        map.record(0xAB);
+        map.classify();
+        assert_eq!(map.compare(&mut virgin), NewCoverage::None);
+
+        map.reset();
+        map.record(0xAB);
+        map.record(0xAB);
+        map.record(0xAB);
+        map.classify();
+        assert_eq!(map.compare(&mut virgin), NewCoverage::NewBucket);
+    }
+
+    #[test]
+    fn hash_stable_across_used_key_growth() {
+        // The §IV-D P1/P3 scenario end-to-end on the real structure.
+        let mut map = small();
+        let run = |map: &mut BigMap, keys: &[u32]| {
+            map.reset();
+            for &k in keys {
+                map.record(k);
+            }
+            map.classify();
+            map.hash()
+        };
+        let p1 = run(&mut map, &[10, 20]); // A->B->C
+        let p2 = run(&mut map, &[10, 20, 30]); // discovers D, used_key -> 3
+        let p3 = run(&mut map, &[10, 20]); // same path as P1
+        assert_eq!(p1, p3, "same path must hash identically after growth");
+        assert_ne!(p1, p2);
+    }
+
+    #[test]
+    fn empty_map_operations_are_noops() {
+        let mut map = small();
+        let mut virgin = VirginState::new(MapSize::K64);
+        map.reset();
+        map.classify();
+        assert_eq!(map.compare(&mut virgin), NewCoverage::None);
+        assert_eq!(map.hash(), crate::hash::Crc32::checksum(b""));
+        assert_eq!(map.count_nonzero(), 0);
+        assert_eq!(map.used_len(), 0);
+    }
+
+    #[test]
+    fn for_each_nonzero_uses_condensed_slots() {
+        let mut map = small();
+        map.record(0xF00);
+        map.record(0xF00);
+        map.record(0x00F);
+        let mut seen = Vec::new();
+        map.for_each_nonzero(&mut |slot, v| seen.push((slot, v)));
+        assert_eq!(seen, vec![(0, 2), (1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "virgin map size mismatch")]
+    fn mismatched_virgin_panics() {
+        let mut map = small();
+        let mut virgin = VirginState::new(MapSize::M2);
+        map.compare(&mut virgin);
+    }
+
+    proptest! {
+        #[test]
+        fn index_entries_unique_and_below_used_key(
+            keys in prop::collection::vec(any::<u32>(), 0..500),
+        ) {
+            let mut map = BigMap::new(MapSize::K64).unwrap();
+            for &k in &keys {
+                map.record(k);
+            }
+            let used = map.used_key();
+            let mut seen = std::collections::HashSet::new();
+            for &entry in map.index_slice() {
+                if entry != UNASSIGNED {
+                    prop_assert!(entry < used);
+                    prop_assert!(seen.insert(entry), "duplicate slot {entry}");
+                }
+            }
+            prop_assert_eq!(seen.len() as u32, used);
+        }
+
+        #[test]
+        fn used_key_monotone_under_any_interleaving(
+            ops in prop::collection::vec(any::<u32>(), 0..300),
+        ) {
+            let mut map = BigMap::new(MapSize::K64).unwrap();
+            let mut last = 0;
+            for (i, &k) in ops.iter().enumerate() {
+                if i % 7 == 6 {
+                    map.reset(); // resets never shrink used_key
+                }
+                map.record(k);
+                prop_assert!(map.used_key() >= last);
+                last = map.used_key();
+            }
+        }
+
+        #[test]
+        fn hit_counts_match_reference_counter(
+            keys in prop::collection::vec(0u32..2048, 0..400),
+        ) {
+            let mut map = BigMap::new(MapSize::K64).unwrap();
+            let mut reference = std::collections::HashMap::<u32, u32>::new();
+            for &k in &keys {
+                map.record(k);
+                *reference.entry(k).or_default() += 1;
+            }
+            for (&k, &count) in &reference {
+                prop_assert_eq!(
+                    map.value_of_key(k) as u32,
+                    count.min(255)
+                );
+            }
+        }
+    }
+}

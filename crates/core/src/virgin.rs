@@ -1,0 +1,125 @@
+//! The global "virgin" coverage state that `compare` diffs against.
+//!
+//! AFL keeps one global map per outcome class — coverage, crashes, hangs —
+//! initialized to all-ones. After classifying a test case's local map, the
+//! fuzzer ANDs the inverse into the matching virgin map: any overlap between
+//! the local map and the still-virgin bits means the test case produced
+//! behaviour never seen before (a brand-new edge, or a new hit-count bucket
+//! on a known edge).
+//!
+//! The virgin map has the same shape as the local map, so under BigMap it is
+//! condensed too: location `k` always denotes the same coverage key because
+//! the index bitmap is never reset (§IV-B).
+
+use crate::map_size::MapSize;
+use crate::alloc::MapBuffer;
+
+/// A virgin map: one byte per coverage slot, `0xFF` = never seen.
+///
+/// # Examples
+///
+/// ```rust
+/// use bigmap_core::{MapSize, VirginState};
+///
+/// let virgin = VirginState::new(MapSize::K64);
+/// assert_eq!(virgin.discovered_in(virgin.as_slice().len()), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VirginState {
+    buf: MapBuffer<u8>,
+    size: MapSize,
+}
+
+impl VirginState {
+    /// Creates an all-virgin (all `0xFF`) map of `size` bytes.
+    pub fn new(size: MapSize) -> Self {
+        let buf = MapBuffer::filled(size.bytes(), 0xFF);
+        VirginState { buf, size }
+    }
+
+    /// The logical map size this virgin state was created for.
+    #[inline]
+    pub fn map_size(&self) -> MapSize {
+        self.size
+    }
+
+    /// Read-only view of the raw virgin bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        self.buf.as_slice()
+    }
+
+    /// Mutable view of the raw virgin bytes (used by the map `compare`
+    /// implementations).
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        self.buf.as_mut_slice()
+    }
+
+    /// Number of slots within the first `region` bytes that have been
+    /// discovered (byte != `0xFF`).
+    ///
+    /// For a flat map pass the full map size; for BigMap pass `used_key`.
+    /// Mirrors AFL's `count_non_255_bytes`, which feeds the UI's "map
+    /// density" statistic.
+    pub fn discovered_in(&self, region: usize) -> usize {
+        self.buf[..region.min(self.buf.len())]
+            .iter()
+            .filter(|&&b| b != 0xFF)
+            .count()
+    }
+
+    /// Resets every slot to virgin. Used between independent campaigns that
+    /// share an allocation.
+    pub fn reset(&mut self) {
+        self.buf.as_mut_slice().fill(0xFF);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_all_virgin() {
+        let v = VirginState::new(MapSize::K64);
+        assert!(v.as_slice().iter().all(|&b| b == 0xFF));
+        assert_eq!(v.map_size(), MapSize::K64);
+        assert_eq!(v.discovered_in(1 << 16), 0);
+    }
+
+    #[test]
+    fn discovered_counts_non_ff_in_region_only() {
+        let mut v = VirginState::new(MapSize::K64);
+        v.as_mut_slice()[10] = 0xFE;
+        v.as_mut_slice()[100] = 0x00;
+        v.as_mut_slice()[50_000] = 0x7F;
+        assert_eq!(v.discovered_in(1 << 16), 3);
+        assert_eq!(v.discovered_in(1000), 2);
+        assert_eq!(v.discovered_in(5), 0);
+    }
+
+    #[test]
+    fn discovered_region_clamps_to_len() {
+        let v = VirginState::new(MapSize::K64);
+        assert_eq!(v.discovered_in(usize::MAX), 0);
+    }
+
+    #[test]
+    fn reset_restores_virginity() {
+        let mut v = VirginState::new(MapSize::K64);
+        v.as_mut_slice().fill(0);
+        v.reset();
+        assert_eq!(v.discovered_in(1 << 16), 0);
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut a = VirginState::new(MapSize::K64);
+        a.as_mut_slice()[0] = 0;
+        let b = a.clone();
+        a.as_mut_slice()[1] = 0;
+        assert_eq!(b.discovered_in(16), 1);
+        assert_eq!(a.discovered_in(16), 2);
+    }
+}

@@ -1,0 +1,87 @@
+//! Plain basic-block coverage (libFuzzer/Honggfuzz-style).
+
+use crate::event::TraceEvent;
+use crate::metric::{CoverageMetric, MetricKind};
+
+/// Basic-block coverage: one key per executed block, keyed by the block's
+/// instrumented ID. The coarsest metric in the suite; included because the
+/// paper positions BigMap as metric-agnostic and libFuzzer/Honggfuzz use
+/// exactly this.
+///
+/// # Examples
+///
+/// ```rust
+/// use bigmap_coverage::{BlockCoverage, CoverageMetric, TraceEvent};
+///
+/// let mut metric = BlockCoverage::new();
+/// metric.begin_execution();
+/// let mut keys = Vec::new();
+/// metric.on_event(TraceEvent::Block(77), &mut |k| keys.push(k));
+/// assert_eq!(keys, vec![77]);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BlockCoverage;
+
+impl BlockCoverage {
+    /// Creates the metric.
+    pub fn new() -> Self {
+        BlockCoverage
+    }
+}
+
+impl CoverageMetric for BlockCoverage {
+    fn kind(&self) -> MetricKind {
+        MetricKind::Block
+    }
+
+    fn begin_execution(&mut self) {}
+
+    #[inline]
+    fn on_event(&mut self, event: TraceEvent, sink: &mut dyn FnMut(u32)) {
+        if let TraceEvent::Block(id) = event {
+            sink(id);
+        }
+    }
+
+    fn pressure_factor(&self) -> f64 {
+        // Blocks ≈ fewer keys than edges.
+        0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_block_ids_verbatim() {
+        let mut metric = BlockCoverage::new();
+        metric.begin_execution();
+        let mut keys = Vec::new();
+        for id in [3u32, 3, 9] {
+            metric.on_event(TraceEvent::Block(id), &mut |k| keys.push(k));
+        }
+        assert_eq!(keys, vec![3, 3, 9]);
+    }
+
+    #[test]
+    fn stateless_across_executions() {
+        let mut metric = BlockCoverage::new();
+        metric.begin_execution();
+        let mut a = Vec::new();
+        metric.on_event(TraceEvent::Block(1), &mut |k| a.push(k));
+        metric.begin_execution();
+        let mut b = Vec::new();
+        metric.on_event(TraceEvent::Block(1), &mut |k| b.push(k));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ignores_non_block_events() {
+        let mut metric = BlockCoverage::new();
+        let mut n = 0;
+        metric.on_event(TraceEvent::Call(5), &mut |_| n += 1);
+        metric.on_event(TraceEvent::Return, &mut |_| n += 1);
+        assert_eq!(n, 0);
+    }
+}

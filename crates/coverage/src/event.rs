@@ -1,0 +1,36 @@
+//! Trace events emitted by an instrumented target.
+
+/// One instrumentation event during a target execution.
+///
+/// IDs are the *instrumented* IDs (already assigned by
+/// [`crate::Instrumentation`]), not structural program indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceEvent {
+    /// Control entered a basic block with the given instrumented ID.
+    Block(u32),
+    /// A call instruction at the given instrumented call-site ID executed.
+    /// Only context-sensitive metrics react to this.
+    Call(u32),
+    /// The matching return executed.
+    Return,
+}
+
+impl TraceEvent {
+    /// Whether this event is a basic-block entry.
+    #[inline]
+    pub fn is_block(self) -> bool {
+        matches!(self, TraceEvent::Block(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_predicate() {
+        assert!(TraceEvent::Block(1).is_block());
+        assert!(!TraceEvent::Call(1).is_block());
+        assert!(!TraceEvent::Return.is_block());
+    }
+}

@@ -1,0 +1,171 @@
+//! Static edge-guard instrumentation (`trace-pc-guard` style, §II-A2).
+//!
+//! AFL's alternative instrumentation path lets the compiler assign one
+//! guard per *static edge* — sequential IDs, so guards never collide with
+//! each other. The cost, per the paper: "this method cannot detect
+//! indirect edges as the target basic block information is unavailable at
+//! compile time".
+//!
+//! [`StaticEdgeTable`] assigns sequential guard IDs to a program's direct
+//! static edges; [`GuardTracker`] replays an execution's structural block
+//! stream against the table, emitting one coverage key per guarded edge
+//! and *dropping* transitions with no guard (the indirect ones) — exactly
+//! the trade this instrumentation makes.
+
+use std::collections::HashMap;
+
+/// Sequentially numbered guards over a program's direct static edges.
+///
+/// # Examples
+///
+/// ```rust
+/// use bigmap_coverage::guard::StaticEdgeTable;
+///
+/// // A diamond CFG's direct edges.
+/// let table = StaticEdgeTable::new(&[(0, 1), (0, 2), (1, 3), (2, 3)]);
+/// assert_eq!(table.guard_count(), 4);
+/// assert_eq!(table.guard_of(0, 1), Some(0));
+/// assert_eq!(table.guard_of(3, 0), None); // unguarded transition
+/// ```
+#[derive(Debug, Clone)]
+pub struct StaticEdgeTable {
+    guards: HashMap<(usize, usize), u32>,
+}
+
+impl StaticEdgeTable {
+    /// Builds the table: edge `i` of the (deduplicated) input list gets
+    /// guard ID `i`.
+    pub fn new(direct_edges: &[(usize, usize)]) -> Self {
+        let mut guards = HashMap::with_capacity(direct_edges.len());
+        for &edge in direct_edges {
+            let next = guards.len() as u32;
+            guards.entry(edge).or_insert(next);
+        }
+        StaticEdgeTable { guards }
+    }
+
+    /// Number of guards (distinct direct edges).
+    pub fn guard_count(&self) -> usize {
+        self.guards.len()
+    }
+
+    /// The guard ID of a structural edge, if it is guarded.
+    pub fn guard_of(&self, src: usize, dst: usize) -> Option<u32> {
+        self.guards.get(&(src, dst)).copied()
+    }
+}
+
+/// Per-execution state for guard-based coverage: tracks the previous
+/// structural block and emits the guard ID of each guarded transition.
+///
+/// Unlike the [`crate::CoverageMetric`] family (which consumes
+/// *instrumented* IDs), the tracker consumes structural block indices —
+/// it models the compiler inserting a guard on the edge itself, so no
+/// runtime hashing (and no hash collisions) is involved. Guard IDs are
+/// dense in `[0, guard_count)`, so a map of at least `guard_count` bytes
+/// is collision-free by construction.
+#[derive(Debug, Clone)]
+pub struct GuardTracker<'t> {
+    table: &'t StaticEdgeTable,
+    prev: Option<usize>,
+    dropped: u64,
+}
+
+impl<'t> GuardTracker<'t> {
+    /// Creates a tracker over `table`.
+    pub fn new(table: &'t StaticEdgeTable) -> Self {
+        GuardTracker { table, prev: None, dropped: 0 }
+    }
+
+    /// Resets per-execution state (call before each run).
+    pub fn begin_execution(&mut self) {
+        self.prev = None;
+    }
+
+    /// Processes a structural block entry, emitting the edge's guard ID
+    /// through `sink` if the transition is guarded. Unguarded (indirect)
+    /// transitions are counted in [`GuardTracker::dropped_edges`] — the
+    /// coverage this instrumentation cannot see.
+    pub fn on_block(&mut self, global_block: usize, sink: &mut dyn FnMut(u32)) {
+        if let Some(prev) = self.prev {
+            match self.table.guard_of(prev, global_block) {
+                Some(guard) => sink(guard),
+                None => self.dropped += 1,
+            }
+        }
+        self.prev = Some(global_block);
+    }
+
+    /// Number of executed transitions that had no guard (cumulative over
+    /// the tracker's lifetime).
+    pub fn dropped_edges(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_dense_ids() {
+        let table = StaticEdgeTable::new(&[(0, 1), (1, 2), (2, 3)]);
+        let ids: Vec<u32> = (0..3)
+            .map(|i| table.guard_of(i, i + 1).unwrap())
+            .collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2], "IDs must be dense and unique");
+    }
+
+    #[test]
+    fn duplicate_edges_get_one_guard() {
+        let table = StaticEdgeTable::new(&[(0, 1), (0, 1), (1, 2)]);
+        assert_eq!(table.guard_count(), 2);
+    }
+
+    #[test]
+    fn tracker_emits_guards_and_counts_drops() {
+        let table = StaticEdgeTable::new(&[(0, 1), (1, 2)]);
+        let mut tracker = GuardTracker::new(&table);
+        tracker.begin_execution();
+        let mut keys = Vec::new();
+        // Path 0 -> 1 -> 5 (unguarded) -> ... prev becomes 5 ... -> but
+        // feed 0 -> 1 -> 2 first.
+        for b in [0usize, 1, 2] {
+            tracker.on_block(b, &mut |k| keys.push(k));
+        }
+        assert_eq!(keys, vec![0, 1]);
+        assert_eq!(tracker.dropped_edges(), 0);
+
+        tracker.begin_execution();
+        keys.clear();
+        for b in [0usize, 2] {
+            tracker.on_block(b, &mut |k| keys.push(k));
+        }
+        assert!(keys.is_empty());
+        assert_eq!(tracker.dropped_edges(), 1, "0->2 is unguarded");
+    }
+
+    #[test]
+    fn begin_execution_clears_prev() {
+        let table = StaticEdgeTable::new(&[(1, 0)]);
+        let mut tracker = GuardTracker::new(&table);
+        tracker.begin_execution();
+        let mut n = 0;
+        tracker.on_block(1, &mut |_| n += 1);
+        tracker.begin_execution();
+        // Without the reset this would emit guard (1, 0).
+        tracker.on_block(0, &mut |_| n += 1);
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn guard_ids_fit_a_map_of_guard_count_bytes() {
+        let edges: Vec<(usize, usize)> = (0..1000).map(|i| (i, i + 1)).collect();
+        let table = StaticEdgeTable::new(&edges);
+        for &(s, d) in &edges {
+            assert!((table.guard_of(s, d).unwrap() as usize) < table.guard_count());
+        }
+    }
+}

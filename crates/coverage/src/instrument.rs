@@ -1,0 +1,171 @@
+//! Compile-time random ID assignment (the paper's Listing 1, line 1).
+//!
+//! AFL's instrumentation assigns every basic block a random ID drawn
+//! uniformly from `[0, MAP_SIZE)` **at compile time**. Two blocks can draw
+//! the same ID — that is the *block-ID collision* source of coverage
+//! ambiguity §III discusses, and it is what shrinks when the map grows.
+//!
+//! [`Instrumentation`] is our stand-in for that compile step: given a
+//! structural program (block count, call-site count), a map size and a seed,
+//! it produces the ID tables the interpreter uses when emitting
+//! [`crate::TraceEvent`]s. Re-"compiling" the same program for a different
+//! map size redraws the IDs, exactly like rebuilding a target with a
+//! different `MAP_SIZE`.
+
+use bigmap_core::MapSize;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The ID tables produced by "instrumenting" a program for a given map size.
+///
+/// # Examples
+///
+/// ```rust
+/// use bigmap_core::MapSize;
+/// use bigmap_coverage::Instrumentation;
+///
+/// let inst = Instrumentation::assign(100, 10, MapSize::K64, 42);
+/// assert_eq!(inst.block_count(), 100);
+/// assert!(inst.block_id(7) < 1 << 16, "IDs are drawn within the map");
+///
+/// // Same seed, same assignment — a deterministic "compiler".
+/// let again = Instrumentation::assign(100, 10, MapSize::K64, 42);
+/// assert_eq!(inst.block_id(55), again.block_id(55));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instrumentation {
+    block_ids: Vec<u32>,
+    call_site_ids: Vec<u32>,
+    map_size: MapSize,
+    seed: u64,
+}
+
+impl Instrumentation {
+    /// Draws IDs for `blocks` basic blocks and `call_sites` call sites,
+    /// uniformly over `[0, map_size)`, deterministically from `seed`.
+    pub fn assign(blocks: usize, call_sites: usize, map_size: MapSize, seed: u64) -> Self {
+        // Separate the two streams so adding call sites does not reshuffle
+        // block IDs (mirrors separate compiler passes).
+        let mut block_rng = SmallRng::seed_from_u64(seed ^ 0xB10C_B10C_B10C_B10C);
+        let mut call_rng = SmallRng::seed_from_u64(seed ^ 0xCA11_CA11_CA11_CA11);
+        let bound = map_size.bytes() as u32;
+        let block_ids = (0..blocks).map(|_| block_rng.gen_range(0..bound)).collect();
+        let call_site_ids = (0..call_sites)
+            .map(|_| call_rng.gen_range(0..bound))
+            .collect();
+        Instrumentation {
+            block_ids,
+            call_site_ids,
+            map_size,
+            seed,
+        }
+    }
+
+    /// The instrumented ID of structural block `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[inline]
+    pub fn block_id(&self, index: usize) -> u32 {
+        self.block_ids[index]
+    }
+
+    /// The instrumented ID of structural call site `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[inline]
+    pub fn call_site_id(&self, index: usize) -> u32 {
+        self.call_site_ids[index]
+    }
+
+    /// Number of instrumented blocks.
+    pub fn block_count(&self) -> usize {
+        self.block_ids.len()
+    }
+
+    /// Number of instrumented call sites.
+    pub fn call_site_count(&self) -> usize {
+        self.call_site_ids.len()
+    }
+
+    /// The map size this program was "compiled" for.
+    pub fn map_size(&self) -> MapSize {
+        self.map_size
+    }
+
+    /// The number of block-ID collisions in this assignment: blocks whose ID
+    /// matched an earlier block's draw (the §II-B collision-rate numerator).
+    pub fn block_id_collisions(&self) -> usize {
+        let mut seen = std::collections::HashSet::with_capacity(self.block_ids.len());
+        self.block_ids.iter().filter(|&&id| !seen.insert(id)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Instrumentation::assign(500, 50, MapSize::K64, 7);
+        let b = Instrumentation::assign(500, 50, MapSize::K64, 7);
+        assert_eq!(a, b);
+        let c = Instrumentation::assign(500, 50, MapSize::K64, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ids_within_map_bounds() {
+        let inst = Instrumentation::assign(10_000, 100, MapSize::K64, 1);
+        assert!(inst.block_ids.iter().all(|&id| id < 1 << 16));
+        assert!(inst.call_site_ids.iter().all(|&id| id < 1 << 16));
+    }
+
+    #[test]
+    fn bigger_map_fewer_collisions() {
+        // The §III premise: for a fixed population of blocks, enlarging the
+        // hash space reduces ID collisions.
+        let small = Instrumentation::assign(50_000, 0, MapSize::K64, 3);
+        let large = Instrumentation::assign(50_000, 0, MapSize::M8, 3);
+        assert!(
+            large.block_id_collisions() < small.block_id_collisions(),
+            "8M map: {} vs 64k map: {}",
+            large.block_id_collisions(),
+            small.block_id_collisions()
+        );
+    }
+
+    #[test]
+    fn adding_call_sites_preserves_block_ids() {
+        let without = Instrumentation::assign(100, 0, MapSize::K64, 9);
+        let with = Instrumentation::assign(100, 64, MapSize::K64, 9);
+        for i in 0..100 {
+            assert_eq!(without.block_id(i), with.block_id(i));
+        }
+    }
+
+    #[test]
+    fn counts_reported() {
+        let inst = Instrumentation::assign(12, 3, MapSize::K64, 0);
+        assert_eq!(inst.block_count(), 12);
+        assert_eq!(inst.call_site_count(), 3);
+        assert_eq!(inst.map_size(), MapSize::K64);
+    }
+
+    #[test]
+    fn collision_count_matches_brute_force() {
+        let inst = Instrumentation::assign(3000, 0, MapSize::K64, 11);
+        let mut seen = std::collections::HashSet::new();
+        let mut expect = 0;
+        for &id in &inst.block_ids {
+            if !seen.insert(id) {
+                expect += 1;
+            }
+        }
+        assert_eq!(inst.block_id_collisions(), expect);
+        assert!(expect > 0, "3000 draws from 64k should collide w.h.p.");
+    }
+}

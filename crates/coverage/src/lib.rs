@@ -1,0 +1,66 @@
+//! # bigmap-coverage
+//!
+//! Coverage metrics for the BigMap reproduction.
+//!
+//! A central claim of the paper (§IV-D) is that BigMap works with **any**
+//! coverage metric, as long as the metric produces keys into a coverage
+//! bitmap: the index bitmap happens to be indexed by the edge ID in the
+//! reference implementation, but any coverage metric can be used in the edge
+//! ID's place. This crate provides that metric layer:
+//!
+//! * [`EdgeHitCount`] — AFL's default: `E_XY = (B_X >> 1) ^ B_Y`,
+//! * [`NGram`] — partial path coverage by hashing the last N blocks
+//!   (the paper composes N = 3 with laf-intel in Table III),
+//! * [`ContextSensitive`] — Angora-style calling-context ⊕ edge,
+//! * [`BlockCoverage`] — libFuzzer/Honggfuzz-style basic-block coverage,
+//! * [`MetricStack`] — stacked metrics writing into one map (the
+//!   "aggressive composition" §V-C studies),
+//! * [`Instrumentation`] — the compile-time random block/call-site ID
+//!   assignment of the paper's Listing 1, line 1.
+//!
+//! A metric consumes a stream of [`TraceEvent`]s produced by the
+//! instrumented target and emits raw coverage keys; the coverage map folds
+//! each key with `key & (map_size - 1)`.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use bigmap_core::{BigMap, CoverageMap, MapSize};
+//! use bigmap_coverage::{CoverageMetric, EdgeHitCount, TraceEvent};
+//!
+//! # fn main() -> Result<(), bigmap_core::MapSizeError> {
+//! let mut metric = EdgeHitCount::new();
+//! let mut map = BigMap::new(MapSize::K64)?;
+//!
+//! metric.begin_execution();
+//! for event in [TraceEvent::Block(17), TraceEvent::Block(42), TraceEvent::Block(17)] {
+//!     metric.on_event(event, &mut |key| map.record(key));
+//! }
+//! assert_eq!(map.used_len(), 3); // three distinct edges
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod block;
+pub mod collafl;
+pub mod context;
+pub mod edge;
+pub mod event;
+pub mod guard;
+pub mod instrument;
+pub mod metric;
+pub mod ngram;
+pub mod stack;
+
+pub use block::BlockCoverage;
+pub use collafl::{assign_collafl, CollAflAssignment};
+pub use context::ContextSensitive;
+pub use edge::{edge_key, EdgeHitCount};
+pub use event::TraceEvent;
+pub use guard::{GuardTracker, StaticEdgeTable};
+pub use instrument::Instrumentation;
+pub use metric::{CoverageMetric, MetricKind};
+pub use ngram::NGram;
+pub use stack::MetricStack;

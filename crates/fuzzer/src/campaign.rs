@@ -1,0 +1,751 @@
+//! The fuzzing campaign: AFL's evolutionary loop (Figure 1 of the paper).
+//!
+//! Select a seed → mutate it many times → execute each child → classify and
+//! compare coverage → admit interesting children to the pool, report
+//! crashes and hangs. Every stage is timed into an
+//! [`OpStats`](bigmap_core::OpStats), which is what the Figure 3 harness
+//! prints, and the whole loop is parametric over the map scheme
+//! ([`MapScheme`]), the map size and the coverage metric — the three axes
+//! of the paper's evaluation.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use bigmap_core::{
+    build_map, CoverageMap, MapScheme, MapSize, NewCoverage, OpKind, OpStats, VirginState,
+};
+use bigmap_coverage::{
+    BlockCoverage, ContextSensitive, CoverageMetric, EdgeHitCount, Instrumentation, MetricKind,
+    NGram,
+};
+use bigmap_target::{ExecConfig, ExecOutcome, Interpreter};
+
+use crate::crashwalk::CrashWalk;
+use crate::executor::Executor;
+use crate::mutate::Mutator;
+use crate::queue::Queue;
+use crate::timeline::CoverageTimeline;
+use crate::trim::trim_input;
+
+/// Builds a boxed metric from its kind (campaign configuration is
+/// data-driven so the harness binaries can sweep metrics).
+///
+/// # Panics
+///
+/// Panics if an `NGram` kind carries an unsupported N (outside 2..=16).
+pub fn build_metric(kind: MetricKind) -> Box<dyn CoverageMetric> {
+    match kind {
+        MetricKind::Edge => Box::new(EdgeHitCount::new()),
+        MetricKind::NGram(n) => Box::new(NGram::new(n).expect("valid ngram size")),
+        MetricKind::ContextSensitive => Box::new(ContextSensitive::new()),
+        MetricKind::Block => Box::new(BlockCoverage::new()),
+        MetricKind::Stack => {
+            Box::new(bigmap_coverage::MetricStack::new().with(Box::new(EdgeHitCount::new())))
+        }
+    }
+}
+
+/// When a campaign stops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Budget {
+    /// Stop after generating this many test cases.
+    Execs(u64),
+    /// Stop after this much wall-clock time.
+    Time(Duration),
+}
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Map data structure (AFL flat vs BigMap two-level).
+    pub scheme: MapScheme,
+    /// Coverage map size.
+    pub map_size: MapSize,
+    /// Coverage metric.
+    pub metric: MetricKind,
+    /// Stop condition.
+    pub budget: Budget,
+    /// Mutations tried per scheduled seed before moving on (AFL fuzzes a
+    /// seed "tens of thousands of times"; scaled down for simulation).
+    pub mutations_per_seed: usize,
+    /// Run AFL's deterministic stages on each new seed first. The paper's
+    /// 24-hour runs skip them (FuzzBench persistent-mode setup), so the
+    /// default is `false`; the parallel master instance sets it.
+    pub deterministic: bool,
+    /// Merge the classify and compare passes (§IV-E). `true` matches the
+    /// paper's evaluated configuration; `false` runs them as separate
+    /// whole-region passes, which is what the paper's Figure 3 bars show
+    /// (and what the merged-vs-split ablation bench quantifies).
+    pub merged_classify_compare: bool,
+    /// Token dictionary for the havoc stage (AFL's `-x`). Empty = none.
+    /// [`bigmap_target::Program::extract_dictionary`] builds one from the
+    /// target's magic comparisons.
+    pub dictionary: Vec<Vec<u8>>,
+    /// Trim each newly admitted queue entry (AFL's trim stage). Costs
+    /// extra executions per admission (counted against the budget), buys
+    /// shorter seeds — and therefore better mutation locality. Off by
+    /// default, matching the minimal persistent-mode setup the paper
+    /// evaluates.
+    pub trim_new_entries: bool,
+    /// Campaign RNG seed.
+    pub seed: u64,
+    /// Interpreter limits / work scaling.
+    pub exec: ExecConfig,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            scheme: MapScheme::TwoLevel,
+            map_size: MapSize::K64,
+            metric: MetricKind::Edge,
+            budget: Budget::Execs(10_000),
+            mutations_per_seed: 128,
+            deterministic: false,
+            merged_classify_compare: true,
+            dictionary: Vec::new(),
+            trim_new_entries: false,
+            seed: 0,
+            exec: ExecConfig::default(),
+        }
+    }
+}
+
+/// Results of a campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignStats {
+    /// Test cases generated and executed.
+    pub execs: u64,
+    /// Wall-clock duration of the campaign loop.
+    pub wall_time: Duration,
+    /// Unique crashes by Crashwalk dedup (the paper's fair metric).
+    pub unique_crashes: usize,
+    /// Unique crashes by AFL's coverage-bitmap dedup (the biased metric,
+    /// reported for comparison).
+    pub coverage_unique_crashes: usize,
+    /// Total (non-unique) crashing executions.
+    pub total_crashes: u64,
+    /// Hanging executions.
+    pub hangs: u64,
+    /// Coverage slots discovered in the virgin map (map-local; subject to
+    /// collisions — use [`crate::replay`] for bias-free edge coverage).
+    pub discovered_slots: usize,
+    /// `used_key` at the end (BigMap) or map size (flat).
+    pub used_len: usize,
+    /// Final queue size.
+    pub queue_len: usize,
+    /// Per-stage runtime accounting (Figure 3).
+    pub ops: OpStats,
+    /// Crashwalk bucket hashes of the unique crashes (used for fleet-wide
+    /// dedup across parallel instances).
+    pub crash_buckets: Vec<u32>,
+    /// Coverage discovery over time (sampled every ~256 executions),
+    /// for plateau analysis (Figure 7).
+    pub timeline: CoverageTimeline,
+}
+
+impl CampaignStats {
+    /// Test cases per second.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.wall_time.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.execs as f64 / secs
+        }
+    }
+}
+
+/// A single-instance fuzzing campaign over one target.
+pub struct Campaign<'p> {
+    config: CampaignConfig,
+    executor: Executor<'p>,
+    map: Box<dyn CoverageMap>,
+    virgin: VirginState,
+    virgin_crash: VirginState,
+    virgin_hang: VirginState,
+    queue: Queue,
+    mutator: Mutator,
+    crashwalk: CrashWalk,
+    rng: SmallRng,
+    stats_execs: u64,
+    total_crashes: u64,
+    hangs: u64,
+    coverage_unique_crashes: usize,
+    ops: OpStats,
+    /// Inputs admitted to the queue since the last drain (parallel sync).
+    fresh_finds: Vec<Vec<u8>>,
+    crash_inputs: Vec<Vec<u8>>,
+    timeline: CoverageTimeline,
+    discovered_running: u64,
+}
+
+impl std::fmt::Debug for Campaign<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Campaign")
+            .field("config", &self.config)
+            .field("execs", &self.stats_execs)
+            .field("queue", &self.queue.len())
+            .finish()
+    }
+}
+
+impl<'p> Campaign<'p> {
+    /// Creates a campaign over an already-instrumented target.
+    ///
+    /// `instrumentation` must have been assigned with the same
+    /// [`MapSize`] as `config.map_size` (the "compile for this map size"
+    /// step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instrumentation's map size disagrees with the config.
+    pub fn new(
+        config: CampaignConfig,
+        interpreter: &'p Interpreter<'p>,
+        instrumentation: &'p Instrumentation,
+    ) -> Self {
+        assert_eq!(
+            instrumentation.map_size(),
+            config.map_size,
+            "instrumentation was compiled for a different map size"
+        );
+        let map = build_map(config.scheme, config.map_size);
+        let metric = build_metric(config.metric);
+        Campaign {
+            executor: Executor::new(interpreter, instrumentation, metric),
+            map,
+            virgin: VirginState::new(config.map_size),
+            virgin_crash: VirginState::new(config.map_size),
+            virgin_hang: VirginState::new(config.map_size),
+            queue: Queue::new(),
+            mutator: Mutator::with_dictionary(config.seed ^ 0x5EED, config.dictionary.clone()),
+            crashwalk: CrashWalk::new(),
+            rng: SmallRng::seed_from_u64(config.seed ^ 0xD1CE),
+            stats_execs: 0,
+            total_crashes: 0,
+            hangs: 0,
+            coverage_unique_crashes: 0,
+            ops: OpStats::new(),
+            fresh_finds: Vec::new(),
+            crash_inputs: Vec::new(),
+            timeline: CoverageTimeline::new(),
+            discovered_running: 0,
+            config,
+        }
+    }
+
+    /// Seeds the pool by executing the initial corpus (AFL's dry run).
+    /// Every seed is admitted regardless of novelty, like AFL does.
+    pub fn add_seeds<I: IntoIterator<Item = Vec<u8>>>(&mut self, seeds: I) {
+        for input in seeds {
+            self.execute_and_judge(&input, true);
+        }
+    }
+
+    /// Imports an externally discovered input (parallel corpus sync): it is
+    /// admitted only if it still shows new coverage locally.
+    pub fn import(&mut self, input: &[u8]) {
+        self.execute_and_judge(input, false);
+    }
+
+    /// Drains the inputs admitted since the last call (parallel sync
+    /// export).
+    pub fn take_fresh_finds(&mut self) -> Vec<Vec<u8>> {
+        std::mem::take(&mut self.fresh_finds)
+    }
+
+    /// Crashing inputs collected so far (one per unique crash).
+    pub fn crash_inputs(&self) -> &[Vec<u8>] {
+        &self.crash_inputs
+    }
+
+    /// The whole corpus (queue inputs), for replay-based coverage measures.
+    pub fn corpus(&self) -> Vec<Vec<u8>> {
+        self.queue.entries().iter().map(|e| e.input.clone()).collect()
+    }
+
+    /// Executes one input and runs the full fitness pipeline. Returns the
+    /// novelty verdict. `force_admit` bypasses the interestingness check
+    /// (used for the initial seeds).
+    fn execute_and_judge(&mut self, input: &[u8], force_admit: bool) -> NewCoverage {
+        // Map reset (timed separately — the paper's "Map Reset" bar).
+        let t = Instant::now();
+        self.map.reset();
+        self.ops.add(OpKind::Reset, t.elapsed());
+
+        // Target execution, including bitmap updates.
+        let execution = self.executor.run(input, self.map.as_mut());
+        self.ops.add(OpKind::Execution, execution.exec_time);
+        self.stats_execs += 1;
+
+        // Classify + compare. Crashes and hangs diff against their own
+        // virgin maps, like AFL. With the §IV-E merge (the default) both
+        // steps run in one pass, accounted to Compare; the split pipeline
+        // times them separately, which is how the paper's Figure 3 shows
+        // its bars.
+        let virgin = match &execution.outcome {
+            ExecOutcome::Ok => &mut self.virgin,
+            ExecOutcome::Crash { .. } => &mut self.virgin_crash,
+            ExecOutcome::Hang => &mut self.virgin_hang,
+        };
+        let verdict = if self.config.merged_classify_compare {
+            let t = Instant::now();
+            let verdict = self.map.classify_and_compare(virgin);
+            self.ops.add(OpKind::Compare, t.elapsed());
+            verdict
+        } else {
+            let t = Instant::now();
+            self.map.classify();
+            self.ops.add(OpKind::Classify, t.elapsed());
+            let t = Instant::now();
+            let verdict = self.map.compare(virgin);
+            self.ops.add(OpKind::Compare, t.elapsed());
+            verdict
+        };
+
+        match &execution.outcome {
+            ExecOutcome::Ok => {
+                if verdict.is_interesting() || force_admit {
+                    // Optional trim stage (AFL trims each new entry). The
+                    // map afterwards holds the trimmed input's classified
+                    // coverage, which is what gets hashed and scored.
+                    let stored = if self.config.trim_new_entries {
+                        let t = Instant::now();
+                        let result =
+                            trim_input(&mut self.executor, self.map.as_mut(), input);
+                        self.stats_execs += result.execs;
+                        self.ops.add(OpKind::Other, t.elapsed());
+                        result.input
+                    } else {
+                        input.to_vec()
+                    };
+
+                    // Bitmap hash — interesting test cases only (§II-A2).
+                    let t = Instant::now();
+                    let hash = self.map.hash();
+                    self.ops.add(OpKind::Hash, t.elapsed());
+
+                    let mut slots = Vec::new();
+                    self.map.for_each_nonzero(&mut |slot, _| slots.push(slot));
+                    self.queue
+                        .add(stored.clone(), execution.exec_time, hash, &slots);
+                    self.fresh_finds.push(stored);
+                }
+            }
+            ExecOutcome::Crash { .. } => {
+                self.total_crashes += 1;
+                if verdict.is_interesting() {
+                    self.coverage_unique_crashes += 1;
+                }
+                if self.crashwalk.observe(&execution.outcome) {
+                    self.crash_inputs.push(input.to_vec());
+                }
+            }
+            ExecOutcome::Hang => {
+                self.hangs += 1;
+            }
+        }
+
+        // Timeline sampling: count NewEdge verdicts as discovery units and
+        // sample the curve every 256 executions (cheap; no map scans).
+        if verdict == NewCoverage::NewEdge {
+            self.discovered_running += 1;
+        }
+        if self.stats_execs.is_multiple_of(256) {
+            self.timeline.record(self.stats_execs, self.discovered_running);
+        }
+        verdict
+    }
+
+    fn budget_left(&self, started: Instant) -> bool {
+        match self.config.budget {
+            Budget::Execs(n) => self.stats_execs < n,
+            Budget::Time(d) => started.elapsed() < d,
+        }
+    }
+
+    /// Runs the campaign to completion and reports statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no seeds were added (AFL refuses to start without a
+    /// corpus too).
+    pub fn run(mut self) -> CampaignStats {
+        let started = Instant::now();
+        self.run_loop(started, None::<HookState<fn(&mut Campaign<'p>)>>);
+        self.finish(started)
+    }
+
+    /// Runs the campaign and also returns the final output corpus (queue
+    /// inputs) — what the paper's edge-coverage experiments replay against
+    /// an independent coverage build (§V-A3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no seeds were added.
+    pub fn run_with_corpus(mut self) -> (CampaignStats, Vec<Vec<u8>>) {
+        let started = Instant::now();
+        self.run_loop(started, None::<HookState<fn(&mut Campaign<'p>)>>);
+        let corpus = self.corpus();
+        (self.finish(started), corpus)
+    }
+
+    /// Runs the campaign and returns everything: statistics, the output
+    /// corpus, and one crashing input per unique crash (for triage /
+    /// replay validation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no seeds were added.
+    pub fn run_detailed(mut self) -> CampaignOutput {
+        let started = Instant::now();
+        self.run_loop(started, None::<HookState<fn(&mut Campaign<'p>)>>);
+        let corpus = self.corpus();
+        let crash_inputs = self.crash_inputs.clone();
+        CampaignOutput {
+            stats: self.finish(started),
+            corpus,
+            crash_inputs,
+        }
+    }
+
+    /// Runs the campaign, invoking `on_sync` every `sync_every` executions
+    /// (parallel corpus exchange hook).
+    pub fn run_with_hook<F: FnMut(&mut Campaign<'p>)>(
+        mut self,
+        sync_every: u64,
+        on_sync: F,
+    ) -> CampaignStats {
+        let started = Instant::now();
+        self.run_loop(started, Some(HookState { every: sync_every, f: on_sync }));
+        self.finish(started)
+    }
+
+    fn run_loop<F: FnMut(&mut Campaign<'p>)>(
+        &mut self,
+        started: Instant,
+        mut hook: Option<HookState<F>>,
+    ) {
+        assert!(!self.queue.is_empty(), "campaign needs at least one seed");
+        let mut next_sync = hook.as_ref().map(|h| h.every).unwrap_or(u64::MAX);
+
+        let mut deterministic_done = 0usize;
+        while self.budget_left(started) {
+            // Seed scheduling ("Others" time).
+            let t = Instant::now();
+            let rng = &mut self.rng;
+            let entry_id = self
+                .queue
+                .schedule(|| rng.gen::<f64>())
+                .expect("non-empty queue");
+            let parent = self.queue.entry(entry_id).input.clone();
+            self.ops.add(OpKind::Other, t.elapsed());
+
+            // Deterministic stages for newly scheduled seeds (master
+            // instances only; capped so one long seed cannot eat the run).
+            if self.config.deterministic && deterministic_done <= entry_id {
+                deterministic_done = entry_id + 1;
+                for child in Mutator::deterministic(&parent, 512) {
+                    if !self.budget_left(started) {
+                        break;
+                    }
+                    self.execute_and_judge(&child, false);
+                }
+            }
+
+            for _ in 0..self.config.mutations_per_seed {
+                if !self.budget_left(started) {
+                    break;
+                }
+                // Mutation ("Others" time).
+                let t = Instant::now();
+                let splice_with = if self.queue.len() > 1 && self.rng.gen_bool(0.2) {
+                    let other = self.rng.gen_range(0..self.queue.len());
+                    Some(self.queue.entry(other).input.clone())
+                } else {
+                    None
+                };
+                let child = self.mutator.havoc(&parent, splice_with.as_deref());
+                self.ops.add(OpKind::Other, t.elapsed());
+
+                self.execute_and_judge(&child, false);
+
+                if self.stats_execs >= next_sync {
+                    if let Some(h) = hook.as_mut() {
+                        (h.f)(self);
+                        next_sync = self.stats_execs + h.every;
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish(self, started: Instant) -> CampaignStats {
+        let wall_time = started.elapsed();
+        CampaignStats {
+            execs: self.stats_execs,
+            wall_time,
+            unique_crashes: self.crashwalk.unique_count(),
+            coverage_unique_crashes: self.coverage_unique_crashes,
+            total_crashes: self.total_crashes,
+            hangs: self.hangs,
+            discovered_slots: self.virgin.discovered_in(self.map.used_len()),
+            used_len: self.map.used_len(),
+            queue_len: self.queue.len(),
+            ops: self.ops,
+            crash_buckets: self.crashwalk.buckets(),
+            timeline: {
+                let mut timeline = self.timeline;
+                if self.stats_execs > 0 {
+                    timeline.record(self.stats_execs, self.discovered_running);
+                }
+                timeline
+            },
+        }
+    }
+}
+
+struct HookState<F> {
+    every: u64,
+    f: F,
+}
+
+/// Everything a finished campaign produced (see
+/// [`Campaign::run_detailed`]).
+#[derive(Debug, Clone)]
+pub struct CampaignOutput {
+    /// Campaign statistics.
+    pub stats: CampaignStats,
+    /// The output corpus (queue inputs).
+    pub corpus: Vec<Vec<u8>>,
+    /// One crashing input per unique crash.
+    pub crash_inputs: Vec<Vec<u8>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigmap_target::{BenchmarkSpec, GeneratorConfig, ProgramBuilder};
+
+    fn instrument(program: &bigmap_target::Program, size: MapSize) -> Instrumentation {
+        Instrumentation::assign(program.block_count(), program.call_sites, size, 77)
+    }
+
+    fn quick_config(scheme: MapScheme, execs: u64) -> CampaignConfig {
+        CampaignConfig {
+            scheme,
+            budget: Budget::Execs(execs),
+            mutations_per_seed: 32,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn campaign_discovers_coverage() {
+        let program = GeneratorConfig { seed: 11, ..Default::default() }.generate();
+        let inst = instrument(&program, MapSize::K64);
+        let interp = Interpreter::new(&program);
+        let mut campaign =
+            Campaign::new(quick_config(MapScheme::TwoLevel, 2_000), &interp, &inst);
+        campaign.add_seeds(vec![vec![0u8; 32]]);
+        let stats = campaign.run();
+        assert_eq!(stats.execs, 2_000);
+        assert!(stats.queue_len > 1, "mutation should find new coverage");
+        assert!(stats.discovered_slots > 0);
+        assert!(stats.used_len > 0);
+        assert!(stats.throughput() > 0.0);
+    }
+
+    #[test]
+    fn both_schemes_make_comparable_progress() {
+        let program = GeneratorConfig { seed: 21, ..Default::default() }.generate();
+        let inst = instrument(&program, MapSize::K64);
+        let interp = Interpreter::new(&program);
+
+        let run = |scheme| {
+            let mut c = Campaign::new(quick_config(scheme, 3_000), &interp, &inst);
+            c.add_seeds(vec![vec![7u8; 40]]);
+            c.run()
+        };
+        let flat = run(MapScheme::Flat);
+        let big = run(MapScheme::TwoLevel);
+        // Identical configuration and RNG seeds. Novelty verdicts are
+        // deterministic and equivalent across schemes (see the
+        // tests/equivalence.rs property suite), but queue *scores* use
+        // measured wall-clock execution times, so favored culling — and
+        // hence the exact schedule — can drift on timing noise. Assert
+        // close agreement rather than equality.
+        assert_eq!(flat.execs, big.execs);
+        let close = |a: usize, b: usize, what: &str| {
+            let (lo, hi) = (a.min(b) as f64, a.max(b) as f64);
+            assert!(hi <= lo * 1.25 + 5.0, "{what} diverged: {a} vs {b}");
+        };
+        close(flat.queue_len, big.queue_len, "queue_len");
+        close(flat.discovered_slots, big.discovered_slots, "discovered_slots");
+    }
+
+    #[test]
+    fn crashes_found_and_deduplicated() {
+        // A shallow single-byte gate guards the crash: havoc will hit it.
+        let program = ProgramBuilder::new("crashy")
+            .gate(0, b'X', true)
+            .gate(1, b'Y', false)
+            .build()
+            .unwrap();
+        let inst = instrument(&program, MapSize::K64);
+        let interp = Interpreter::new(&program);
+        let mut campaign = Campaign::new(
+            CampaignConfig {
+                budget: Budget::Execs(5_000),
+                mutations_per_seed: 64,
+                ..Default::default()
+            },
+            &interp,
+            &inst,
+        );
+        campaign.add_seeds(vec![b"abcd".to_vec()]);
+        let stats = campaign.run();
+        assert!(stats.total_crashes > 0, "the X gate must be hit");
+        assert_eq!(stats.unique_crashes, 1, "one crash site, one unique crash");
+        assert!(stats.total_crashes >= stats.unique_crashes as u64);
+    }
+
+    #[test]
+    fn hangs_counted_without_stalling() {
+        let program = GeneratorConfig {
+            seed: 33,
+            hang_sites: 3,
+            crash_guard_width: 2,
+            ..Default::default()
+        }
+        .generate();
+        let inst = instrument(&program, MapSize::K64);
+        let interp = Interpreter::new(&program);
+        let mut campaign =
+            Campaign::new(quick_config(MapScheme::TwoLevel, 3_000), &interp, &inst);
+        campaign.add_seeds(vec![vec![0u8; 48]]);
+        let stats = campaign.run();
+        assert_eq!(stats.execs, 3_000); // hangs must not wedge the loop
+    }
+
+    #[test]
+    fn time_budget_respected() {
+        let program = GeneratorConfig::default().generate();
+        let inst = instrument(&program, MapSize::K64);
+        let interp = Interpreter::new(&program);
+        let mut campaign = Campaign::new(
+            CampaignConfig {
+                budget: Budget::Time(Duration::from_millis(200)),
+                ..Default::default()
+            },
+            &interp,
+            &inst,
+        );
+        campaign.add_seeds(vec![vec![1u8; 16]]);
+        let started = Instant::now();
+        let stats = campaign.run();
+        assert!(started.elapsed() < Duration::from_secs(5));
+        assert!(stats.execs > 0);
+        assert!(stats.wall_time >= Duration::from_millis(200));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn empty_corpus_panics() {
+        let program = GeneratorConfig::default().generate();
+        let inst = instrument(&program, MapSize::K64);
+        let interp = Interpreter::new(&program);
+        let campaign =
+            Campaign::new(quick_config(MapScheme::TwoLevel, 100), &interp, &inst);
+        campaign.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "different map size")]
+    fn mismatched_instrumentation_panics() {
+        let program = GeneratorConfig::default().generate();
+        let inst = instrument(&program, MapSize::M2); // compiled for 2M
+        let interp = Interpreter::new(&program);
+        let _ = Campaign::new(
+            quick_config(MapScheme::TwoLevel, 100), // map is 64k
+            &interp,
+            &inst,
+        );
+    }
+
+    #[test]
+    fn op_stats_populated() {
+        let program = GeneratorConfig::default().generate();
+        let inst = instrument(&program, MapSize::K64);
+        let interp = Interpreter::new(&program);
+        let mut campaign =
+            Campaign::new(quick_config(MapScheme::Flat, 1_000), &interp, &inst);
+        campaign.add_seeds(vec![vec![3u8; 24]]);
+        let stats = campaign.run();
+        assert!(stats.ops.get(OpKind::Execution) > Duration::ZERO);
+        assert!(stats.ops.get(OpKind::Reset) > Duration::ZERO);
+        assert!(stats.ops.get(OpKind::Compare) > Duration::ZERO);
+        assert!(stats.ops.total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn deterministic_stage_runs_on_master() {
+        let program = ProgramBuilder::new("det")
+            .gate(3, 0x42, false)
+            .build()
+            .unwrap();
+        let inst = instrument(&program, MapSize::K64);
+        let interp = Interpreter::new(&program);
+        let mut campaign = Campaign::new(
+            CampaignConfig {
+                deterministic: true,
+                budget: Budget::Execs(2_000),
+                ..Default::default()
+            },
+            &interp,
+            &inst,
+        );
+        // Seed differs from 0x42 at offset 3 by one bit-flippable bit:
+        // the deterministic bitflip stage must find the gate.
+        campaign.add_seeds(vec![vec![0x40u8; 8]]);
+        let stats = campaign.run();
+        assert!(stats.queue_len >= 2, "deterministic stage should solve the gate");
+    }
+
+    #[test]
+    fn sync_hook_fires() {
+        let program = GeneratorConfig::default().generate();
+        let inst = instrument(&program, MapSize::K64);
+        let interp = Interpreter::new(&program);
+        let mut campaign =
+            Campaign::new(quick_config(MapScheme::TwoLevel, 1_000), &interp, &inst);
+        campaign.add_seeds(vec![vec![9u8; 16]]);
+        let mut fired = 0;
+        let stats = campaign.run_with_hook(100, |c| {
+            fired += 1;
+            let _ = c.take_fresh_finds();
+        });
+        assert!(fired >= 5, "hook fired only {fired} times");
+        assert_eq!(stats.execs, 1_000);
+    }
+
+    #[test]
+    fn import_admits_only_novel_inputs() {
+        let program = BenchmarkSpec::by_name("zlib").unwrap().build(0.05);
+        let inst = instrument(&program, MapSize::K64);
+        let interp = Interpreter::new(&program);
+        let mut campaign =
+            Campaign::new(quick_config(MapScheme::TwoLevel, 10), &interp, &inst);
+        campaign.add_seeds(vec![vec![1u8; 16]]);
+        let before = campaign.queue.len();
+        campaign.import(&[1u8; 16]); // identical coverage: rejected
+        assert_eq!(campaign.queue.len(), before);
+        campaign.import(&[0xFFu8; 64]); // different path: likely admitted
+        // (If the path happens to be identical this would be flaky; the
+        // 0xFF pattern differs from 0x01 across every gate, so it is not.)
+        assert!(campaign.queue.len() > before);
+    }
+}

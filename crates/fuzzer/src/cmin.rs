@@ -1,0 +1,188 @@
+//! Corpus minimization (the `afl-cmin` analog).
+//!
+//! Given an output corpus, select a small subset that preserves the
+//! corpus's structural edge coverage. Used between campaigns (the paper's
+//! parallel sessions periodically cross-pollinate corpora; shipping a
+//! minimized corpus keeps the sync traffic and the secondaries' dry-run
+//! cost down) and for archiving results.
+//!
+//! Algorithm: greedy weighted set cover, AFL-style — smaller/faster inputs
+//! are preferred as covers for each edge; then a greedy pass keeps an
+//! input only if it covers an edge nothing kept so far covers.
+
+use std::collections::{HashMap, HashSet};
+
+use bigmap_target::{Interpreter, TraceSink};
+
+struct EdgeCollector {
+    edges: HashSet<(usize, usize)>,
+    prev: Option<usize>,
+}
+
+impl TraceSink for EdgeCollector {
+    fn on_block(&mut self, global_block: usize) {
+        if let Some(prev) = self.prev {
+            self.edges.insert((prev, global_block));
+        }
+        self.prev = Some(global_block);
+    }
+    fn on_call(&mut self, _c: usize) {}
+    fn on_return(&mut self) {}
+}
+
+/// Result of a minimization pass.
+#[derive(Debug, Clone)]
+pub struct MinimizedCorpus {
+    /// The kept inputs (indices into the original corpus, ascending).
+    pub kept: Vec<usize>,
+    /// Structural edges covered by the original corpus.
+    pub edges_before: usize,
+    /// Structural edges covered by the kept subset (always equal to
+    /// `edges_before` — the reduction is lossless).
+    pub edges_after: usize,
+}
+
+impl MinimizedCorpus {
+    /// Materializes the kept inputs from the original corpus.
+    pub fn extract(&self, corpus: &[Vec<u8>]) -> Vec<Vec<u8>> {
+        self.kept.iter().map(|&i| corpus[i].clone()).collect()
+    }
+}
+
+/// Minimizes `corpus` against `interpreter`'s target: returns a subset
+/// covering exactly the same structural edges.
+///
+/// # Examples
+///
+/// ```rust
+/// use bigmap_fuzzer::minimize_corpus;
+/// use bigmap_target::{Interpreter, ProgramBuilder};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let program = ProgramBuilder::new("t").gate(0, b'A', false).build()?;
+/// let interp = Interpreter::new(&program);
+/// // Two identical inputs and one distinct one: minimization keeps two.
+/// let corpus = vec![b"Ax".to_vec(), b"Ax".to_vec(), b"zz".to_vec()];
+/// let min = minimize_corpus(&interp, &corpus);
+/// assert_eq!(min.kept.len(), 2);
+/// assert_eq!(min.edges_before, min.edges_after);
+/// # Ok(())
+/// # }
+/// ```
+pub fn minimize_corpus(interpreter: &Interpreter<'_>, corpus: &[Vec<u8>]) -> MinimizedCorpus {
+    // Pass 1: edge sets per input.
+    let mut per_input: Vec<HashSet<(usize, usize)>> = Vec::with_capacity(corpus.len());
+    let mut all_edges: HashSet<(usize, usize)> = HashSet::new();
+    for input in corpus {
+        let mut collector = EdgeCollector { edges: HashSet::new(), prev: None };
+        let _ = interpreter.run(input, &mut collector);
+        all_edges.extend(collector.edges.iter().copied());
+        per_input.push(collector.edges);
+    }
+
+    // Pass 2: best (smallest) candidate per edge.
+    let mut best_for_edge: HashMap<(usize, usize), usize> = HashMap::new();
+    for (i, edges) in per_input.iter().enumerate() {
+        for &e in edges {
+            match best_for_edge.get(&e) {
+                Some(&b) if corpus[b].len() <= corpus[i].len() => {}
+                _ => {
+                    best_for_edge.insert(e, i);
+                }
+            }
+        }
+    }
+
+    // Pass 3: greedy keep — an input survives if it is the designated best
+    // cover for some still-uncovered edge.
+    let mut covered: HashSet<(usize, usize)> = HashSet::new();
+    let mut kept: Vec<usize> = Vec::new();
+    // Visit candidates smallest-first (AFL-cmin's preference).
+    let mut order: Vec<usize> = (0..corpus.len()).collect();
+    order.sort_by_key(|&i| corpus[i].len());
+    for i in order {
+        let contributes = per_input[i]
+            .iter()
+            .any(|e| best_for_edge.get(e) == Some(&i) && !covered.contains(e));
+        if contributes {
+            covered.extend(per_input[i].iter().copied());
+            kept.push(i);
+        }
+    }
+    kept.sort_unstable();
+
+    // Lossless by construction: every edge's best cover was visited.
+    let edges_after: HashSet<_> = kept
+        .iter()
+        .flat_map(|&i| per_input[i].iter().copied())
+        .collect();
+    debug_assert_eq!(edges_after.len(), all_edges.len());
+
+    MinimizedCorpus {
+        kept,
+        edges_before: all_edges.len(),
+        edges_after: edges_after.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigmap_target::{GeneratorConfig, ProgramBuilder};
+
+    #[test]
+    fn empty_corpus() {
+        let program = ProgramBuilder::new("t").build().unwrap();
+        let interp = Interpreter::new(&program);
+        let min = minimize_corpus(&interp, &[]);
+        assert!(min.kept.is_empty());
+        assert_eq!(min.edges_before, 0);
+    }
+
+    #[test]
+    fn duplicates_collapse_to_one() {
+        let program = ProgramBuilder::new("t").gate(0, b'A', false).build().unwrap();
+        let interp = Interpreter::new(&program);
+        let corpus = vec![b"AA".to_vec(); 10];
+        let min = minimize_corpus(&interp, &corpus);
+        assert_eq!(min.kept.len(), 1);
+    }
+
+    #[test]
+    fn prefers_smaller_covers() {
+        let program = ProgramBuilder::new("t").gate(0, b'A', false).build().unwrap();
+        let interp = Interpreter::new(&program);
+        // Same coverage, different sizes: the small one must be kept.
+        let corpus = vec![vec![b'A'; 100], vec![b'A'; 2]];
+        let min = minimize_corpus(&interp, &corpus);
+        assert_eq!(min.kept, vec![1]);
+    }
+
+    #[test]
+    fn coverage_is_preserved_on_generated_targets() {
+        let program = GeneratorConfig { seed: 21, ..Default::default() }.generate();
+        let interp = Interpreter::new(&program);
+        let corpus: Vec<Vec<u8>> = (0..40u8).map(|i| vec![i; 48]).collect();
+        let min = minimize_corpus(&interp, &corpus);
+        assert_eq!(min.edges_before, min.edges_after, "minimization lost edges");
+        assert!(min.kept.len() < corpus.len(), "nothing was minimized");
+        assert!(!min.kept.is_empty());
+        // Extraction matches indices.
+        let extracted = min.extract(&corpus);
+        assert_eq!(extracted.len(), min.kept.len());
+    }
+
+    #[test]
+    fn disjoint_coverage_keeps_all() {
+        let program = ProgramBuilder::new("t")
+            .gate(0, b'A', false)
+            .gate(1, b'B', false)
+            .build()
+            .unwrap();
+        let interp = Interpreter::new(&program);
+        // Each input opens a different gate; both needed.
+        let corpus = vec![b"A?".to_vec(), b"?B".to_vec()];
+        let min = minimize_corpus(&interp, &corpus);
+        assert_eq!(min.kept.len(), 2);
+    }
+}

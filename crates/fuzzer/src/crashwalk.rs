@@ -1,0 +1,142 @@
+//! Crashwalk-style crash deduplication.
+//!
+//! AFL's built-in "unique crash" counter deduplicates against a crash
+//! coverage bitmap, which the paper points out is *inherently biased toward
+//! larger maps* (bigger map → fewer collisions → more crashes look unique).
+//! To compare map sizes fairly, the paper adopts Crashwalk's policy
+//! instead: a crash is unique iff the hash of its **call stack plus
+//! faulting address** is new (§V-A3). We implement exactly that.
+
+use std::collections::HashSet;
+
+use bigmap_core::Crc32;
+use bigmap_target::ExecOutcome;
+
+/// Deduplicates crashes by (call stack, faulting site) hash.
+///
+/// # Examples
+///
+/// ```rust
+/// use bigmap_fuzzer::CrashWalk;
+/// use bigmap_target::ExecOutcome;
+///
+/// let mut cw = CrashWalk::new();
+/// let crash = ExecOutcome::Crash { site: 3, stack: vec![1, 2] };
+/// assert!(cw.observe(&crash), "first sighting is unique");
+/// assert!(!cw.observe(&crash), "repeat is a duplicate");
+/// assert_eq!(cw.unique_count(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct CrashWalk {
+    seen: HashSet<u32>,
+}
+
+impl CrashWalk {
+    /// Creates an empty deduplicator.
+    pub fn new() -> Self {
+        CrashWalk::default()
+    }
+
+    /// Computes the dedup hash of a crash: CRC32 over the call-site chain
+    /// followed by the faulting site.
+    pub fn bucket_hash(site: usize, stack: &[usize]) -> u32 {
+        let mut h = Crc32::new();
+        for &frame in stack {
+            h.update(&(frame as u64).to_le_bytes());
+        }
+        h.update(&(site as u64).to_le_bytes());
+        // Suffix the stack depth so (stack=[3], site=4) never collides
+        // structurally with (stack=[3,4], site=4) shifted variants.
+        h.update(&(stack.len() as u32).to_le_bytes());
+        h.finalize()
+    }
+
+    /// Records a crash outcome; returns `true` iff it is a new unique
+    /// crash. Non-crash outcomes return `false` and record nothing.
+    pub fn observe(&mut self, outcome: &ExecOutcome) -> bool {
+        match outcome {
+            ExecOutcome::Crash { site, stack } => {
+                self.seen.insert(Self::bucket_hash(*site, stack))
+            }
+            _ => false,
+        }
+    }
+
+    /// Number of unique crashes observed so far.
+    pub fn unique_count(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// The bucket hashes observed so far (for cross-instance fleet-wide
+    /// deduplication: the same (stack, site) hashes identically in every
+    /// instance).
+    pub fn buckets(&self) -> Vec<u32> {
+        self.seen.iter().copied().collect()
+    }
+
+    /// Merges another deduplicator's sightings into this one (parallel
+    /// campaign aggregation).
+    pub fn merge(&mut self, other: &CrashWalk) {
+        self.seen.extend(&other.seen);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn crash(site: usize, stack: &[usize]) -> ExecOutcome {
+        ExecOutcome::Crash { site, stack: stack.to_vec() }
+    }
+
+    #[test]
+    fn same_site_different_stack_is_unique() {
+        let mut cw = CrashWalk::new();
+        assert!(cw.observe(&crash(1, &[10, 20])));
+        assert!(cw.observe(&crash(1, &[10, 30])));
+        assert_eq!(cw.unique_count(), 2);
+    }
+
+    #[test]
+    fn different_site_same_stack_is_unique() {
+        let mut cw = CrashWalk::new();
+        assert!(cw.observe(&crash(1, &[10])));
+        assert!(cw.observe(&crash(2, &[10])));
+        assert_eq!(cw.unique_count(), 2);
+    }
+
+    #[test]
+    fn non_crashes_are_ignored() {
+        let mut cw = CrashWalk::new();
+        assert!(!cw.observe(&ExecOutcome::Ok));
+        assert!(!cw.observe(&ExecOutcome::Hang));
+        assert_eq!(cw.unique_count(), 0);
+    }
+
+    #[test]
+    fn stack_site_boundary_does_not_confuse() {
+        // (stack=[3], site=4) vs (stack=[3,4], site=0) — distinct buckets.
+        let a = CrashWalk::bucket_hash(4, &[3]);
+        let b = CrashWalk::bucket_hash(0, &[3, 4]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn merge_unions_sightings() {
+        let mut a = CrashWalk::new();
+        a.observe(&crash(1, &[]));
+        a.observe(&crash(2, &[]));
+        let mut b = CrashWalk::new();
+        b.observe(&crash(2, &[]));
+        b.observe(&crash(3, &[]));
+        a.merge(&b);
+        assert_eq!(a.unique_count(), 3);
+    }
+
+    #[test]
+    fn empty_stack_crash_handled() {
+        let mut cw = CrashWalk::new();
+        assert!(cw.observe(&crash(0, &[])));
+        assert!(!cw.observe(&crash(0, &[])));
+    }
+}

@@ -1,0 +1,259 @@
+//! The executor: one test case through the instrumented target into the
+//! coverage map.
+//!
+//! Binds together the four moving parts — interpreter, instrumentation ID
+//! tables, coverage metric, coverage map — exactly the way AFL's forkserver
+//! plus shared-memory bitmap does: the *bitmap update* happens inside
+//! target execution (so its cost is accounted to `Execution`, as in the
+//! paper's Figure 3), and the post-execution pipeline (classify, compare,
+//! hash) is driven by the campaign, which times each stage separately.
+
+use std::time::{Duration, Instant};
+
+use bigmap_core::CoverageMap;
+use bigmap_coverage::{CoverageMetric, Instrumentation, TraceEvent};
+use bigmap_target::{ExecOutcome, Interpreter, TraceSink};
+
+/// Adapter: structural interpreter events → instrumented IDs → metric keys
+/// → map updates.
+struct MappingSink<'a> {
+    instrumentation: &'a Instrumentation,
+    metric: &'a mut dyn CoverageMetric,
+    map: &'a mut dyn CoverageMap,
+}
+
+impl TraceSink for MappingSink<'_> {
+    #[inline]
+    fn on_block(&mut self, global_block: usize) {
+        let MappingSink { instrumentation, metric, map } = self;
+        let id = instrumentation.block_id(global_block);
+        metric.on_event(TraceEvent::Block(id), &mut |key| map.record(key));
+    }
+
+    #[inline]
+    fn on_call(&mut self, call_site: usize) {
+        let MappingSink { instrumentation, metric, map } = self;
+        let id = instrumentation.call_site_id(call_site);
+        metric.on_event(TraceEvent::Call(id), &mut |key| map.record(key));
+    }
+
+    #[inline]
+    fn on_return(&mut self) {
+        let MappingSink { metric, map, .. } = self;
+        metric.on_event(TraceEvent::Return, &mut |key| map.record(key));
+    }
+}
+
+/// Result of executing one test case (before the fitness pipeline).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Execution {
+    /// The target's outcome.
+    pub outcome: ExecOutcome,
+    /// Wall-clock time of the execution (including map updates, per the
+    /// paper's accounting).
+    pub exec_time: Duration,
+}
+
+/// Executes test cases against one instrumented target.
+///
+/// # Examples
+///
+/// ```rust
+/// use bigmap_core::{BigMap, CoverageMap, MapSize};
+/// use bigmap_coverage::{EdgeHitCount, Instrumentation};
+/// use bigmap_fuzzer::Executor;
+/// use bigmap_target::{Interpreter, ProgramBuilder};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let program = ProgramBuilder::new("demo").gate(0, b'!', false).build()?;
+/// let instrumentation =
+///     Instrumentation::assign(program.block_count(), program.call_sites, MapSize::K64, 7);
+/// let interp = Interpreter::new(&program);
+/// let mut executor = Executor::new(&interp, &instrumentation, Box::new(EdgeHitCount::new()));
+///
+/// let mut map = BigMap::new(MapSize::K64)?;
+/// let result = executor.run(b"!", &mut map);
+/// assert!(!result.outcome.is_crash());
+/// assert!(map.used_len() > 0, "execution must record coverage");
+/// # Ok(())
+/// # }
+/// ```
+pub struct Executor<'p> {
+    interpreter: &'p Interpreter<'p>,
+    instrumentation: &'p Instrumentation,
+    metric: Box<dyn CoverageMetric>,
+}
+
+impl std::fmt::Debug for Executor<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("metric", &self.metric.kind())
+            .field("map_size", &self.instrumentation.map_size())
+            .finish()
+    }
+}
+
+impl<'p> Executor<'p> {
+    /// Creates an executor for one (target, instrumentation, metric)
+    /// combination.
+    pub fn new(
+        interpreter: &'p Interpreter<'p>,
+        instrumentation: &'p Instrumentation,
+        metric: Box<dyn CoverageMetric>,
+    ) -> Self {
+        Executor {
+            interpreter,
+            instrumentation,
+            metric,
+        }
+    }
+
+    /// Runs `input`, recording coverage into `map` (which the caller must
+    /// have `reset()` beforehand — the campaign owns that step so it can
+    /// time it separately).
+    pub fn run(&mut self, input: &[u8], map: &mut dyn CoverageMap) -> Execution {
+        self.metric.begin_execution();
+        let start = Instant::now();
+        let outcome = {
+            let mut sink = MappingSink {
+                instrumentation: self.instrumentation,
+                metric: self.metric.as_mut(),
+                map,
+            };
+            self.interpreter.run(input, &mut sink)
+        };
+        Execution {
+            outcome,
+            exec_time: start.elapsed(),
+        }
+    }
+
+    /// The instrumentation tables in use.
+    pub fn instrumentation(&self) -> &Instrumentation {
+        self.instrumentation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigmap_core::{BigMap, FlatBitmap, MapSize};
+    use bigmap_coverage::{ContextSensitive, EdgeHitCount, NGram};
+    use bigmap_target::{GeneratorConfig, ProgramBuilder};
+
+    fn setup() -> (bigmap_target::Program, Instrumentation) {
+        let program = GeneratorConfig {
+            seed: 5,
+            functions: 4,
+            gates_per_function: 6,
+            ..Default::default()
+        }
+        .generate();
+        let instrumentation = Instrumentation::assign(
+            program.block_count(),
+            program.call_sites,
+            MapSize::K64,
+            42,
+        );
+        (program, instrumentation)
+    }
+
+    #[test]
+    fn identical_inputs_identical_coverage() {
+        let (program, inst) = setup();
+        let interp = Interpreter::new(&program);
+        let mut executor = Executor::new(&interp, &inst, Box::new(EdgeHitCount::new()));
+        let mut a = BigMap::new(MapSize::K64).unwrap();
+        let mut b = BigMap::new(MapSize::K64).unwrap();
+        executor.run(b"input-x", &mut a);
+        // Fresh map for the second run to compare raw counts.
+        executor.run(b"input-x", &mut b);
+        assert_eq!(a.active_region(), b.active_region());
+    }
+
+    #[test]
+    fn different_inputs_usually_differ() {
+        let (program, inst) = setup();
+        let interp = Interpreter::new(&program);
+        let mut executor = Executor::new(&interp, &inst, Box::new(EdgeHitCount::new()));
+        let mut a = BigMap::new(MapSize::K64).unwrap();
+        let mut b = BigMap::new(MapSize::K64).unwrap();
+        executor.run(&[0x11; 48], &mut a);
+        executor.run(&[0xEE; 48], &mut b);
+        assert_ne!(a.active_region(), b.active_region());
+    }
+
+    #[test]
+    fn flat_and_bigmap_see_equivalent_coverage() {
+        let (program, inst) = setup();
+        let interp = Interpreter::new(&program);
+        let input = b"equivalence-check".to_vec();
+
+        let mut flat_exec = Executor::new(&interp, &inst, Box::new(EdgeHitCount::new()));
+        let mut flat = FlatBitmap::new(MapSize::K64).unwrap();
+        flat_exec.run(&input, &mut flat);
+
+        let mut big_exec = Executor::new(&interp, &inst, Box::new(EdgeHitCount::new()));
+        let mut big = BigMap::new(MapSize::K64).unwrap();
+        big_exec.run(&input, &mut big);
+
+        // Same multiset of non-zero hit counts.
+        let mut flat_counts: Vec<u8> = Vec::new();
+        flat.for_each_nonzero(&mut |_, v| flat_counts.push(v));
+        let mut big_counts: Vec<u8> = Vec::new();
+        big.for_each_nonzero(&mut |_, v| big_counts.push(v));
+        flat_counts.sort_unstable();
+        big_counts.sort_unstable();
+        assert_eq!(flat_counts, big_counts);
+    }
+
+    #[test]
+    fn metric_begin_execution_isolates_runs() {
+        // An N-gram metric carries a window across blocks; run() must reset
+        // it so back-to-back identical runs produce identical coverage.
+        let (program, inst) = setup();
+        let interp = Interpreter::new(&program);
+        let mut executor = Executor::new(&interp, &inst, Box::new(NGram::new(3).unwrap()));
+        let mut a = BigMap::new(MapSize::K64).unwrap();
+        executor.run(b"zzz", &mut a);
+        let first: Vec<u8> = a.active_region().to_vec();
+        a.reset();
+        executor.run(b"zzz", &mut a);
+        assert_eq!(a.active_region(), &first[..]);
+    }
+
+    #[test]
+    fn context_metric_uses_call_events() {
+        let (program, inst) = setup();
+        let interp = Interpreter::new(&program);
+        let mut edge_exec = Executor::new(&interp, &inst, Box::new(EdgeHitCount::new()));
+        let mut ctx_exec = Executor::new(&interp, &inst, Box::new(ContextSensitive::new()));
+        let mut edge_map = BigMap::new(MapSize::M2).unwrap();
+        let mut ctx_map = BigMap::new(MapSize::M2).unwrap();
+        edge_exec.run(&[5; 64], &mut edge_map);
+        ctx_exec.run(&[5; 64], &mut ctx_map);
+        // Context sensitivity can only split keys, never merge them.
+        assert!(ctx_map.used_len() >= edge_map.used_len());
+    }
+
+    #[test]
+    fn crash_propagates_from_target() {
+        let program = ProgramBuilder::new("c").gate(0, b'X', true).build().unwrap();
+        let inst =
+            Instrumentation::assign(program.block_count(), program.call_sites, MapSize::K64, 1);
+        let interp = Interpreter::new(&program);
+        let mut executor = Executor::new(&interp, &inst, Box::new(EdgeHitCount::new()));
+        let mut map = BigMap::new(MapSize::K64).unwrap();
+        assert!(executor.run(b"X", &mut map).outcome.is_crash());
+        map.reset();
+        assert!(!executor.run(b"?", &mut map).outcome.is_crash());
+    }
+
+    #[test]
+    fn debug_shows_metric() {
+        let (program, inst) = setup();
+        let interp = Interpreter::new(&program);
+        let executor = Executor::new(&interp, &inst, Box::new(EdgeHitCount::new()));
+        assert!(format!("{executor:?}").contains("Edge"));
+    }
+}

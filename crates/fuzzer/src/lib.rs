@@ -1,0 +1,70 @@
+//! # bigmap-fuzzer
+//!
+//! An AFL-style coverage-guided fuzzer hosting the BigMap reproduction's
+//! coverage maps. Implements the paper's Figure 1 workflow end-to-end:
+//! seed scheduling with favored-entry culling, deterministic + havoc +
+//! splice mutation, persistent-mode execution against the synthetic target
+//! substrate, the classify/compare/hash fitness pipeline (timed per stage,
+//! regenerating Figure 3), Crashwalk-style crash deduplication, bias-free
+//! coverage replay, and master–secondary parallel campaigns with periodic
+//! corpus synchronization (Figures 9 and 10).
+//!
+//! The campaign is parametric over the three axes of the paper's
+//! evaluation: map scheme (AFL flat vs BigMap two-level), map size, and
+//! coverage metric.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use bigmap_core::{MapScheme, MapSize};
+//! use bigmap_coverage::Instrumentation;
+//! use bigmap_fuzzer::{Budget, Campaign, CampaignConfig};
+//! use bigmap_target::{GeneratorConfig, Interpreter};
+//!
+//! let program = GeneratorConfig::default().generate();
+//! let instrumentation =
+//!     Instrumentation::assign(program.block_count(), program.call_sites, MapSize::M2, 1);
+//! let interpreter = Interpreter::new(&program);
+//!
+//! let mut campaign = Campaign::new(
+//!     CampaignConfig {
+//!         scheme: MapScheme::TwoLevel,
+//!         map_size: MapSize::M2,
+//!         budget: Budget::Execs(2_000),
+//!         ..Default::default()
+//!     },
+//!     &interpreter,
+//!     &instrumentation,
+//! );
+//! campaign.add_seeds(vec![vec![0u8; 32]]);
+//! let stats = campaign.run();
+//! assert_eq!(stats.execs, 2_000);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod campaign;
+pub mod cmin;
+pub mod crashwalk;
+pub mod executor;
+pub mod mutate;
+pub mod output_dir;
+pub mod parallel;
+pub mod queue;
+pub mod replay;
+pub mod timeline;
+pub mod trim;
+
+pub use campaign::{
+    build_metric, Budget, Campaign, CampaignConfig, CampaignOutput, CampaignStats,
+};
+pub use cmin::{minimize_corpus, MinimizedCorpus};
+pub use crashwalk::CrashWalk;
+pub use executor::{Execution, Executor};
+pub use mutate::Mutator;
+pub use output_dir::OutputDir;
+pub use parallel::{run_parallel, ParallelStats, SyncHub};
+pub use queue::{Queue, QueueEntry};
+pub use replay::{replay_edge_coverage, ReplayCoverage};
+pub use timeline::{CoverageTimeline, TimelinePoint};
+pub use trim::{trim_input, TrimResult};

@@ -1,0 +1,384 @@
+//! The mutation engine: deterministic stages, havoc and splicing.
+//!
+//! Mirrors AFL's mutator at the level the paper depends on (§II-A1):
+//! deterministic walking bit-flips / arithmetic / interesting values (run
+//! by the master instance only, and skipped entirely for short runs — the
+//! FuzzBench configuration the paper adopts), followed by stacked random
+//! "havoc" mutations and corpus splicing. The mutation strategy is
+//! orthogonal to BigMap itself, so faithfulness to the general shape is
+//! what matters: small, local, feedback-friendly perturbations.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// AFL's "interesting" 8-bit values.
+pub const INTERESTING_8: [i8; 9] = [-128, -1, 0, 1, 16, 32, 64, 100, 127];
+/// AFL's "interesting" 16-bit values.
+pub const INTERESTING_16: [i16; 10] =
+    [-32768, -129, 128, 255, 256, 512, 1000, 1024, 4096, 32767];
+
+/// Maximum number of stacked havoc operations per test case (AFL stacks
+/// `2^(1..=7)`; we cap at 64).
+const HAVOC_STACK_MAX: u32 = 64;
+/// Maximum test-case length the mutator will grow an input to.
+const MAX_LEN: usize = 4096;
+
+/// The mutation engine. Owns its RNG so campaigns are reproducible.
+///
+/// # Examples
+///
+/// ```rust
+/// use bigmap_fuzzer::Mutator;
+///
+/// let mut mutator = Mutator::new(42);
+/// let seed = b"hello world".to_vec();
+/// let child = mutator.havoc(&seed, None);
+/// assert!(!child.is_empty());
+///
+/// // Deterministic stages enumerate systematic variants.
+/// let variants = Mutator::deterministic(&seed, 100);
+/// assert_eq!(variants.len(), 100);
+/// ```
+#[derive(Debug)]
+pub struct Mutator {
+    rng: SmallRng,
+    dictionary: Vec<Vec<u8>>,
+}
+
+impl Mutator {
+    /// Creates a mutator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Mutator {
+            rng: SmallRng::seed_from_u64(seed),
+            dictionary: Vec::new(),
+        }
+    }
+
+    /// Creates a mutator with a token dictionary (AFL's `-x`): havoc gains
+    /// an operation that overwrites or inserts a dictionary token, which is
+    /// how AFL punches through magic-value comparisons without laf-intel.
+    /// Empty tokens are discarded.
+    pub fn with_dictionary(seed: u64, dictionary: Vec<Vec<u8>>) -> Self {
+        let mut m = Self::new(seed);
+        m.dictionary = dictionary.into_iter().filter(|t| !t.is_empty()).collect();
+        m
+    }
+
+    /// Number of usable dictionary tokens.
+    pub fn dictionary_len(&self) -> usize {
+        self.dictionary.len()
+    }
+
+    /// One havoc-stage child: 1–64 stacked random mutations of `input`,
+    /// optionally splicing with `other` first (AFL's splice stage).
+    pub fn havoc(&mut self, input: &[u8], other: Option<&[u8]>) -> Vec<u8> {
+        let mut data: Vec<u8> = match other {
+            Some(other) if !other.is_empty() && !input.is_empty() => {
+                // Splice: head of one parent, tail of the other.
+                let cut_a = self.rng.gen_range(0..=input.len());
+                let cut_b = self.rng.gen_range(0..=other.len());
+                let mut spliced = input[..cut_a].to_vec();
+                spliced.extend_from_slice(&other[cut_b..]);
+                if spliced.is_empty() {
+                    input.to_vec()
+                } else {
+                    spliced
+                }
+            }
+            _ => input.to_vec(),
+        };
+        if data.is_empty() {
+            data.push(0);
+        }
+
+        let stack = 1 << self.rng.gen_range(1..=HAVOC_STACK_MAX.trailing_zeros() + 1).min(6);
+        for _ in 0..stack {
+            self.havoc_one(&mut data);
+        }
+        data.truncate(MAX_LEN);
+        if data.is_empty() {
+            data.push(0);
+        }
+        data
+    }
+
+    fn havoc_one(&mut self, data: &mut Vec<u8>) {
+        // A stacked delete can empty the buffer; re-seed it so subsequent
+        // stacked operations always have a byte to work with.
+        if data.is_empty() {
+            data.push(self.rng.gen());
+            return;
+        }
+        let len = data.len();
+        // Dictionary ops take one slot of the roll when tokens exist.
+        let cases = if self.dictionary.is_empty() { 9u32 } else { 10 };
+        match self.rng.gen_range(0..cases) {
+            0 => {
+                // Flip a single bit.
+                let pos = self.rng.gen_range(0..len);
+                data[pos] ^= 1 << self.rng.gen_range(0..8);
+            }
+            1 => {
+                // Set a random byte to a random value.
+                let pos = self.rng.gen_range(0..len);
+                data[pos] = self.rng.gen();
+            }
+            2 => {
+                // Add/subtract a small delta.
+                let pos = self.rng.gen_range(0..len);
+                let delta = self.rng.gen_range(1..=35u8);
+                data[pos] = if self.rng.gen_bool(0.5) {
+                    data[pos].wrapping_add(delta)
+                } else {
+                    data[pos].wrapping_sub(delta)
+                };
+            }
+            3 => {
+                // Overwrite with an interesting 8-bit value.
+                let pos = self.rng.gen_range(0..len);
+                data[pos] = INTERESTING_8[self.rng.gen_range(0..INTERESTING_8.len())] as u8;
+            }
+            4 if len >= 2 => {
+                // Overwrite with an interesting 16-bit value.
+                let pos = self.rng.gen_range(0..len - 1);
+                let v = INTERESTING_16[self.rng.gen_range(0..INTERESTING_16.len())] as u16;
+                data[pos..pos + 2].copy_from_slice(&v.to_le_bytes());
+            }
+            5 if len >= 2 => {
+                // Delete a block.
+                let from = self.rng.gen_range(0..len - 1);
+                let del = self.rng.gen_range(1..=(len - from).min(16));
+                data.drain(from..from + del);
+            }
+            6 if len < MAX_LEN => {
+                // Clone a block to a random position.
+                let from = self.rng.gen_range(0..len);
+                let copy_len = self.rng.gen_range(1..=(len - from).min(16));
+                let block: Vec<u8> = data[from..from + copy_len].to_vec();
+                let at = self.rng.gen_range(0..=len);
+                for (i, b) in block.into_iter().enumerate() {
+                    data.insert(at + i, b);
+                }
+            }
+            7 => {
+                // Overwrite a block with a repeated random byte.
+                let from = self.rng.gen_range(0..len);
+                let fill_len = self.rng.gen_range(1..=(len - from).min(16));
+                let value = self.rng.gen();
+                data[from..from + fill_len].fill(value);
+            }
+            9 => {
+                // Overwrite with a dictionary token at a random position
+                // (clipped at the end of the buffer).
+                let token = &self.dictionary[self.rng.gen_range(0..self.dictionary.len())];
+                let at = self.rng.gen_range(0..len);
+                for (i, &b) in token.iter().enumerate() {
+                    if at + i >= data.len() {
+                        break;
+                    }
+                    data[at + i] = b;
+                }
+            }
+            _ => {
+                // Swap two bytes.
+                let a = self.rng.gen_range(0..len);
+                let b = self.rng.gen_range(0..len);
+                data.swap(a, b);
+            }
+        }
+    }
+
+    /// The deterministic stages of AFL, as an eager list capped at `limit`
+    /// variants: walking 1/2/4-bit flips, byte flips, ±arith and
+    /// interesting-value overwrites, in AFL's order.
+    ///
+    /// The paper (and FuzzBench) skip these for 24-hour runs; the parallel
+    /// experiments run them on the master instance only.
+    pub fn deterministic(input: &[u8], limit: usize) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        let bits = input.len() * 8;
+
+        // Walking bit flips (1, 2, 4 consecutive bits).
+        for width in [1usize, 2, 4] {
+            for start in 0..bits.saturating_sub(width - 1) {
+                if out.len() >= limit {
+                    return out;
+                }
+                let mut v = input.to_vec();
+                for b in start..start + width {
+                    v[b / 8] ^= 1 << (b % 8);
+                }
+                out.push(v);
+            }
+        }
+        // Walking byte flips.
+        for i in 0..input.len() {
+            if out.len() >= limit {
+                return out;
+            }
+            let mut v = input.to_vec();
+            v[i] ^= 0xFF;
+            out.push(v);
+        }
+        // Arithmetic ±1..=35 per byte.
+        for i in 0..input.len() {
+            for delta in 1..=35u8 {
+                if out.len() >= limit {
+                    return out;
+                }
+                let mut v = input.to_vec();
+                v[i] = v[i].wrapping_add(delta);
+                out.push(v);
+                if out.len() >= limit {
+                    return out;
+                }
+                let mut v = input.to_vec();
+                v[i] = v[i].wrapping_sub(delta);
+                out.push(v);
+            }
+        }
+        // Interesting 8-bit overwrites.
+        for i in 0..input.len() {
+            for &val in &INTERESTING_8 {
+                if out.len() >= limit {
+                    return out;
+                }
+                let mut v = input.to_vec();
+                v[i] = val as u8;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn havoc_is_reproducible_per_seed() {
+        let seed = b"reproducible".to_vec();
+        let mut a = Mutator::new(9);
+        let mut b = Mutator::new(9);
+        for _ in 0..50 {
+            assert_eq!(a.havoc(&seed, None), b.havoc(&seed, None));
+        }
+        let mut c = Mutator::new(10);
+        let differs = (0..50).any(|_| {
+            Mutator::new(9).havoc(&seed, None) != c.havoc(&seed, None)
+        });
+        assert!(differs);
+    }
+
+    #[test]
+    fn havoc_usually_changes_the_input() {
+        let seed = vec![0u8; 64];
+        let mut m = Mutator::new(1);
+        let changed = (0..100).filter(|_| m.havoc(&seed, None) != seed).count();
+        assert!(changed > 90, "only {changed}/100 havoc children differed");
+    }
+
+    #[test]
+    fn havoc_never_emits_empty_or_oversized() {
+        let mut m = Mutator::new(2);
+        for len in [0usize, 1, 2, 100, 4096] {
+            let seed = vec![7u8; len];
+            for _ in 0..50 {
+                let child = m.havoc(&seed, None);
+                assert!(!child.is_empty());
+                assert!(child.len() <= 4096);
+            }
+        }
+    }
+
+    #[test]
+    fn splice_mixes_parents() {
+        let a = vec![b'A'; 32];
+        let b = vec![b'B'; 32];
+        let mut m = Mutator::new(3);
+        let mixed = (0..50).any(|_| {
+            let child = m.havoc(&a, Some(&b));
+            child.contains(&b'A') && child.contains(&b'B')
+        });
+        assert!(mixed, "splicing should mix bytes of both parents");
+    }
+
+    #[test]
+    fn deterministic_starts_with_walking_bitflips() {
+        let variants = Mutator::deterministic(&[0b0000_0000], 8);
+        assert_eq!(variants[0], vec![0b0000_0001]);
+        assert_eq!(variants[1], vec![0b0000_0010]);
+        assert_eq!(variants[7], vec![0b1000_0000]);
+    }
+
+    #[test]
+    fn deterministic_respects_limit_and_is_deterministic() {
+        let input = b"abcd".to_vec();
+        let v1 = Mutator::deterministic(&input, 200);
+        let v2 = Mutator::deterministic(&input, 200);
+        assert_eq!(v1.len(), 200);
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn deterministic_on_empty_input_is_empty() {
+        assert!(Mutator::deterministic(&[], 100).is_empty());
+    }
+
+    #[test]
+    fn dictionary_tokens_appear_in_children() {
+        let dict = vec![b"MAGICWORD".to_vec()];
+        let mut m = Mutator::with_dictionary(5, dict);
+        assert_eq!(m.dictionary_len(), 1);
+        let seed = vec![0u8; 64];
+        let hits = (0..500)
+            .filter(|_| {
+                let child = m.havoc(&seed, None);
+                child.windows(9).any(|w| w == b"MAGICWORD")
+            })
+            .count();
+        assert!(hits > 20, "dictionary token appeared in only {hits}/500 children");
+    }
+
+    #[test]
+    fn empty_dictionary_tokens_discarded() {
+        let m = Mutator::with_dictionary(1, vec![vec![], b"ok".to_vec(), vec![]]);
+        assert_eq!(m.dictionary_len(), 1);
+    }
+
+    #[test]
+    fn dictionary_mutator_still_valid_outputs() {
+        let mut m = Mutator::with_dictionary(9, vec![b"tok".to_vec(), vec![1, 2, 3, 4, 5]]);
+        for len in [1usize, 3, 50] {
+            let seed = vec![7u8; len];
+            for _ in 0..100 {
+                let child = m.havoc(&seed, None);
+                assert!(!child.is_empty() && child.len() <= 4096);
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn havoc_output_always_valid(
+            seed in any::<u64>(),
+            input in prop::collection::vec(any::<u8>(), 0..200),
+        ) {
+            let mut m = Mutator::new(seed);
+            let child = m.havoc(&input, None);
+            prop_assert!(!child.is_empty());
+            prop_assert!(child.len() <= 4096);
+        }
+
+        #[test]
+        fn deterministic_variants_differ_from_input(
+            input in prop::collection::vec(any::<u8>(), 1..32),
+        ) {
+            for v in Mutator::deterministic(&input, 64) {
+                prop_assert_ne!(v, input.clone());
+            }
+        }
+    }
+}

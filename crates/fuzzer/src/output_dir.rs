@@ -1,0 +1,286 @@
+//! AFL-style output directory: persisting campaign results to disk.
+//!
+//! Real fuzzing campaigns are operated through their output directory —
+//! `queue/` for the corpus, `crashes/` for triage, `fuzzer_stats` for
+//! monitoring, and sync directories for multi-instance setups. This module
+//! writes and reads that layout so campaigns can be archived, resumed with
+//! a previous corpus, or synchronized through a filesystem like AFL's
+//! `-M/-S` instances.
+//!
+//! Layout (per instance):
+//!
+//! ```text
+//! <out>/
+//!   queue/    id:000000,<...>   one file per queue entry
+//!   crashes/  id:000000,sig:.. one file per unique crash input
+//!   fuzzer_stats                key : value lines (AFL-compatible style)
+//! ```
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use crate::campaign::{CampaignOutput, CampaignStats};
+
+/// Handle to a campaign output directory.
+#[derive(Debug, Clone)]
+pub struct OutputDir {
+    root: PathBuf,
+}
+
+impl OutputDir {
+    /// Creates (or reuses) the directory layout under `root`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors (permissions, missing parent, ...).
+    pub fn create(root: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(root.join("queue"))?;
+        fs::create_dir_all(root.join("crashes"))?;
+        Ok(OutputDir { root })
+    }
+
+    /// The root path.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Persists a finished campaign: corpus into `queue/`, crash inputs
+    /// into `crashes/`, statistics into `fuzzer_stats`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; the directory may be partially
+    /// written on failure.
+    pub fn save(&self, output: &CampaignOutput) -> io::Result<()> {
+        for (i, input) in output.corpus.iter().enumerate() {
+            let name = format!("id:{i:06},len:{}", input.len());
+            fs::write(self.root.join("queue").join(name), input)?;
+        }
+        for (i, input) in output.crash_inputs.iter().enumerate() {
+            let bucket = output
+                .stats
+                .crash_buckets
+                .get(i)
+                .copied()
+                .unwrap_or_default();
+            let name = format!("id:{i:06},sig:{bucket:08x}");
+            fs::write(self.root.join("crashes").join(name), input)?;
+        }
+        self.write_stats(&output.stats)
+    }
+
+    fn write_stats(&self, stats: &CampaignStats) -> io::Result<()> {
+        let mut f = fs::File::create(self.root.join("fuzzer_stats"))?;
+        writeln!(f, "execs_done        : {}", stats.execs)?;
+        writeln!(f, "execs_per_sec     : {:.2}", stats.throughput())?;
+        writeln!(f, "run_time_ms       : {}", stats.wall_time.as_millis())?;
+        writeln!(f, "corpus_count      : {}", stats.queue_len)?;
+        writeln!(f, "unique_crashes    : {}", stats.unique_crashes)?;
+        writeln!(f, "total_crashes     : {}", stats.total_crashes)?;
+        writeln!(f, "total_hangs       : {}", stats.hangs)?;
+        writeln!(f, "map_used_slots    : {}", stats.used_len)?;
+        writeln!(f, "discovered_slots  : {}", stats.discovered_slots)?;
+        Ok(())
+    }
+
+    /// Loads the persisted corpus (`queue/` files, in id order) — the
+    /// resume path: feed these to [`crate::Campaign::add_seeds`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors. Unreadable entries are errors, not
+    /// silently skipped (a truncated corpus should be noticed).
+    pub fn load_corpus(&self) -> io::Result<Vec<Vec<u8>>> {
+        let mut entries: Vec<(String, PathBuf)> = fs::read_dir(self.root.join("queue"))?
+            .map(|e| {
+                let e = e?;
+                Ok((e.file_name().to_string_lossy().into_owned(), e.path()))
+            })
+            .collect::<io::Result<_>>()?;
+        entries.sort();
+        entries
+            .into_iter()
+            .map(|(_, path)| fs::read(path))
+            .collect()
+    }
+
+    /// Loads the persisted crash inputs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn load_crashes(&self) -> io::Result<Vec<Vec<u8>>> {
+        let mut entries: Vec<(String, PathBuf)> = fs::read_dir(self.root.join("crashes"))?
+            .map(|e| {
+                let e = e?;
+                Ok((e.file_name().to_string_lossy().into_owned(), e.path()))
+            })
+            .collect::<io::Result<_>>()?;
+        entries.sort();
+        entries
+            .into_iter()
+            .map(|(_, path)| fs::read(path))
+            .collect()
+    }
+
+    /// Parses the persisted `fuzzer_stats` into key/value pairs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; returns an empty map for a missing
+    /// stats file only if the directory itself exists.
+    pub fn load_stats(&self) -> io::Result<Vec<(String, String)>> {
+        let text = fs::read_to_string(self.root.join("fuzzer_stats"))?;
+        Ok(text
+            .lines()
+            .filter_map(|line| {
+                let (k, v) = line.split_once(':')?;
+                Some((k.trim().to_string(), v.trim().to_string()))
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{Budget, Campaign, CampaignConfig};
+    use bigmap_core::MapSize;
+    use bigmap_coverage::Instrumentation;
+    use bigmap_target::{Interpreter, ProgramBuilder};
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("bigmap-tests")
+            .join(format!("{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn run_small_campaign() -> CampaignOutput {
+        let program = ProgramBuilder::new("persist")
+            .gate(0, b'P', true)
+            .gate(1, b'Q', false)
+            .build()
+            .unwrap();
+        let inst = Instrumentation::assign(
+            program.block_count(),
+            program.call_sites,
+            MapSize::K64,
+            8,
+        );
+        let interp = Interpreter::new(&program);
+        let mut campaign = Campaign::new(
+            CampaignConfig {
+                budget: Budget::Execs(5_000),
+                ..Default::default()
+            },
+            &interp,
+            &inst,
+        );
+        campaign.add_seeds(vec![b"start".to_vec()]);
+        campaign.run_detailed()
+    }
+
+    #[test]
+    fn save_and_reload_round_trips() {
+        let dir = tmpdir("roundtrip");
+        let output = run_small_campaign();
+        let out = OutputDir::create(&dir).unwrap();
+        out.save(&output).unwrap();
+
+        let corpus = out.load_corpus().unwrap();
+        assert_eq!(corpus, output.corpus);
+        let crashes = out.load_crashes().unwrap();
+        assert_eq!(crashes, output.crash_inputs);
+
+        let stats = out.load_stats().unwrap();
+        let get = |k: &str| {
+            stats
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| panic!("missing {k}"))
+        };
+        assert_eq!(get("execs_done"), output.stats.execs.to_string());
+        assert_eq!(get("corpus_count"), output.stats.queue_len.to_string());
+        assert_eq!(
+            get("unique_crashes"),
+            output.stats.unique_crashes.to_string()
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corpus_order_is_stable() {
+        let dir = tmpdir("order");
+        let out = OutputDir::create(&dir).unwrap();
+        let output = run_small_campaign();
+        out.save(&output).unwrap();
+        let a = out.load_corpus().unwrap();
+        let b = out.load_corpus().unwrap();
+        assert_eq!(a, b);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_files_named_with_bucket_signature() {
+        let dir = tmpdir("signames");
+        let out = OutputDir::create(&dir).unwrap();
+        let output = run_small_campaign();
+        assert!(output.stats.unique_crashes > 0, "campaign must crash");
+        out.save(&output).unwrap();
+        let names: Vec<String> = fs::read_dir(dir.join("crashes"))
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(names.iter().all(|n| n.starts_with("id:") && n.contains("sig:")));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_path_reuses_the_corpus() {
+        let dir = tmpdir("resume");
+        let out = OutputDir::create(&dir).unwrap();
+        let output = run_small_campaign();
+        out.save(&output).unwrap();
+
+        // Resume: a fresh campaign seeded with the saved corpus starts
+        // with at least as many queue entries.
+        let program = ProgramBuilder::new("persist")
+            .gate(0, b'P', true)
+            .gate(1, b'Q', false)
+            .build()
+            .unwrap();
+        let inst = Instrumentation::assign(
+            program.block_count(),
+            program.call_sites,
+            MapSize::K64,
+            8,
+        );
+        let interp = Interpreter::new(&program);
+        let mut campaign = Campaign::new(
+            CampaignConfig {
+                budget: Budget::Execs(100),
+                ..Default::default()
+            },
+            &interp,
+            &inst,
+        );
+        campaign.add_seeds(out.load_corpus().unwrap());
+        let stats = campaign.run();
+        assert!(stats.queue_len >= output.stats.queue_len);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn create_is_idempotent() {
+        let dir = tmpdir("idem");
+        OutputDir::create(&dir).unwrap();
+        OutputDir::create(&dir).unwrap();
+        assert!(dir.join("queue").is_dir());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,289 @@
+//! The seed queue: pool, scoring, favored-entry culling, scheduling.
+//!
+//! Mirrors AFL's queue semantics at the level the paper relies on (§II-A1):
+//! seeds are prioritized by execution speed and input length ("short input
+//! files are preferred"), and a *favored* subset is maintained by culling —
+//! for every coverage slot, the fastest/smallest entry covering it is
+//! marked favored and scheduled far more often.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// One queued seed.
+#[derive(Debug, Clone)]
+pub struct QueueEntry {
+    /// Stable entry ID (insertion order).
+    pub id: usize,
+    /// The test-case bytes.
+    pub input: Vec<u8>,
+    /// Measured execution time of this seed.
+    pub exec_time: Duration,
+    /// Hash of the classified coverage map when this entry was admitted.
+    pub bitmap_hash: u32,
+    /// Number of non-zero coverage slots the entry exercised.
+    pub coverage_slots: usize,
+    /// Whether culling currently marks this entry favored.
+    pub favored: bool,
+    /// How many times the entry has been picked for fuzzing.
+    pub fuzzed_rounds: usize,
+}
+
+impl QueueEntry {
+    /// AFL-style score: lower is better (fast + small wins slots during
+    /// culling).
+    pub fn score(&self) -> u128 {
+        self.exec_time.as_nanos().max(1) * self.input.len().max(1) as u128
+    }
+}
+
+/// The seed pool.
+///
+/// # Examples
+///
+/// ```rust
+/// use bigmap_fuzzer::Queue;
+/// use std::time::Duration;
+///
+/// let mut queue = Queue::new();
+/// let id = queue.add(b"seed".to_vec(), Duration::from_micros(50), 0xABCD, &[0, 7]);
+/// assert_eq!(queue.len(), 1);
+/// assert!(queue.entry(id).favored, "first claimant of a slot is favored");
+/// ```
+#[derive(Debug, Default)]
+pub struct Queue {
+    entries: Vec<QueueEntry>,
+    /// For each coverage slot: (entry id, score) of the current best
+    /// claimant — AFL's `top_rated`.
+    top_rated: HashMap<usize, (usize, u128)>,
+    cursor: usize,
+}
+
+impl Queue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Queue::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Immutable access to an entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn entry(&self, id: usize) -> &QueueEntry {
+        &self.entries[id]
+    }
+
+    /// All entries (corpus export, sync, replay).
+    pub fn entries(&self) -> &[QueueEntry] {
+        &self.entries
+    }
+
+    /// Admits a new interesting test case. `covered_slots` are the non-zero
+    /// slots of its classified map (scheme-local indices); they drive
+    /// favored-entry culling. Returns the new entry's ID.
+    pub fn add(
+        &mut self,
+        input: Vec<u8>,
+        exec_time: Duration,
+        bitmap_hash: u32,
+        covered_slots: &[usize],
+    ) -> usize {
+        let id = self.entries.len();
+        let entry = QueueEntry {
+            id,
+            input,
+            exec_time,
+            bitmap_hash,
+            coverage_slots: covered_slots.len(),
+            favored: false,
+            fuzzed_rounds: 0,
+        };
+        let score = entry.score();
+        self.entries.push(entry);
+
+        // Claim any slot where this entry beats the incumbent.
+        let mut claimed = false;
+        for &slot in covered_slots {
+            match self.top_rated.get(&slot) {
+                Some(&(_, best)) if best <= score => {}
+                _ => {
+                    self.top_rated.insert(slot, (id, score));
+                    claimed = true;
+                }
+            }
+        }
+        if claimed {
+            self.recull();
+        }
+        id
+    }
+
+    /// Recomputes the favored flags from `top_rated` (AFL's `cull_queue`).
+    fn recull(&mut self) {
+        for e in &mut self.entries {
+            e.favored = false;
+        }
+        for &(id, _) in self.top_rated.values() {
+            self.entries[id].favored = true;
+        }
+    }
+
+    /// Number of favored entries.
+    pub fn favored_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.favored).count()
+    }
+
+    /// Picks the next seed to fuzz: round-robin over the queue, always
+    /// accepting favored entries. Non-favored entries are skipped with
+    /// AFL's probabilities: 99% while favored entries exist, 75% once
+    /// every favored entry has been fuzzed at least once (AFL's
+    /// `SKIP_TO_NEW_PROB` / `SKIP_NFAV_*` policy, which is what keeps
+    /// mutation effort concentrated on the covering set of the corpus).
+    /// `coin` supplies randomness in `[0, 1)`.
+    ///
+    /// Returns `None` only for an empty queue.
+    pub fn schedule(&mut self, mut coin: impl FnMut() -> f64) -> Option<usize> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let pending_favored = self
+            .entries
+            .iter()
+            .any(|e| e.favored && e.fuzzed_rounds == 0);
+        let keep_prob = if pending_favored { 0.01 } else { 0.25 };
+        for _ in 0..self.entries.len() * 2 {
+            let id = self.cursor % self.entries.len();
+            self.cursor = self.cursor.wrapping_add(1);
+            let favored = self.entries[id].favored;
+            if favored || coin() < keep_prob {
+                self.entries[id].fuzzed_rounds += 1;
+                return Some(id);
+            }
+        }
+        // Everyone skipped (unlucky coins): just take the next one.
+        let id = self.cursor % self.entries.len();
+        self.cursor = self.cursor.wrapping_add(1);
+        self.entries[id].fuzzed_rounds += 1;
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn micros(us: u64) -> Duration {
+        Duration::from_micros(us)
+    }
+
+    #[test]
+    fn first_entry_claims_all_its_slots() {
+        let mut q = Queue::new();
+        let id = q.add(vec![1, 2, 3], micros(10), 0, &[5, 9, 11]);
+        assert!(q.entry(id).favored);
+        assert_eq!(q.favored_count(), 1);
+        assert_eq!(q.entry(id).coverage_slots, 3);
+    }
+
+    #[test]
+    fn faster_smaller_entry_steals_slots() {
+        let mut q = Queue::new();
+        let slow = q.add(vec![0; 100], micros(1000), 0, &[1, 2]);
+        assert!(q.entry(slow).favored);
+        let fast = q.add(vec![0; 4], micros(10), 0, &[1, 2]);
+        assert!(q.entry(fast).favored);
+        assert!(!q.entry(slow).favored, "slow entry must lose both slots");
+    }
+
+    #[test]
+    fn incumbent_with_better_score_keeps_slot() {
+        let mut q = Queue::new();
+        let fast = q.add(vec![0; 4], micros(10), 0, &[1]);
+        let slow = q.add(vec![0; 100], micros(1000), 0, &[1]);
+        assert!(q.entry(fast).favored);
+        assert!(!q.entry(slow).favored);
+    }
+
+    #[test]
+    fn disjoint_coverage_keeps_both_favored() {
+        let mut q = Queue::new();
+        let a = q.add(vec![0; 10], micros(100), 0, &[1]);
+        let b = q.add(vec![0; 10], micros(100), 0, &[2]);
+        assert!(q.entry(a).favored && q.entry(b).favored);
+        assert_eq!(q.favored_count(), 2);
+    }
+
+    #[test]
+    fn schedule_prefers_favored() {
+        let mut q = Queue::new();
+        q.add(vec![0; 4], micros(10), 0, &[1]); // favored
+        q.add(vec![0; 100], micros(9999), 0, &[1]); // not favored
+        // Deterministic "always skip non-favored" coin:
+        let mut picks = [0usize; 2];
+        for _ in 0..100 {
+            let id = q.schedule(|| 0.9).unwrap();
+            picks[id] += 1;
+        }
+        assert_eq!(picks[1], 0, "non-favored must be skipped with bad coins");
+        assert_eq!(picks[0], 100);
+    }
+
+    #[test]
+    fn schedule_eventually_picks_non_favored() {
+        let mut q = Queue::new();
+        q.add(vec![0; 4], micros(10), 0, &[1]);
+        q.add(vec![0; 100], micros(9999), 0, &[1]);
+        let mut picked_second = false;
+        for _ in 0..100 {
+            if q.schedule(|| 0.0).unwrap() == 1 {
+                picked_second = true;
+            }
+        }
+        assert!(picked_second, "generous coin must admit non-favored seeds");
+    }
+
+    #[test]
+    fn schedule_empty_queue_is_none() {
+        let mut q = Queue::new();
+        assert_eq!(q.schedule(|| 0.5), None);
+    }
+
+    #[test]
+    fn fuzzed_rounds_increment() {
+        let mut q = Queue::new();
+        let id = q.add(vec![1], micros(1), 0, &[0]);
+        for _ in 0..5 {
+            q.schedule(|| 0.5);
+        }
+        assert_eq!(q.entry(id).fuzzed_rounds, 5);
+    }
+
+    #[test]
+    fn score_monotone_in_time_and_len() {
+        let a = QueueEntry {
+            id: 0,
+            input: vec![0; 10],
+            exec_time: micros(10),
+            bitmap_hash: 0,
+            coverage_slots: 0,
+            favored: false,
+            fuzzed_rounds: 0,
+        };
+        let mut slower = a.clone();
+        slower.exec_time = micros(100);
+        let mut bigger = a.clone();
+        bigger.input = vec![0; 100];
+        assert!(a.score() < slower.score());
+        assert!(a.score() < bigger.score());
+    }
+}

@@ -1,0 +1,158 @@
+//! Bias-free coverage measurement by corpus replay.
+//!
+//! The paper measures edge coverage by collecting the fuzzers' output
+//! corpora and replaying them against "a bias-free independent coverage
+//! build" (§V-A3) — coverage must not be measured through the same
+//! (collision-prone) bitmap the fuzzer used. Our independent build is the
+//! structural ground truth itself: replay the corpus through the
+//! interpreter and count distinct `(src_block, dst_block)` pairs over
+//! program-global block indices. No hashing, no map, no collisions.
+
+use std::collections::HashSet;
+
+use bigmap_target::{Interpreter, TraceSink};
+
+/// Counts structural edges (and blocks) exercised by a corpus.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayCoverage {
+    edges: HashSet<(usize, usize)>,
+    blocks: HashSet<usize>,
+}
+
+struct EdgeRecorder<'a> {
+    coverage: &'a mut ReplayCoverage,
+    prev: Option<usize>,
+}
+
+impl TraceSink for EdgeRecorder<'_> {
+    fn on_block(&mut self, global_block: usize) {
+        if let Some(prev) = self.prev {
+            self.coverage.edges.insert((prev, global_block));
+        }
+        self.coverage.blocks.insert(global_block);
+        self.prev = Some(global_block);
+    }
+    fn on_call(&mut self, _call_site: usize) {}
+    fn on_return(&mut self) {}
+}
+
+impl ReplayCoverage {
+    /// Creates an empty coverage accumulator.
+    pub fn new() -> Self {
+        ReplayCoverage::default()
+    }
+
+    /// Replays one input, folding its structural edges in.
+    pub fn replay(&mut self, interpreter: &Interpreter<'_>, input: &[u8]) {
+        let mut recorder = EdgeRecorder { coverage: self, prev: None };
+        let _ = interpreter.run(input, &mut recorder);
+    }
+
+    /// Replays a whole corpus.
+    pub fn replay_corpus<'a, I>(&mut self, interpreter: &Interpreter<'_>, corpus: I)
+    where
+        I: IntoIterator<Item = &'a Vec<u8>>,
+    {
+        for input in corpus {
+            self.replay(interpreter, input);
+        }
+    }
+
+    /// Distinct structural edges covered.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Distinct blocks covered.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+/// One-shot convenience: the structural edge coverage of `corpus`.
+///
+/// # Examples
+///
+/// ```rust
+/// use bigmap_fuzzer::replay_edge_coverage;
+/// use bigmap_target::{Interpreter, ProgramBuilder};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let program = ProgramBuilder::new("p").gate(0, b'A', false).build()?;
+/// let interp = Interpreter::new(&program);
+/// let corpus = vec![b"A".to_vec(), b"B".to_vec()];
+/// assert!(replay_edge_coverage(&interp, &corpus) > 0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn replay_edge_coverage(interpreter: &Interpreter<'_>, corpus: &[Vec<u8>]) -> usize {
+    let mut coverage = ReplayCoverage::new();
+    coverage.replay_corpus(interpreter, corpus);
+    coverage.edge_count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigmap_target::{GeneratorConfig, ProgramBuilder};
+
+    #[test]
+    fn empty_corpus_covers_nothing() {
+        let program = ProgramBuilder::new("p").build().unwrap();
+        let interp = Interpreter::new(&program);
+        assert_eq!(replay_edge_coverage(&interp, &[]), 0);
+    }
+
+    #[test]
+    fn single_linear_run_counts_chain_edges() {
+        let program = ProgramBuilder::new("p")
+            .gate(0, b'A', false)
+            .gate(1, b'B', false)
+            .build()
+            .unwrap();
+        let interp = Interpreter::new(&program);
+        let mut cov = ReplayCoverage::new();
+        cov.replay(&interp, b"AB");
+        // Blocks: gate0 test(0), reward(1), gate1 test(2), reward(3),
+        // return(4) -> 4 edges in a chain.
+        assert_eq!(cov.block_count(), 5);
+        assert_eq!(cov.edge_count(), 4);
+    }
+
+    #[test]
+    fn union_over_corpus_is_monotone() {
+        let program = GeneratorConfig { seed: 4, ..Default::default() }.generate();
+        let interp = Interpreter::new(&program);
+        let mut cov = ReplayCoverage::new();
+        let mut last = 0;
+        for i in 0..10u8 {
+            cov.replay(&interp, &[i; 32]);
+            assert!(cov.edge_count() >= last);
+            last = cov.edge_count();
+        }
+        assert!(last > 0);
+    }
+
+    #[test]
+    fn replay_is_idempotent() {
+        let program = GeneratorConfig { seed: 4, ..Default::default() }.generate();
+        let interp = Interpreter::new(&program);
+        let mut cov = ReplayCoverage::new();
+        cov.replay(&interp, &[9; 32]);
+        let once = cov.edge_count();
+        cov.replay(&interp, &[9; 32]);
+        assert_eq!(cov.edge_count(), once);
+    }
+
+    #[test]
+    fn measures_independent_of_map_collisions() {
+        // The replay count must equal the true distinct structural pairs —
+        // validated by recomputing with a second accumulator.
+        let program = GeneratorConfig { seed: 8, ..Default::default() }.generate();
+        let interp = Interpreter::new(&program);
+        let corpus: Vec<Vec<u8>> = (0..8u8).map(|i| vec![i; 24]).collect();
+        let a = replay_edge_coverage(&interp, &corpus);
+        let b = replay_edge_coverage(&interp, &corpus);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,186 @@
+//! Coverage-over-time tracking and plateau detection.
+//!
+//! The paper's Figure 7 discussion hinges on *plateaus*: "the rate of
+//! discovering new edges is initially high and then flattens out …
+//! BigMap reached the plateau for all of the benchmarks within the 24
+//! hour time budget" while AFL's throughput loss on big maps "prevented
+//! it from reaching the plateau". [`CoverageTimeline`] records discovery
+//! milestones during a campaign and answers exactly that question.
+
+/// One recorded point: after `execs` executions, `coverage` units (slots,
+/// edges — whatever the caller samples) had been discovered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimelinePoint {
+    /// Executions completed when the sample was taken.
+    pub execs: u64,
+    /// Cumulative coverage at that moment.
+    pub coverage: u64,
+}
+
+/// A sampled coverage-vs-execs curve.
+///
+/// # Examples
+///
+/// ```rust
+/// use bigmap_fuzzer::CoverageTimeline;
+///
+/// let mut t = CoverageTimeline::new();
+/// t.record(100, 50);
+/// t.record(200, 90);
+/// t.record(10_000, 100);
+/// t.record(20_000, 101);
+/// // Discovery flattened out over the last half of the run:
+/// assert!(t.plateaued(0.5, 0.05));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CoverageTimeline {
+    points: Vec<TimelinePoint>,
+}
+
+impl CoverageTimeline {
+    /// Creates an empty timeline.
+    pub fn new() -> Self {
+        CoverageTimeline::default()
+    }
+
+    /// Records a sample. `execs` must be non-decreasing; coverage is
+    /// clamped to be monotone (discovery never un-happens).
+    pub fn record(&mut self, execs: u64, coverage: u64) {
+        let coverage = match self.points.last() {
+            Some(last) => coverage.max(last.coverage),
+            None => coverage,
+        };
+        if let Some(last) = self.points.last_mut() {
+            if last.execs == execs {
+                last.coverage = coverage;
+                return;
+            }
+            assert!(execs > last.execs, "samples must be taken in order");
+        }
+        self.points.push(TimelinePoint { execs, coverage });
+    }
+
+    /// The recorded points.
+    pub fn points(&self) -> &[TimelinePoint] {
+        &self.points
+    }
+
+    /// Final coverage (0 if nothing recorded).
+    pub fn final_coverage(&self) -> u64 {
+        self.points.last().map(|p| p.coverage).unwrap_or(0)
+    }
+
+    /// Whether discovery plateaued: over the trailing `window` fraction of
+    /// the executions (e.g. 0.5 = the last half), coverage grew by at most
+    /// `tolerance` fraction of the final value (e.g. 0.05 = 5%).
+    ///
+    /// Returns `false` when fewer than two samples exist.
+    pub fn plateaued(&self, window: f64, tolerance: f64) -> bool {
+        let (Some(first), Some(last)) = (self.points.first(), self.points.last()) else {
+            return false;
+        };
+        if self.points.len() < 2 || last.execs == first.execs {
+            return false;
+        }
+        let cut = last.execs - ((last.execs - first.execs) as f64 * window) as u64;
+        let at_cut = self
+            .points
+            .iter()
+            .take_while(|p| p.execs <= cut)
+            .last()
+            .map(|p| p.coverage)
+            .unwrap_or(first.coverage);
+        let growth = last.coverage.saturating_sub(at_cut) as f64;
+        growth <= tolerance * last.coverage.max(1) as f64
+    }
+
+    /// The exec count at which `fraction` of the final coverage had been
+    /// reached (`None` if never, or if the timeline is empty).
+    pub fn execs_to_fraction(&self, fraction: f64) -> Option<u64> {
+        let target = (self.final_coverage() as f64 * fraction).ceil() as u64;
+        self.points
+            .iter()
+            .find(|p| p.coverage >= target)
+            .map(|p| p.execs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn saturating_curve() -> CoverageTimeline {
+        let mut t = CoverageTimeline::new();
+        // Fast growth, then flat: a classic discovery curve.
+        for (e, c) in [(10u64, 100u64), (100, 400), (1_000, 480), (10_000, 500), (100_000, 502)] {
+            t.record(e, c);
+        }
+        t
+    }
+
+    #[test]
+    fn records_monotone_coverage() {
+        let mut t = CoverageTimeline::new();
+        t.record(10, 50);
+        t.record(20, 40); // clamped up
+        assert_eq!(t.final_coverage(), 50);
+        assert_eq!(t.points().len(), 2);
+    }
+
+    #[test]
+    fn same_exec_updates_in_place() {
+        let mut t = CoverageTimeline::new();
+        t.record(10, 5);
+        t.record(10, 9);
+        assert_eq!(t.points().len(), 1);
+        assert_eq!(t.final_coverage(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "in order")]
+    fn out_of_order_samples_panic() {
+        let mut t = CoverageTimeline::new();
+        t.record(10, 5);
+        t.record(5, 6);
+    }
+
+    #[test]
+    fn plateau_detected_on_saturating_curve() {
+        let t = saturating_curve();
+        assert!(t.plateaued(0.5, 0.05));
+        assert!(!t.plateaued(0.999, 0.05), "whole-run window sees the growth");
+    }
+
+    #[test]
+    fn no_plateau_on_linear_growth() {
+        let mut t = CoverageTimeline::new();
+        for i in 1..=10u64 {
+            t.record(i * 100, i * 50);
+        }
+        assert!(!t.plateaued(0.5, 0.05));
+    }
+
+    #[test]
+    fn empty_and_single_point_never_plateau() {
+        assert!(!CoverageTimeline::new().plateaued(0.5, 0.05));
+        let mut t = CoverageTimeline::new();
+        t.record(10, 10);
+        assert!(!t.plateaued(0.5, 0.05));
+    }
+
+    #[test]
+    fn execs_to_fraction_finds_milestones() {
+        let t = saturating_curve();
+        // 20% of 502 ≈ 101 (ceil): the first point with ≥ 101 is (100, 400).
+        assert_eq!(t.execs_to_fraction(0.2), Some(100));
+        // 10% of 502 ≈ 51: already reached by the first point (10, 100).
+        assert_eq!(t.execs_to_fraction(0.1), Some(10));
+    }
+
+    #[test]
+    fn execs_to_full_coverage() {
+        let t = saturating_curve();
+        assert_eq!(t.execs_to_fraction(1.0), Some(100_000));
+        assert!(CoverageTimeline::new().execs_to_fraction(0.5).is_none());
+    }
+}

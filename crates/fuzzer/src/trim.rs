@@ -1,0 +1,213 @@
+//! Input trimming (AFL's `trim_case` stage).
+//!
+//! Before a new queue entry is fuzzed, AFL tries to shrink it: remove
+//! chunks of decreasing size and keep the removal whenever the coverage
+//! checksum is unchanged. Short inputs matter doubly here — the paper's
+//! §II-A1 notes AFL prefers short files because mutations are more likely
+//! to hit control structures, and the queue's favored-entry score divides
+//! by input length.
+//!
+//! The coverage checksum is the map hash, so trimming is one more consumer
+//! of the *bitmap hash* operation whose cost Figure 3 tracks — under
+//! BigMap's watermark rule the hash stays cheap no matter the map size.
+
+use bigmap_core::CoverageMap;
+
+use crate::executor::Executor;
+
+/// Result of trimming one input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrimResult {
+    /// The trimmed input (equal to the original if nothing could go).
+    pub input: Vec<u8>,
+    /// Executions spent trimming.
+    pub execs: u64,
+    /// Bytes removed.
+    pub removed: usize,
+}
+
+/// AFL's trim schedule: chunk size starts at len/16 and halves down to
+/// len/1024 (bounded below by 4 bytes).
+fn chunk_sizes(len: usize) -> Vec<usize> {
+    let mut sizes = Vec::new();
+    let mut size = (len / 16).max(4);
+    let min = (len / 1024).max(4);
+    while size >= min {
+        sizes.push(size);
+        if size == min {
+            break;
+        }
+        size = (size / 2).max(min);
+    }
+    sizes
+}
+
+/// Trims `input` against the target: removes chunks whenever the coverage
+/// hash of the classified map is unchanged.
+///
+/// `map` is used as scratch space; its contents on return are those of the
+/// final verification run. The virgin state is untouched — trimming only
+/// compares hashes, never updates global coverage (same as AFL).
+///
+/// # Examples
+///
+/// ```rust
+/// use bigmap_core::{BigMap, MapSize};
+/// use bigmap_coverage::{EdgeHitCount, Instrumentation};
+/// use bigmap_fuzzer::{trim_input, Executor};
+/// use bigmap_target::{Interpreter, ProgramBuilder};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Only input[0] matters to this target; the tail is dead weight.
+/// let program = ProgramBuilder::new("t").gate(0, b'A', false).build()?;
+/// let inst = Instrumentation::assign(program.block_count(), program.call_sites,
+///                                    MapSize::K64, 1);
+/// let interp = Interpreter::new(&program);
+/// let mut executor = Executor::new(&interp, &inst, Box::new(EdgeHitCount::new()));
+/// let mut map = BigMap::new(MapSize::K64)?;
+///
+/// let fat = [b"A".as_slice(), &[0u8; 512]].concat();
+/// let trimmed = trim_input(&mut executor, &mut map, &fat);
+/// assert!(trimmed.input.len() < fat.len());
+/// assert_eq!(trimmed.input[0], b'A');
+/// # Ok(())
+/// # }
+/// ```
+pub fn trim_input(
+    executor: &mut Executor<'_>,
+    map: &mut dyn CoverageMap,
+    input: &[u8],
+) -> TrimResult {
+    let mut execs = 0u64;
+
+    // Reference hash of the original input.
+    let run_hash = |executor: &mut Executor<'_>, map: &mut dyn CoverageMap, data: &[u8]| {
+        map.reset();
+        let _ = executor.run(data, map);
+        map.classify();
+        map.hash()
+    };
+    let reference = run_hash(executor, map, input);
+    execs += 1;
+
+    let mut current = input.to_vec();
+    for chunk in chunk_sizes(input.len()) {
+        if current.len() <= chunk {
+            continue;
+        }
+        let mut offset = 0;
+        while offset < current.len() && current.len() > chunk {
+            let end = (offset + chunk).min(current.len());
+            let mut candidate = current.clone();
+            candidate.drain(offset..end);
+            if candidate.is_empty() {
+                break;
+            }
+            let hash = run_hash(executor, map, &candidate);
+            execs += 1;
+            if hash == reference {
+                current = candidate; // removal kept coverage: keep it
+                // same offset now points at the next chunk
+            } else {
+                offset = end;
+            }
+        }
+    }
+
+    // Leave the map reflecting the final input (callers may inspect it).
+    let final_hash = run_hash(executor, map, &current);
+    execs += 1;
+    debug_assert_eq!(final_hash, reference, "trim must preserve coverage");
+
+    TrimResult {
+        removed: input.len() - current.len(),
+        input: current,
+        execs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigmap_core::{BigMap, MapSize};
+    use bigmap_coverage::{EdgeHitCount, Instrumentation};
+    use bigmap_target::{GeneratorConfig, Interpreter, ProgramBuilder};
+
+    fn setup(program: &bigmap_target::Program) -> Instrumentation {
+        Instrumentation::assign(program.block_count(), program.call_sites, MapSize::K64, 3)
+    }
+
+    #[test]
+    fn chunk_schedule_halves() {
+        assert_eq!(chunk_sizes(1024), vec![64, 32, 16, 8, 4]);
+        assert_eq!(chunk_sizes(64), vec![4]);
+        assert_eq!(chunk_sizes(0), vec![4]); // degenerate, loop guards handle it
+    }
+
+    #[test]
+    fn dead_tail_is_removed() {
+        let program = ProgramBuilder::new("t").gate(0, b'X', false).build().unwrap();
+        let inst = setup(&program);
+        let interp = Interpreter::new(&program);
+        let mut executor = Executor::new(&interp, &inst, Box::new(EdgeHitCount::new()));
+        let mut map = BigMap::new(MapSize::K64).unwrap();
+
+        let fat = [b"X".as_slice(), &[0xAA; 1000]].concat();
+        let result = trim_input(&mut executor, &mut map, &fat);
+        assert!(result.removed > 900, "removed only {} bytes", result.removed);
+        assert!(result.execs > 1);
+        // Behaviour preserved: gate still passes.
+        assert_eq!(result.input[0], b'X');
+    }
+
+    #[test]
+    fn fully_live_input_is_untouched() {
+        // Every byte of a 3-gate input matters (offsets 0..3 with wrap on
+        // a 3-byte input): trimming must keep all gates satisfied.
+        let program = ProgramBuilder::new("t")
+            .gate(0, b'A', false)
+            .gate(1, b'B', false)
+            .gate(2, b'C', false)
+            .build()
+            .unwrap();
+        let inst = setup(&program);
+        let interp = Interpreter::new(&program);
+        let mut executor = Executor::new(&interp, &inst, Box::new(EdgeHitCount::new()));
+        let mut map = BigMap::new(MapSize::K64).unwrap();
+
+        let input = b"ABC".to_vec();
+        let result = trim_input(&mut executor, &mut map, &input);
+        // Any removal changes which gates pass (offsets wrap), so the
+        // hash changes and nothing is removed.
+        assert_eq!(result.input, input);
+        assert_eq!(result.removed, 0);
+    }
+
+    #[test]
+    fn trim_preserves_coverage_on_generated_targets() {
+        let program = GeneratorConfig { seed: 6, ..Default::default() }.generate();
+        let inst = setup(&program);
+        let interp = Interpreter::new(&program);
+        let mut executor = Executor::new(&interp, &inst, Box::new(EdgeHitCount::new()));
+        let mut map = BigMap::new(MapSize::K64).unwrap();
+
+        for seed in 0..5u8 {
+            let input: Vec<u8> = (0..200).map(|i| (i as u8).wrapping_mul(seed + 1)).collect();
+            let before = {
+                map.reset();
+                let _ = executor.run(&input, &mut map);
+                map.classify();
+                map.hash()
+            };
+            let result = trim_input(&mut executor, &mut map, &input);
+            let after = {
+                map.reset();
+                let _ = executor.run(&result.input, &mut map);
+                map.classify();
+                map.hash()
+            };
+            assert_eq!(before, after, "seed {seed}: trim changed coverage");
+            assert!(result.input.len() <= input.len());
+        }
+    }
+}

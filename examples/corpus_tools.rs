@@ -1,0 +1,90 @@
+//! Corpus tooling: trimming, minimization and plateau analysis.
+//!
+//! Runs a short campaign, then demonstrates the three corpus utilities:
+//! AFL-style input trimming (shrink each seed while its coverage hash is
+//! unchanged), afl-cmin-style corpus minimization (drop inputs that add no
+//! structural edges), and the coverage timeline's plateau detector.
+//!
+//! ```text
+//! cargo run --release --example corpus_tools
+//! ```
+
+use bigmap::core::BigMap;
+use bigmap::fuzzer::{minimize_corpus, trim_input};
+use bigmap::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = BenchmarkSpec::by_name("proj4").expect("in Table II");
+    let program = spec.build(0.05);
+    let seeds = spec.build_seeds(&program, 16);
+    let map_size = MapSize::M2;
+    let instrumentation = Instrumentation::assign(
+        program.block_count(),
+        program.call_sites,
+        map_size,
+        21,
+    );
+
+    // 1. Fuzz briefly to grow a corpus.
+    let interpreter = Interpreter::new(&program);
+    let mut campaign = Campaign::new(
+        CampaignConfig {
+            scheme: MapScheme::TwoLevel,
+            map_size,
+            budget: Budget::Execs(20_000),
+            ..Default::default()
+        },
+        &interpreter,
+        &instrumentation,
+    );
+    campaign.add_seeds(seeds);
+    let (stats, corpus) = campaign.run_with_corpus();
+    println!(
+        "campaign: {} execs, corpus of {} inputs, {} bytes total",
+        stats.execs,
+        corpus.len(),
+        corpus.iter().map(Vec::len).sum::<usize>(),
+    );
+
+    // 2. Plateau analysis (Figure 7's question).
+    println!(
+        "discovery plateaued over the last half of the run: {} \
+         (final discovery units: {})",
+        stats.timeline.plateaued(0.5, 0.05),
+        stats.timeline.final_coverage(),
+    );
+
+    // 3. Trim every input (AFL's trim stage).
+    let mut executor = Executor::new(
+        &interpreter,
+        &instrumentation,
+        Box::new(EdgeHitCount::new()),
+    );
+    let mut scratch = BigMap::new(map_size)?;
+    let mut removed = 0usize;
+    let trimmed: Vec<Vec<u8>> = corpus
+        .iter()
+        .map(|input| {
+            let result = trim_input(&mut executor, &mut scratch, input);
+            removed += result.removed;
+            result.input
+        })
+        .collect();
+    println!(
+        "trim: removed {} bytes total ({} -> {} bytes)",
+        removed,
+        corpus.iter().map(Vec::len).sum::<usize>(),
+        trimmed.iter().map(Vec::len).sum::<usize>(),
+    );
+
+    // 4. Minimize the trimmed corpus (afl-cmin).
+    let min = minimize_corpus(&interpreter, &trimmed);
+    println!(
+        "cmin: kept {} of {} inputs, structural edges {} -> {} (lossless)",
+        min.kept.len(),
+        trimmed.len(),
+        min.edges_before,
+        min.edges_after,
+    );
+    Ok(())
+}

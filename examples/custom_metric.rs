@@ -1,0 +1,118 @@
+//! Custom coverage metric: BigMap is metric-agnostic (§IV-D).
+//!
+//! The paper stresses that "any coverage metric can be used in edge ID's
+//! place". This example defines a metric the library does not ship — a
+//! toy *rare-byte* metric keying on (block, input-length bucket) pairs —
+//! plugs it into the standard executor unchanged, and fuzzes with it.
+//!
+//! ```text
+//! cargo run --release --example custom_metric
+//! ```
+
+use bigmap::prelude::*;
+
+/// A homegrown metric: hashes each block with a coarse bucket of the
+/// current input length, so the same block reached by differently sized
+/// inputs counts as different coverage. (Not a *good* metric — the point
+/// is that nothing in the map or executor needs to know about it.)
+#[derive(Debug, Default)]
+struct BlockTimesLenBucket {
+    len_bucket: u32,
+}
+
+impl BlockTimesLenBucket {
+    fn set_input_len(&mut self, len: usize) {
+        self.len_bucket = (len as u32 / 16).min(15);
+    }
+}
+
+impl CoverageMetric for BlockTimesLenBucket {
+    fn kind(&self) -> MetricKind {
+        MetricKind::Block // closest standard family, for reporting
+    }
+
+    fn begin_execution(&mut self) {}
+
+    fn on_event(&mut self, event: TraceEvent, sink: &mut dyn FnMut(u32)) {
+        if let TraceEvent::Block(id) = event {
+            sink(id.rotate_left(7) ^ (self.len_bucket.wrapping_mul(0x9E37_79B9)));
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = GeneratorConfig {
+        name: "custom-metric-demo".into(),
+        seed: 5,
+        ..Default::default()
+    }
+    .generate();
+    let map_size = MapSize::M2;
+    let instrumentation = Instrumentation::assign(
+        program.block_count(),
+        program.call_sites,
+        map_size,
+        1,
+    );
+    let interpreter = Interpreter::new(&program);
+
+    // Drive the metric by hand through the executor building blocks: one
+    // BigMap, one virgin state, our metric.
+    let mut metric = BlockTimesLenBucket::default();
+    let mut map = bigmap::core::BigMap::new(map_size)?;
+    let mut virgin = VirginState::new(map_size);
+    let mut mutator = Mutator::new(1);
+    let mut corpus: Vec<Vec<u8>> = vec![b"seed input".to_vec()];
+    let mut interesting = 0u32;
+
+    for i in 0..20_000 {
+        let parent = &corpus[i % corpus.len()];
+        let child = mutator.havoc(parent, None);
+
+        map.reset();
+        metric.set_input_len(child.len());
+        metric.begin_execution();
+
+        struct Sink<'a> {
+            inst: &'a Instrumentation,
+            metric: &'a mut BlockTimesLenBucket,
+            map: &'a mut bigmap::core::BigMap,
+        }
+        impl bigmap::target::TraceSink for Sink<'_> {
+            fn on_block(&mut self, g: usize) {
+                let Sink { inst, metric, map } = self;
+                let id = inst.block_id(g);
+                metric.on_event(TraceEvent::Block(id), &mut |k| map.record(k));
+            }
+            fn on_call(&mut self, _c: usize) {}
+            fn on_return(&mut self) {}
+        }
+        let mut sink = Sink {
+            inst: &instrumentation,
+            metric: &mut metric,
+            map: &mut map,
+        };
+        let _ = interpreter.run(&child, &mut sink);
+
+        if map.classify_and_compare(&mut virgin).is_interesting() {
+            interesting += 1;
+            corpus.push(child);
+        }
+    }
+
+    println!(
+        "custom metric over 20k execs: {} interesting inputs, {} distinct \
+         keys ({} map slots of {} used — {:.2}%)",
+        interesting,
+        map.used_len(),
+        map.used_len(),
+        map_size.bytes(),
+        100.0 * map.used_len() as f64 / map_size.bytes() as f64,
+    );
+    println!(
+        "the map never iterated more than its {}-byte used prefix — the \
+         metric plugged in with zero changes to the map code.",
+        map.used_len()
+    );
+    Ok(())
+}

@@ -1,0 +1,106 @@
+//! Metric composition: laf-intel + N-gram on one target (§V-C in
+//! miniature).
+//!
+//! Takes a magic-compare-heavy target, applies the laf-intel transform,
+//! stacks the N-gram(3) metric, and fuzzes the result with BigMap at 64 kB
+//! vs 2 MB — showing how the composition blows up the key population and
+//! how the bigger map recovers the lost crashes.
+//!
+//! ```text
+//! cargo run --release --example metric_composition
+//! ```
+
+use std::time::Duration;
+
+use bigmap::prelude::*;
+
+fn campaign(
+    program: &Program,
+    map_size: MapSize,
+    metric: MetricKind,
+    seeds: &[Vec<u8>],
+) -> CampaignStats {
+    let instrumentation = Instrumentation::assign(
+        program.block_count(),
+        program.call_sites,
+        map_size,
+        7,
+    );
+    let interpreter = Interpreter::new(program);
+    let mut campaign = Campaign::new(
+        CampaignConfig {
+            scheme: MapScheme::TwoLevel,
+            map_size,
+            metric,
+            budget: Budget::Time(Duration::from_secs(2)),
+            ..Default::default()
+        },
+        &interpreter,
+        &instrumentation,
+    );
+    campaign.add_seeds(seeds.to_vec());
+    campaign.run()
+}
+
+fn main() {
+    // A magic-heavy target with buried crashes — the kind of program
+    // laf-intel was built for.
+    let base = GeneratorConfig {
+        name: "llvm-ish".into(),
+        functions: 10,
+        gates_per_function: 16,
+        magic_gate_ratio: 0.45,
+        switch_ratio: 0.15,
+        crash_sites: 12,
+        crash_guard_width: 3,
+        seed: 0xDEC0DE,
+        ..Default::default()
+    }
+    .generate();
+
+    let (laf, stats) = apply_laf_intel(&base);
+    println!(
+        "laf-intel: split {} comparisons, deconstructed {} switches, +{} blocks",
+        stats.comparisons_split, stats.switches_deconstructed, stats.blocks_added
+    );
+    println!(
+        "static edges: {} -> {}\n",
+        base.static_edge_count(),
+        laf.static_edge_count()
+    );
+
+    let seeds = generate_seeds(&laf, 12, 99);
+    let mut table = TextTable::new(vec![
+        "configuration",
+        "map",
+        "keys used",
+        "collision %",
+        "unique crashes",
+    ]);
+
+    for (label, program, metric) in [
+        ("edge only", &base, MetricKind::Edge),
+        ("laf+edge", &laf, MetricKind::Edge),
+        ("laf+ngram3", &laf, MetricKind::NGram(3)),
+    ] {
+        for map_size in [MapSize::K64, MapSize::M2] {
+            let stats = campaign(program, map_size, metric, &seeds);
+            table.row(vec![
+                label.into(),
+                map_size.label(),
+                stats.used_len.to_string(),
+                format!(
+                    "{:.1}",
+                    100.0 * collision_rate(1 << 16, stats.used_len as u64)
+                ),
+                stats.unique_crashes.to_string(),
+            ]);
+        }
+    }
+    println!("{table}");
+    println!(
+        "expected: each composition step multiplies the key population \
+         (map pressure); at 64k the collision rate climbs accordingly, \
+         and the 2M arm recovers crashes the collisions were hiding."
+    );
+}

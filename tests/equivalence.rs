@@ -1,0 +1,146 @@
+//! Cross-scheme observational equivalence — the central correctness claim
+//! of the reproduction (DESIGN.md §6): for any stream of coverage events,
+//! AFL's flat bitmap and BigMap's two-level bitmap must agree on every
+//! observable the fuzzer acts on.
+
+use bigmap::prelude::*;
+use proptest::prelude::*;
+
+/// Drives both schemes through an identical sequence of executions and
+/// checks observable agreement after each pipeline step.
+fn check_equivalence(map_size: MapSize, executions: &[Vec<u32>]) {
+    let mut flat = FlatBitmap::new(map_size).unwrap();
+    let mut big = bigmap::core::BigMap::new(map_size).unwrap();
+    let mut flat_virgin = VirginState::new(map_size);
+    let mut big_virgin = VirginState::new(map_size);
+
+    for keys in executions {
+        flat.reset();
+        big.reset();
+        for &k in keys {
+            flat.record(k);
+            big.record(k);
+        }
+
+        // Raw hit-count multisets agree.
+        let counts = |map: &dyn CoverageMap| {
+            let mut v = Vec::new();
+            map.for_each_nonzero(&mut |_, c| v.push(c));
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(counts(&flat), counts(&big), "raw counts diverged");
+        assert_eq!(flat.count_nonzero(), big.count_nonzero());
+
+        // Per-key values agree.
+        for &k in keys {
+            assert_eq!(flat.value_of_key(k), big.value_of_key(k), "key {k}");
+        }
+
+        // Merged classify+compare verdicts agree.
+        let fv = flat.classify_and_compare(&mut flat_virgin);
+        let bv = big.classify_and_compare(&mut big_virgin);
+        assert_eq!(fv, bv, "novelty verdicts diverged");
+
+        // Classified values agree too.
+        assert_eq!(counts(&flat), counts(&big), "classified counts diverged");
+
+        // Virgin discovery totals agree (different layouts, same count).
+        assert_eq!(
+            flat_virgin.discovered_in(map_size.bytes()),
+            big_virgin.discovered_in(big.used_len()),
+            "virgin discovery diverged"
+        );
+    }
+}
+
+#[test]
+fn hand_picked_sequences() {
+    let size = MapSize::K64;
+    check_equivalence(
+        size,
+        &[
+            vec![],
+            vec![1],
+            vec![1, 1, 1],
+            vec![2, 3, 4, 5],
+            vec![1, 2, 3],
+            vec![70_000, 70_000 + (1 << 16)], // folds collide on purpose
+            (0..300).collect(),
+        ],
+    );
+}
+
+#[test]
+fn split_classify_compare_matches_merged_across_schemes() {
+    let size = MapSize::K64;
+    let keys: Vec<u32> = (0..512).map(|i| i * 37).collect();
+
+    let run = |merged: bool| -> (Vec<u8>, NewCoverage) {
+        let mut map = bigmap::core::BigMap::new(size).unwrap();
+        let mut virgin = VirginState::new(size);
+        for &k in &keys {
+            map.record(k);
+        }
+        let verdict = if merged {
+            map.classify_and_compare(&mut virgin)
+        } else {
+            map.classify(); // split pipeline (§IV-E off)
+            map.compare(&mut virgin)
+        };
+        (map.active_region().to_vec(), verdict)
+    };
+    assert_eq!(run(true), run(false));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn equivalence_over_random_campaigns(
+        executions in prop::collection::vec(
+            prop::collection::vec(any::<u32>(), 0..200),
+            1..12,
+        ),
+    ) {
+        check_equivalence(MapSize::K64, &executions);
+    }
+
+    #[test]
+    fn equivalence_with_clustered_keys(
+        base in 0u32..60_000,
+        executions in prop::collection::vec(
+            prop::collection::vec(0u32..64, 0..100),
+            1..8,
+        ),
+    ) {
+        // Clustered keys (realistic: hot loops) plus fold-collisions.
+        let shifted: Vec<Vec<u32>> = executions
+            .iter()
+            .map(|keys| keys.iter().map(|k| base + k * 3).collect())
+            .collect();
+        check_equivalence(MapSize::K64, &shifted);
+    }
+
+    #[test]
+    fn hash_stability_under_growth(
+        path_a in prop::collection::vec(any::<u32>(), 1..50),
+        path_b in prop::collection::vec(any::<u32>(), 1..50),
+    ) {
+        // Run A, then B (growing used_key), then A again: A's hash must be
+        // identical both times (§IV-D watermark rule).
+        let mut map = bigmap::core::BigMap::new(MapSize::K64).unwrap();
+        let mut run = |keys: &[u32]| {
+            map.reset();
+            for &k in keys {
+                map.record(k);
+            }
+            map.classify();
+            map.hash()
+        };
+        let first = run(&path_a);
+        let _ = run(&path_b);
+        let second = run(&path_a);
+        prop_assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,137 @@
+//! Randomized whole-system invariants: arbitrary generated targets and
+//! campaign configurations must never wedge, and the statistics they
+//! produce must satisfy the structural relations the experiments rely on.
+
+use bigmap::prelude::*;
+use proptest::prelude::*;
+
+fn arb_scheme() -> impl Strategy<Value = MapScheme> {
+    prop_oneof![Just(MapScheme::Flat), Just(MapScheme::TwoLevel)]
+}
+
+fn arb_metric() -> impl Strategy<Value = MetricKind> {
+    prop_oneof![
+        Just(MetricKind::Edge),
+        Just(MetricKind::Block),
+        Just(MetricKind::ContextSensitive),
+        (2usize..=4).prop_map(MetricKind::NGram),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn campaigns_terminate_and_report_consistently(
+        program_seed in 0u64..1000,
+        campaign_seed in 0u64..1000,
+        scheme in arb_scheme(),
+        metric in arb_metric(),
+        crash_sites in 0usize..4,
+        hang_sites in 0usize..2,
+    ) {
+        let program = GeneratorConfig {
+            seed: program_seed,
+            functions: 5,
+            gates_per_function: 8,
+            crash_sites,
+            hang_sites,
+            crash_guard_width: 2,
+            ..Default::default()
+        }
+        .generate();
+        prop_assert_eq!(program.validate(), Ok(()));
+
+        let map_size = MapSize::K64;
+        let instrumentation = Instrumentation::assign(
+            program.block_count(),
+            program.call_sites,
+            map_size,
+            campaign_seed,
+        );
+        let interpreter = Interpreter::new(&program);
+        let mut campaign = Campaign::new(
+            CampaignConfig {
+                scheme,
+                map_size,
+                metric,
+                budget: Budget::Execs(1_200),
+                mutations_per_seed: 40,
+                seed: campaign_seed,
+                ..Default::default()
+            },
+            &interpreter,
+            &instrumentation,
+        );
+        campaign.add_seeds(vec![vec![campaign_seed as u8; 24]]);
+        let output = campaign.run_detailed();
+        let stats = &output.stats;
+
+        // Budget respected (trim is off, so execs land exactly).
+        prop_assert_eq!(stats.execs, 1_200);
+        // Crash accounting is internally consistent.
+        prop_assert!(stats.unique_crashes as u64 <= stats.total_crashes);
+        prop_assert_eq!(output.crash_inputs.len(), stats.unique_crashes);
+        prop_assert_eq!(stats.crash_buckets.len(), stats.unique_crashes);
+        // Coverage accounting.
+        prop_assert!(stats.discovered_slots <= stats.used_len);
+        prop_assert!(stats.used_len <= map_size.bytes());
+        prop_assert!(stats.queue_len >= 1);
+        // Timing is populated.
+        prop_assert!(stats.ops.total() > std::time::Duration::ZERO);
+        // Timeline is monotone and ends at the final exec count.
+        let points = stats.timeline.points();
+        prop_assert!(!points.is_empty());
+        for pair in points.windows(2) {
+            prop_assert!(pair[0].execs < pair[1].execs);
+            prop_assert!(pair[0].coverage <= pair[1].coverage);
+        }
+        prop_assert_eq!(points.last().unwrap().execs, 1_200);
+        // Every reported crash input reproduces.
+        for input in &output.crash_inputs {
+            prop_assert!(interpreter
+                .run(input, &mut bigmap::target::NullSink)
+                .is_crash());
+        }
+    }
+
+    #[test]
+    fn laf_transform_composes_with_any_campaign(
+        program_seed in 0u64..200,
+        scheme in arb_scheme(),
+    ) {
+        let base = GeneratorConfig {
+            seed: program_seed,
+            functions: 4,
+            gates_per_function: 6,
+            magic_gate_ratio: 0.4,
+            switch_ratio: 0.2,
+            ..Default::default()
+        }
+        .generate();
+        let (laf, _) = apply_laf_intel(&base);
+        prop_assert_eq!(laf.validate(), Ok(()));
+
+        let instrumentation = Instrumentation::assign(
+            laf.block_count(),
+            laf.call_sites,
+            MapSize::K64,
+            1,
+        );
+        let interpreter = Interpreter::new(&laf);
+        let mut campaign = Campaign::new(
+            CampaignConfig {
+                scheme,
+                map_size: MapSize::K64,
+                budget: Budget::Execs(600),
+                ..Default::default()
+            },
+            &interpreter,
+            &instrumentation,
+        );
+        campaign.add_seeds(vec![vec![9u8; 32]]);
+        let stats = campaign.run();
+        prop_assert_eq!(stats.execs, 600);
+        prop_assert!(stats.used_len > 0);
+    }
+}

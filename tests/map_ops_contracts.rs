@@ -1,0 +1,148 @@
+//! Contract tests for the `CoverageMap` trait: properties every
+//! implementation must satisfy, run against both schemes through the same
+//! generic driver (the trait-object path the fuzzer actually uses).
+
+use bigmap::core::{build_map, CoverageMap, MapScheme, MapSize, NewCoverage, VirginState};
+use proptest::prelude::*;
+
+fn schemes() -> [MapScheme; 2] {
+    [MapScheme::Flat, MapScheme::TwoLevel]
+}
+
+#[test]
+fn fresh_map_is_empty_by_every_observable() {
+    for scheme in schemes() {
+        let map = build_map(scheme, MapSize::K64);
+        assert_eq!(map.count_nonzero(), 0, "{scheme}");
+        assert!(map.active_region().iter().all(|&b| b == 0));
+        let mut visited = 0;
+        map.for_each_nonzero(&mut |_, _| visited += 1);
+        assert_eq!(visited, 0);
+        assert_eq!(map.value_of_key(12345), 0);
+        assert_eq!(map.scheme(), scheme);
+        assert_eq!(map.map_size(), MapSize::K64);
+    }
+}
+
+#[test]
+fn record_then_reset_restores_emptiness() {
+    for scheme in schemes() {
+        let mut map = build_map(scheme, MapSize::K64);
+        for k in 0..500u32 {
+            map.record(k.wrapping_mul(2654435761));
+        }
+        assert!(map.count_nonzero() > 0);
+        map.reset();
+        assert_eq!(map.count_nonzero(), 0, "{scheme}");
+        assert!(map.active_region().iter().all(|&b| b == 0));
+    }
+}
+
+#[test]
+fn for_each_nonzero_agrees_with_count_and_region() {
+    for scheme in schemes() {
+        let mut map = build_map(scheme, MapSize::K64);
+        for k in [3u32, 3, 99, 60_001, 60_001, 60_001] {
+            map.record(k);
+        }
+        let mut pairs = Vec::new();
+        map.for_each_nonzero(&mut |slot, v| pairs.push((slot, v)));
+        assert_eq!(pairs.len(), map.count_nonzero(), "{scheme}");
+        for (slot, v) in pairs {
+            assert_eq!(map.active_region()[slot], v);
+        }
+    }
+}
+
+#[test]
+fn compare_is_monotone_none_after_exhaustion() {
+    // Once a (slot, bucket) combination is folded into virgin, replaying
+    // the identical execution must be None — for both schemes, via the
+    // trait-object path.
+    for scheme in schemes() {
+        let mut map = build_map(scheme, MapSize::K64);
+        let mut virgin = VirginState::new(MapSize::K64);
+        let keys: Vec<u32> = (0..100).map(|i| i * 31).collect();
+
+        for round in 0..3 {
+            map.reset();
+            for &k in &keys {
+                map.record(k);
+            }
+            let verdict = map.classify_and_compare(&mut virgin);
+            if round == 0 {
+                assert_eq!(verdict, NewCoverage::NewEdge, "{scheme}");
+            } else {
+                assert_eq!(verdict, NewCoverage::None, "{scheme} round {round}");
+            }
+        }
+    }
+}
+
+#[test]
+fn hash_is_a_pure_function_of_the_recorded_multiset() {
+    for scheme in schemes() {
+        let run = |keys: &[u32]| {
+            let mut map = build_map(scheme, MapSize::K64);
+            for &k in keys {
+                map.record(k);
+            }
+            map.classify();
+            map.hash()
+        };
+        let a = run(&[1, 2, 3, 2]);
+        let b = run(&[1, 2, 3, 2]);
+        assert_eq!(a, b, "{scheme}: same events, same hash");
+        let c = run(&[1, 2, 3, 3]);
+        assert_ne!(a, c, "{scheme}: different counts, different hash");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn value_of_key_matches_fold_counts(
+        keys in prop::collection::vec(0u32..10_000, 0..300),
+    ) {
+        for scheme in schemes() {
+            let mut map = build_map(scheme, MapSize::K64);
+            let mut reference = std::collections::HashMap::<u32, u32>::new();
+            for &k in &keys {
+                map.record(k);
+                *reference.entry(k & MapSize::K64.mask()).or_default() += 1;
+            }
+            for (&folded, &count) in &reference {
+                prop_assert_eq!(
+                    map.value_of_key(folded) as u32,
+                    count.min(255),
+                    "{} key {}", scheme, folded
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interestingness_requires_change(
+        keys in prop::collection::vec(any::<u32>(), 1..200),
+    ) {
+        // Replaying a corpus against a virgin state that already absorbed
+        // it can never be interesting — for any scheme and any key stream.
+        for scheme in schemes() {
+            let mut map = build_map(scheme, MapSize::K64);
+            let mut virgin = VirginState::new(MapSize::K64);
+            map.reset();
+            for &k in &keys {
+                map.record(k);
+            }
+            map.classify_and_compare(&mut virgin);
+
+            map.reset();
+            for &k in &keys {
+                map.record(k);
+            }
+            let verdict = map.classify_and_compare(&mut virgin);
+            prop_assert_eq!(verdict, NewCoverage::None, "{}", scheme);
+        }
+    }
+}
