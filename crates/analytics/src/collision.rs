@@ -173,7 +173,11 @@ mod tests {
 
     #[test]
     fn empirical_matches_closed_form() {
-        for (h, n) in [(1u64 << 16, 20_000u64), (1 << 18, 100_000), (1 << 20, 50_000)] {
+        for (h, n) in [
+            (1u64 << 16, 20_000u64),
+            (1 << 18, 100_000),
+            (1 << 20, 50_000),
+        ] {
             let analytic = collision_rate(h, n);
             let measured = empirical_collision_rate(h, n, 42);
             assert!(

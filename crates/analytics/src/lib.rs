@@ -11,8 +11,7 @@ pub mod stats;
 pub mod table;
 
 pub use collision::{
-    birthday_keys_for_probability, collision_rate, empirical_collision_rate,
-    expected_distinct_keys,
+    birthday_keys_for_probability, collision_rate, empirical_collision_rate, expected_distinct_keys,
 };
 pub use stats::{geometric_mean, mean, normalize_to_first, Summary};
 pub use table::TextTable;

@@ -99,14 +99,19 @@ impl Summary {
     /// Summarizes a sample.
     pub fn of(values: &[f64]) -> Summary {
         if values.is_empty() {
-            return Summary { mean: 0.0, stddev: 0.0, min: 0.0, max: 0.0, n: 0 };
+            return Summary {
+                mean: 0.0,
+                stddev: 0.0,
+                min: 0.0,
+                max: 0.0,
+                n: 0,
+            };
         }
         let mean = crate::stats::mean(values);
         let var = if values.len() < 2 {
             0.0
         } else {
-            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
-                / (values.len() - 1) as f64
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (values.len() - 1) as f64
         };
         Summary {
             mean,

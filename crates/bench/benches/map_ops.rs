@@ -18,7 +18,9 @@ use bigmap_core::{BigMap, CoverageMap, FlatBitmap, MapSize, VirginState};
 /// Active keys resembling a mid-size benchmark (~10k discovered edges).
 fn active_keys(n: usize, map: MapSize) -> Vec<u32> {
     let mut rng = SmallRng::seed_from_u64(7);
-    (0..n).map(|_| rng.gen_range(0..map.bytes() as u32)).collect()
+    (0..n)
+        .map(|_| rng.gen_range(0..map.bytes() as u32))
+        .collect()
 }
 
 /// One execution's worth of key events (heavy repetition, like real edges).
@@ -42,22 +44,18 @@ fn bench_ops_across_sizes(c: &mut Criterion) {
         let events = exec_events(&keys, 5_000);
         group.throughput(Throughput::Elements(1));
 
-        group.bench_with_input(
-            BenchmarkId::new("flat", size.label()),
-            &size,
-            |b, &size| {
-                let mut map = FlatBitmap::new(size).unwrap();
-                let mut virgin = VirginState::new(size);
-                b.iter(|| {
-                    map.reset();
-                    populate(&mut map, &events);
-                    let verdict = map.classify_and_compare(&mut virgin);
-                    if verdict.is_interesting() {
-                        std::hint::black_box(map.hash());
-                    }
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("flat", size.label()), &size, |b, &size| {
+            let mut map = FlatBitmap::new(size).unwrap();
+            let mut virgin = VirginState::new(size);
+            b.iter(|| {
+                map.reset();
+                populate(&mut map, &events);
+                let verdict = map.classify_and_compare(&mut virgin);
+                if verdict.is_interesting() {
+                    std::hint::black_box(map.hash());
+                }
+            });
+        });
         group.bench_with_input(
             BenchmarkId::new("bigmap", size.label()),
             &size,

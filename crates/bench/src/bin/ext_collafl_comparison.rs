@@ -26,7 +26,10 @@ fn main() {
     );
 
     let benchmarks = if effort == Effort::Quick {
-        BenchmarkSpec::table_ii().into_iter().take(6).collect::<Vec<_>>()
+        BenchmarkSpec::table_ii()
+            .into_iter()
+            .take(6)
+            .collect::<Vec<_>>()
     } else {
         BenchmarkSpec::table_ii()
     };

@@ -26,7 +26,10 @@ fn main() {
         &[1, 4, 8, 12]
     };
     let benchmarks = if effort == Effort::Quick {
-        BenchmarkSpec::llvm().into_iter().take(2).collect::<Vec<_>>()
+        BenchmarkSpec::llvm()
+            .into_iter()
+            .take(2)
+            .collect::<Vec<_>>()
     } else {
         BenchmarkSpec::llvm()
     };
@@ -39,10 +42,18 @@ fn main() {
     for spec in &benchmarks {
         let prepared =
             PreparedBenchmark::build_scaled(spec, MapSize::M2, effort, effort.crash_scale());
-        for (scheme_idx, scheme) in [MapScheme::TwoLevel, MapScheme::Flat].into_iter().enumerate() {
+        for (scheme_idx, scheme) in [MapScheme::TwoLevel, MapScheme::Flat]
+            .into_iter()
+            .enumerate()
+        {
             let mut row = vec![
                 spec.name.to_string(),
-                if scheme == MapScheme::TwoLevel { "BigMap" } else { "AFL" }.to_string(),
+                if scheme == MapScheme::TwoLevel {
+                    "BigMap"
+                } else {
+                    "AFL"
+                }
+                .to_string(),
             ];
             for (i, &instances) in instance_counts.iter().enumerate() {
                 let config = CampaignConfig {

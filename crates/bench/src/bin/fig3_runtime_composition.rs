@@ -54,8 +54,8 @@ fn main() {
             let per_million = stats.ops.scaled(factor);
             let hours = |kind: OpKind| per_million.get(kind).as_secs_f64() / 3600.0;
             let total_h = per_million.total().as_secs_f64() / 3600.0;
-            let map_ops_pct =
-                100.0 * per_million.map_ops_total().as_secs_f64() / per_million.total().as_secs_f64().max(1e-12);
+            let map_ops_pct = 100.0 * per_million.map_ops_total().as_secs_f64()
+                / per_million.total().as_secs_f64().max(1e-12);
             table.row(vec![
                 spec.name.into(),
                 size.label(),

@@ -73,7 +73,12 @@ fn main() {
             let norm = normalize_to_first(&per_count);
             let mut row = vec![
                 spec.name.to_string(),
-                if scheme == MapScheme::TwoLevel { "BigMap" } else { "AFL" }.to_string(),
+                if scheme == MapScheme::TwoLevel {
+                    "BigMap"
+                } else {
+                    "AFL"
+                }
+                .to_string(),
             ];
             row.extend(per_count.iter().map(|e| format!("{e:.0}")));
             row.extend(norm.iter().map(|n| format!("{n:.2}")));

@@ -6,8 +6,8 @@
 //! a short fuzzing shakeout), and the 64 kB collision rate implied by the
 //! discovered-edge count (Equation 1).
 
-use bigmap_analytics::{collision_rate, TextTable};
 use bigmap_analytics::table::fmt_count;
+use bigmap_analytics::{collision_rate, TextTable};
 use bigmap_bench::{report_header, Effort, PreparedBenchmark};
 use bigmap_core::{MapScheme, MapSize};
 use bigmap_coverage::MetricKind;

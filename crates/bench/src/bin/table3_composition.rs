@@ -24,7 +24,10 @@ fn main() {
     );
 
     let benchmarks = if effort == Effort::Quick {
-        BenchmarkSpec::llvm().into_iter().take(2).collect::<Vec<_>>()
+        BenchmarkSpec::llvm()
+            .into_iter()
+            .take(2)
+            .collect::<Vec<_>>()
     } else {
         BenchmarkSpec::llvm()
     };

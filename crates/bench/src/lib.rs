@@ -137,7 +137,7 @@ impl PreparedBenchmark {
         );
         let seeds = spec.build_seeds(&program, effort.max_seeds());
         PreparedBenchmark {
-            spec: spec.clone(),
+            spec: *spec,
             program,
             instrumentation,
             seeds,
@@ -159,7 +159,7 @@ impl PreparedBenchmark {
         );
         let seeds = spec.build_seeds(&program, effort.max_seeds());
         PreparedBenchmark {
-            spec: spec.clone(),
+            spec: *spec,
             program,
             instrumentation,
             seeds,
@@ -243,12 +243,7 @@ impl PreparedBenchmark {
 
     /// Average of `runs` campaign arms' throughput (the paper aggregates
     /// three runs per configuration, §V-B).
-    pub fn mean_throughput(
-        &self,
-        scheme: MapScheme,
-        budget: Budget,
-        runs: usize,
-    ) -> f64 {
+    pub fn mean_throughput(&self, scheme: MapScheme, budget: Budget, runs: usize) -> f64 {
         let total: f64 = (0..runs)
             .map(|r| {
                 self.run_campaign(scheme, MetricKind::Edge, budget, 0x5EED + r as u64)
@@ -296,12 +291,8 @@ mod tests {
     fn prepared_benchmark_runs() {
         let spec = BenchmarkSpec::by_name("zlib").unwrap();
         let prepared = PreparedBenchmark::build(&spec, MapSize::K64, Effort::Quick);
-        let stats = prepared.run_campaign(
-            MapScheme::TwoLevel,
-            MetricKind::Edge,
-            Budget::Execs(500),
-            1,
-        );
+        let stats =
+            prepared.run_campaign(MapScheme::TwoLevel, MetricKind::Edge, Budget::Execs(500), 1);
         assert_eq!(stats.execs, 500);
         assert!(stats.used_len > 0);
     }

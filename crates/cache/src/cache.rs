@@ -155,13 +155,22 @@ mod tests {
 
     fn tiny() -> Cache {
         // 4 sets x 2 ways x 64B lines = 512B.
-        Cache::new(CacheConfig { size_bytes: 512, ways: 2, line_bytes: 64 })
+        Cache::new(CacheConfig {
+            size_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+        })
     }
 
     #[test]
     fn geometry_checks() {
         assert_eq!(
-            CacheConfig { size_bytes: 32 * 1024, ways: 8, line_bytes: 64 }.sets(),
+            CacheConfig {
+                size_bytes: 32 * 1024,
+                ways: 8,
+                line_bytes: 64
+            }
+            .sets(),
             64
         );
     }
@@ -169,7 +178,12 @@ mod tests {
     #[test]
     #[should_panic]
     fn bad_geometry_panics() {
-        CacheConfig { size_bytes: 100, ways: 3, line_bytes: 64 }.sets();
+        CacheConfig {
+            size_bytes: 100,
+            ways: 3,
+            line_bytes: 64,
+        }
+        .sets();
     }
 
     #[test]

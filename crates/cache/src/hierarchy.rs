@@ -53,9 +53,21 @@ impl CacheHierarchy {
     /// The paper's evaluation machine (per core + shared L3).
     pub fn xeon_e5645() -> Self {
         Self::new(
-            CacheConfig { size_bytes: 32 * 1024, ways: 8, line_bytes: 64 },
-            CacheConfig { size_bytes: 256 * 1024, ways: 8, line_bytes: 64 },
-            CacheConfig { size_bytes: 12 * 1024 * 1024, ways: 16, line_bytes: 64 },
+            CacheConfig {
+                size_bytes: 32 * 1024,
+                ways: 8,
+                line_bytes: 64,
+            },
+            CacheConfig {
+                size_bytes: 256 * 1024,
+                ways: 8,
+                line_bytes: 64,
+            },
+            CacheConfig {
+                size_bytes: 12 * 1024 * 1024,
+                ways: 16,
+                line_bytes: 64,
+            },
         )
     }
 

@@ -224,9 +224,7 @@ fn measure(
             accesses_per_exec: a.accesses as f64 / workload.executions.max(1) as f64,
             temporal_hit: match op {
                 TracedOp::Update if a.accesses > 0 => a.fast_hits as f64 / a.accesses as f64,
-                TracedOp::Others if a.line_new > 0 => {
-                    a.line_new_hits as f64 / a.line_new as f64
-                }
+                TracedOp::Others if a.line_new > 0 => a.line_new_hits as f64 / a.line_new as f64,
                 _ => 0.0,
             },
             spatial_ratio: if a.accesses == 0 {
@@ -287,9 +285,19 @@ pub fn trace_flat(workload: &TraceWorkload) -> Vec<TraceRow> {
     let keys = draw_keys(workload);
     let map = workload.map_size as u64;
     let mut live_all = std::collections::HashMap::new();
-    add_live(&mut live_all, FLAT_COVERAGE_BASE, keys.iter().map(|&k| k as u64), 1);
+    add_live(
+        &mut live_all,
+        FLAT_COVERAGE_BASE,
+        keys.iter().map(|&k| k as u64),
+        1,
+    );
     // The virgin map's live bytes mirror the coverage map's.
-    add_live(&mut live_all, VIRGIN_BASE, keys.iter().map(|&k| k as u64), 1);
+    add_live(
+        &mut live_all,
+        VIRGIN_BASE,
+        keys.iter().map(|&k| k as u64),
+        1,
+    );
 
     let mut rows = Vec::new();
     // Update: scattered writes at the key addresses.
@@ -308,8 +316,14 @@ pub fn trace_flat(workload: &TraceWorkload) -> Vec<TraceRow> {
     rows.extend(measure(TracedOp::Others, workload, &live_all, |_| {
         let mut t = Vec::with_capacity((map / 8) as usize * 2);
         for addr in (0..map).step_by(8) {
-            t.push(Access { addr: FLAT_COVERAGE_BASE + addr, bitmap: BitmapKind::Coverage });
-            t.push(Access { addr: VIRGIN_BASE + addr, bitmap: BitmapKind::Coverage });
+            t.push(Access {
+                addr: FLAT_COVERAGE_BASE + addr,
+                bitmap: BitmapKind::Coverage,
+            });
+            t.push(Access {
+                addr: VIRGIN_BASE + addr,
+                bitmap: BitmapKind::Coverage,
+            });
         }
         t
     }));
@@ -341,8 +355,14 @@ pub fn trace_bigmap(workload: &TraceWorkload) -> Vec<TraceRow> {
             .into_iter()
             .flat_map(|k| {
                 [
-                    Access { addr: INDEX_BASE + 4 * k as u64, bitmap: BitmapKind::Index },
-                    Access { addr: CONDENSED_BASE + slot_map[&k], bitmap: BitmapKind::Coverage },
+                    Access {
+                        addr: INDEX_BASE + 4 * k as u64,
+                        bitmap: BitmapKind::Index,
+                    },
+                    Access {
+                        addr: CONDENSED_BASE + slot_map[&k],
+                        bitmap: BitmapKind::Coverage,
+                    },
                 ]
             })
             .collect()
@@ -350,8 +370,14 @@ pub fn trace_bigmap(workload: &TraceWorkload) -> Vec<TraceRow> {
     rows.extend(measure(TracedOp::Others, workload, &live, |_| {
         let mut t = Vec::with_capacity((used / 8) as usize * 2);
         for addr in (0..used).step_by(8) {
-            t.push(Access { addr: CONDENSED_BASE + addr, bitmap: BitmapKind::Coverage });
-            t.push(Access { addr: VIRGIN_BASE + addr, bitmap: BitmapKind::Coverage });
+            t.push(Access {
+                addr: CONDENSED_BASE + addr,
+                bitmap: BitmapKind::Coverage,
+            });
+            t.push(Access {
+                addr: VIRGIN_BASE + addr,
+                bitmap: BitmapKind::Coverage,
+            });
         }
         t
     }));
@@ -432,14 +458,15 @@ mod tests {
         // spatial locality appears (many slots share lines).
         assert_eq!(index.spatial_label(), "Low", "{index:?}");
         assert_eq!(index.temporal_label(), "High", "{index:?}");
-        assert!(cov.spatial_ratio > index.spatial_ratio, "{cov:?} vs {index:?}");
+        assert!(
+            cov.spatial_ratio > index.spatial_ratio,
+            "{cov:?} vs {index:?}"
+        );
         assert_eq!(cov.pollution_label(), "None", "{cov:?}");
         // Two accesses per event total.
         let w = workload();
         assert!(
-            ((index.accesses_per_exec + cov.accesses_per_exec)
-                / w.events_per_exec as f64
-                - 2.0)
+            ((index.accesses_per_exec + cov.accesses_per_exec) / w.events_per_exec as f64 - 2.0)
                 .abs()
                 < 0.01
         );

@@ -157,13 +157,25 @@ mod tests {
             NewCoverage::NewBucket
         );
         // Third time with bucket already cleared: nothing.
-        assert_eq!(compare_region(&[0, 2, 0, 0], &mut virgin), NewCoverage::None);
+        assert_eq!(
+            compare_region(&[0, 2, 0, 0], &mut virgin),
+            NewCoverage::None
+        );
     }
 
     #[test]
     fn new_edge_dominates_new_bucket() {
         let mut virgin = vec![0xFF; 16];
-        compare_region([1; 16][..8].to_vec().iter().map(|_| 0).chain([1u8;8]).collect::<Vec<_>>().as_slice(), &mut virgin);
+        compare_region(
+            [1; 16][..8]
+                .to_vec()
+                .iter()
+                .map(|_| 0)
+                .chain([1u8; 8])
+                .collect::<Vec<_>>()
+                .as_slice(),
+            &mut virgin,
+        );
         // slots 8..16 seen with bucket 1. Now bucket 2 on slot 8 (new
         // bucket) plus first touch of slot 0 (new edge): verdict NewEdge.
         let mut cur = vec![0u8; 16];

@@ -213,7 +213,11 @@ mod tests {
 
     #[test]
     fn reset_clears_whole_map() {
-        for kind in [ResetKind::Standard, ResetKind::NonTemporal, ResetKind::Adaptive] {
+        for kind in [
+            ResetKind::Standard,
+            ResetKind::NonTemporal,
+            ResetKind::Adaptive,
+        ] {
             let mut map = FlatBitmap::with_reset_kind(MapSize::K64, kind).unwrap();
             map.record(1);
             map.record(60_000);

@@ -163,12 +163,12 @@ mod tests {
 
     #[test]
     fn rejects_non_power_of_two() {
-        assert_eq!(
-            MapSize::new(65537),
-            Err(MapSizeError::NotPowerOfTwo(65537))
-        );
+        assert_eq!(MapSize::new(65537), Err(MapSizeError::NotPowerOfTwo(65537)));
         assert_eq!(MapSize::new(0), Err(MapSizeError::NotPowerOfTwo(0)));
-        assert_eq!(MapSize::new(3 << 16), Err(MapSizeError::NotPowerOfTwo(3 << 16)));
+        assert_eq!(
+            MapSize::new(3 << 16),
+            Err(MapSizeError::NotPowerOfTwo(3 << 16))
+        );
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub fn nontemporal_zero(buf: &mut [u8]) {
 
 #[cfg(target_arch = "x86_64")]
 fn nontemporal_zero_x86(buf: &mut [u8]) {
-    use std::arch::x86_64::{_mm_setzero_si128, _mm_sfence, _mm_stream_si128, __m128i};
+    use std::arch::x86_64::{__m128i, _mm_setzero_si128, _mm_sfence, _mm_stream_si128};
 
     let len = buf.len();
     let start = buf.as_mut_ptr();

@@ -34,8 +34,7 @@ impl fmt::Display for MapScheme {
 ///
 /// Ordered: `None < NewBucket < NewEdge`, so `max` composes verdicts.
 /// Matches AFL's `has_new_bits` return values 0 / 1 / 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum NewCoverage {
     /// Nothing new: every (slot, bucket) pair was already in the virgin map.
     #[default]
@@ -53,7 +52,6 @@ impl NewCoverage {
         self != NewCoverage::None
     }
 }
-
 
 /// A coverage bitmap with the five AFL map operations.
 ///

@@ -182,7 +182,10 @@ impl CoverageMap for BigMap {
     }
 
     fn count_nonzero(&self) -> usize {
-        self.coverage[..self.used()].iter().filter(|&&b| b != 0).count()
+        self.coverage[..self.used()]
+            .iter()
+            .filter(|&&b| b != 0)
+            .count()
     }
 
     fn used_len(&self) -> usize {

@@ -11,8 +11,8 @@
 //! condensed too: location `k` always denotes the same coverage key because
 //! the index bitmap is never reset (§IV-B).
 
-use crate::map_size::MapSize;
 use crate::alloc::MapBuffer;
+use crate::map_size::MapSize;
 
 /// A virgin map: one byte per coverage slot, `0xFF` = never seen.
 ///

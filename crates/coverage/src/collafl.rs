@@ -100,11 +100,21 @@ pub fn assign_collafl(
         // already-assigned neighbours.
         let in_ids: Vec<u32> = preds
             .get(&block)
-            .map(|v| v.iter().filter(|&&p| assigned[p]).map(|&p| ids[p]).collect())
+            .map(|v| {
+                v.iter()
+                    .filter(|&&p| assigned[p])
+                    .map(|&p| ids[p])
+                    .collect()
+            })
             .unwrap_or_default();
         let out_ids: Vec<u32> = succs
             .get(&block)
-            .map(|v| v.iter().filter(|&&s| assigned[s]).map(|&s| ids[s]).collect())
+            .map(|v| {
+                v.iter()
+                    .filter(|&&s| assigned[s])
+                    .map(|&s| ids[s])
+                    .collect()
+            })
             .unwrap_or_default();
 
         let mut best = (u32::MAX, usize::MAX); // (candidate, collisions)

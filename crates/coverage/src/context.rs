@@ -123,7 +123,11 @@ mod tests {
             TraceEvent::Return,
             TraceEvent::Block(5),
         ]);
-        assert_eq!(keys, vec![edge_key(0, 5)], "balanced call/return is identity");
+        assert_eq!(
+            keys,
+            vec![edge_key(0, 5)],
+            "balanced call/return is identity"
+        );
     }
 
     #[test]

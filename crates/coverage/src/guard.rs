@@ -74,7 +74,11 @@ pub struct GuardTracker<'t> {
 impl<'t> GuardTracker<'t> {
     /// Creates a tracker over `table`.
     pub fn new(table: &'t StaticEdgeTable) -> Self {
-        GuardTracker { table, prev: None, dropped: 0 }
+        GuardTracker {
+            table,
+            prev: None,
+            dropped: 0,
+        }
     }
 
     /// Resets per-execution state (call before each run).
@@ -110,9 +114,7 @@ mod tests {
     #[test]
     fn sequential_dense_ids() {
         let table = StaticEdgeTable::new(&[(0, 1), (1, 2), (2, 3)]);
-        let ids: Vec<u32> = (0..3)
-            .map(|i| table.guard_of(i, i + 1).unwrap())
-            .collect();
+        let ids: Vec<u32> = (0..3).map(|i| table.guard_of(i, i + 1).unwrap()).collect();
         let mut sorted = ids.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, vec![0, 1, 2], "IDs must be dense and unique");

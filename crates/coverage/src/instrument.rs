@@ -100,7 +100,10 @@ impl Instrumentation {
     /// matched an earlier block's draw (the §II-B collision-rate numerator).
     pub fn block_id_collisions(&self) -> usize {
         let mut seen = std::collections::HashSet::with_capacity(self.block_ids.len());
-        self.block_ids.iter().filter(|&&id| !seen.insert(id)).count()
+        self.block_ids
+            .iter()
+            .filter(|&&id| !seen.insert(id))
+            .count()
     }
 }
 

@@ -199,7 +199,9 @@ mod tests {
 
     #[test]
     fn pressure_factor_grows_with_n() {
-        assert!(NGram::new(4).unwrap().pressure_factor() > NGram::new(3).unwrap().pressure_factor());
+        assert!(
+            NGram::new(4).unwrap().pressure_factor() > NGram::new(3).unwrap().pressure_factor()
+        );
     }
 
     proptest! {

@@ -135,10 +135,7 @@ mod tests {
     #[test]
     fn kinds_reported_in_order() {
         let stack = demo_stack();
-        assert_eq!(
-            stack.kinds(),
-            vec![MetricKind::Edge, MetricKind::NGram(3)]
-        );
+        assert_eq!(stack.kinds(), vec![MetricKind::Edge, MetricKind::NGram(3)]);
         assert_eq!(stack.kind(), MetricKind::Stack);
     }
 
@@ -160,8 +157,8 @@ mod tests {
     #[test]
     fn pressure_sums() {
         let stack = demo_stack();
-        let expected = EdgeHitCount::new().pressure_factor()
-            + NGram::new(3).unwrap().pressure_factor();
+        let expected =
+            EdgeHitCount::new().pressure_factor() + NGram::new(3).unwrap().pressure_factor();
         assert_eq!(stack.pressure_factor(), expected);
     }
 

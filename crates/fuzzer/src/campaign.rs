@@ -70,9 +70,13 @@ pub struct CampaignConfig {
     /// Mutations tried per scheduled seed before moving on (AFL fuzzes a
     /// seed "tens of thousands of times"; scaled down for simulation).
     pub mutations_per_seed: usize,
-    /// Run AFL's deterministic stages on each new seed first. The paper's
-    /// 24-hour runs skip them (FuzzBench persistent-mode setup), so the
-    /// default is `false`; the parallel master instance sets it.
+    /// Run AFL's deterministic stages on each new seed first, like classic
+    /// `afl-fuzz` does (its `-d` flag skips them). Walking bit flips are
+    /// what grinds through laf-intel-style compare cascades reliably:
+    /// havoc's stacked mutations almost always disturb an already-solved
+    /// byte window, while the deterministic sweep tries every single-bit
+    /// change alone. Throughput-oriented runs (the paper's FuzzBench
+    /// persistent-mode setup) turn this off; see `crates/bench`.
     pub deterministic: bool,
     /// Merge the classify and compare passes (§IV-E). `true` matches the
     /// paper's evaluated configuration; `false` runs them as separate
@@ -103,7 +107,7 @@ impl Default for CampaignConfig {
             metric: MetricKind::Edge,
             budget: Budget::Execs(10_000),
             mutations_per_seed: 128,
-            deterministic: false,
+            deterministic: true,
             merged_classify_compare: true,
             dictionary: Vec::new(),
             trim_new_entries: false,
@@ -177,6 +181,9 @@ pub struct Campaign<'p> {
     ops: OpStats,
     /// Inputs admitted to the queue since the last drain (parallel sync).
     fresh_finds: Vec<Vec<u8>>,
+    /// Derivation depth assigned to inputs admitted right now: 0 while dry
+    /// running seeds, scheduled parent's depth + 1 during fuzzing.
+    admit_depth: usize,
     crash_inputs: Vec<Vec<u8>>,
     timeline: CoverageTimeline,
     discovered_running: u64,
@@ -230,6 +237,7 @@ impl<'p> Campaign<'p> {
             coverage_unique_crashes: 0,
             ops: OpStats::new(),
             fresh_finds: Vec::new(),
+            admit_depth: 0,
             crash_inputs: Vec::new(),
             timeline: CoverageTimeline::new(),
             discovered_running: 0,
@@ -240,6 +248,7 @@ impl<'p> Campaign<'p> {
     /// Seeds the pool by executing the initial corpus (AFL's dry run).
     /// Every seed is admitted regardless of novelty, like AFL does.
     pub fn add_seeds<I: IntoIterator<Item = Vec<u8>>>(&mut self, seeds: I) {
+        self.admit_depth = 0;
         for input in seeds {
             self.execute_and_judge(&input, true);
         }
@@ -248,6 +257,7 @@ impl<'p> Campaign<'p> {
     /// Imports an externally discovered input (parallel corpus sync): it is
     /// admitted only if it still shows new coverage locally.
     pub fn import(&mut self, input: &[u8]) {
+        self.admit_depth = 0;
         self.execute_and_judge(input, false);
     }
 
@@ -264,7 +274,17 @@ impl<'p> Campaign<'p> {
 
     /// The whole corpus (queue inputs), for replay-based coverage measures.
     pub fn corpus(&self) -> Vec<Vec<u8>> {
-        self.queue.entries().iter().map(|e| e.input.clone()).collect()
+        self.queue
+            .entries()
+            .iter()
+            .map(|e| e.input.clone())
+            .collect()
+    }
+
+    /// Read access to the seed queue (scheduling state, favored flags,
+    /// per-entry metadata) for diagnostics and corpus tooling.
+    pub fn queue(&self) -> &Queue {
+        &self.queue
     }
 
     /// Executes one input and runs the full fitness pipeline. Returns the
@@ -314,8 +334,7 @@ impl<'p> Campaign<'p> {
                     // coverage, which is what gets hashed and scored.
                     let stored = if self.config.trim_new_entries {
                         let t = Instant::now();
-                        let result =
-                            trim_input(&mut self.executor, self.map.as_mut(), input);
+                        let result = trim_input(&mut self.executor, self.map.as_mut(), input);
                         self.stats_execs += result.execs;
                         self.ops.add(OpKind::Other, t.elapsed());
                         result.input
@@ -330,8 +349,13 @@ impl<'p> Campaign<'p> {
 
                     let mut slots = Vec::new();
                     self.map.for_each_nonzero(&mut |slot, _| slots.push(slot));
-                    self.queue
-                        .add(stored.clone(), execution.exec_time, hash, &slots);
+                    self.queue.add_with_depth(
+                        stored.clone(),
+                        execution.exec_time,
+                        hash,
+                        &slots,
+                        self.admit_depth,
+                    );
                     self.fresh_finds.push(stored);
                 }
             }
@@ -355,7 +379,8 @@ impl<'p> Campaign<'p> {
             self.discovered_running += 1;
         }
         if self.stats_execs.is_multiple_of(256) {
-            self.timeline.record(self.stats_execs, self.discovered_running);
+            self.timeline
+                .record(self.stats_execs, self.discovered_running);
         }
         verdict
     }
@@ -420,7 +445,13 @@ impl<'p> Campaign<'p> {
         on_sync: F,
     ) -> CampaignStats {
         let started = Instant::now();
-        self.run_loop(started, Some(HookState { every: sync_every, f: on_sync }));
+        self.run_loop(
+            started,
+            Some(HookState {
+                every: sync_every,
+                f: on_sync,
+            }),
+        );
         self.finish(started)
     }
 
@@ -442,6 +473,8 @@ impl<'p> Campaign<'p> {
                 .schedule(|| rng.gen::<f64>())
                 .expect("non-empty queue");
             let parent = self.queue.entry(entry_id).input.clone();
+            let parent_depth = self.queue.entry(entry_id).depth;
+            self.admit_depth = parent_depth + 1;
             self.ops.add(OpKind::Other, t.elapsed());
 
             // Deterministic stages for newly scheduled seeds (master
@@ -453,10 +486,29 @@ impl<'p> Campaign<'p> {
                         break;
                     }
                     self.execute_and_judge(&child, false);
+
+                    if self.stats_execs >= next_sync {
+                        if let Some(h) = hook.as_mut() {
+                            (h.f)(self);
+                            next_sync = self.stats_execs + h.every;
+                        }
+                    }
                 }
             }
 
-            for _ in 0..self.config.mutations_per_seed {
+            // AFL's `calculate_score` depth bonus: seeds far down a
+            // derivation chain took real work to reach, so they get extra
+            // havoc energy. This is what lets a campaign ride a laf-intel
+            // compare ladder: the frontier entry is always the deepest and
+            // gets up to 5x the children of the initial seeds.
+            let energy_factor = match parent_depth {
+                0..=3 => 1,
+                4..=7 => 2,
+                8..=13 => 3,
+                14..=25 => 4,
+                _ => 5,
+            };
+            for _ in 0..self.config.mutations_per_seed * energy_factor {
                 if !self.budget_left(started) {
                     break;
                 }
@@ -545,11 +597,14 @@ mod tests {
 
     #[test]
     fn campaign_discovers_coverage() {
-        let program = GeneratorConfig { seed: 11, ..Default::default() }.generate();
+        let program = GeneratorConfig {
+            seed: 11,
+            ..Default::default()
+        }
+        .generate();
         let inst = instrument(&program, MapSize::K64);
         let interp = Interpreter::new(&program);
-        let mut campaign =
-            Campaign::new(quick_config(MapScheme::TwoLevel, 2_000), &interp, &inst);
+        let mut campaign = Campaign::new(quick_config(MapScheme::TwoLevel, 2_000), &interp, &inst);
         campaign.add_seeds(vec![vec![0u8; 32]]);
         let stats = campaign.run();
         assert_eq!(stats.execs, 2_000);
@@ -561,12 +616,23 @@ mod tests {
 
     #[test]
     fn both_schemes_make_comparable_progress() {
-        let program = GeneratorConfig { seed: 21, ..Default::default() }.generate();
+        let program = GeneratorConfig {
+            seed: 21,
+            ..Default::default()
+        }
+        .generate();
         let inst = instrument(&program, MapSize::K64);
         let interp = Interpreter::new(&program);
 
         let run = |scheme| {
-            let mut c = Campaign::new(quick_config(scheme, 3_000), &interp, &inst);
+            // Deterministic stages off: their trigger depends on the exact
+            // schedule, which drifts on timing noise (see below) and would
+            // compound the divergence this test bounds.
+            let config = CampaignConfig {
+                deterministic: false,
+                ..quick_config(scheme, 3_000)
+            };
+            let mut c = Campaign::new(config, &interp, &inst);
             c.add_seeds(vec![vec![7u8; 40]]);
             c.run()
         };
@@ -584,7 +650,11 @@ mod tests {
             assert!(hi <= lo * 1.25 + 5.0, "{what} diverged: {a} vs {b}");
         };
         close(flat.queue_len, big.queue_len, "queue_len");
-        close(flat.discovered_slots, big.discovered_slots, "discovered_slots");
+        close(
+            flat.discovered_slots,
+            big.discovered_slots,
+            "discovered_slots",
+        );
     }
 
     #[test]
@@ -624,8 +694,7 @@ mod tests {
         .generate();
         let inst = instrument(&program, MapSize::K64);
         let interp = Interpreter::new(&program);
-        let mut campaign =
-            Campaign::new(quick_config(MapScheme::TwoLevel, 3_000), &interp, &inst);
+        let mut campaign = Campaign::new(quick_config(MapScheme::TwoLevel, 3_000), &interp, &inst);
         campaign.add_seeds(vec![vec![0u8; 48]]);
         let stats = campaign.run();
         assert_eq!(stats.execs, 3_000); // hangs must not wedge the loop
@@ -658,8 +727,7 @@ mod tests {
         let program = GeneratorConfig::default().generate();
         let inst = instrument(&program, MapSize::K64);
         let interp = Interpreter::new(&program);
-        let campaign =
-            Campaign::new(quick_config(MapScheme::TwoLevel, 100), &interp, &inst);
+        let campaign = Campaign::new(quick_config(MapScheme::TwoLevel, 100), &interp, &inst);
         campaign.run();
     }
 
@@ -681,8 +749,7 @@ mod tests {
         let program = GeneratorConfig::default().generate();
         let inst = instrument(&program, MapSize::K64);
         let interp = Interpreter::new(&program);
-        let mut campaign =
-            Campaign::new(quick_config(MapScheme::Flat, 1_000), &interp, &inst);
+        let mut campaign = Campaign::new(quick_config(MapScheme::Flat, 1_000), &interp, &inst);
         campaign.add_seeds(vec![vec![3u8; 24]]);
         let stats = campaign.run();
         assert!(stats.ops.get(OpKind::Execution) > Duration::ZERO);
@@ -712,7 +779,10 @@ mod tests {
         // the deterministic bitflip stage must find the gate.
         campaign.add_seeds(vec![vec![0x40u8; 8]]);
         let stats = campaign.run();
-        assert!(stats.queue_len >= 2, "deterministic stage should solve the gate");
+        assert!(
+            stats.queue_len >= 2,
+            "deterministic stage should solve the gate"
+        );
     }
 
     #[test]
@@ -720,8 +790,7 @@ mod tests {
         let program = GeneratorConfig::default().generate();
         let inst = instrument(&program, MapSize::K64);
         let interp = Interpreter::new(&program);
-        let mut campaign =
-            Campaign::new(quick_config(MapScheme::TwoLevel, 1_000), &interp, &inst);
+        let mut campaign = Campaign::new(quick_config(MapScheme::TwoLevel, 1_000), &interp, &inst);
         campaign.add_seeds(vec![vec![9u8; 16]]);
         let mut fired = 0;
         let stats = campaign.run_with_hook(100, |c| {
@@ -737,15 +806,14 @@ mod tests {
         let program = BenchmarkSpec::by_name("zlib").unwrap().build(0.05);
         let inst = instrument(&program, MapSize::K64);
         let interp = Interpreter::new(&program);
-        let mut campaign =
-            Campaign::new(quick_config(MapScheme::TwoLevel, 10), &interp, &inst);
+        let mut campaign = Campaign::new(quick_config(MapScheme::TwoLevel, 10), &interp, &inst);
         campaign.add_seeds(vec![vec![1u8; 16]]);
         let before = campaign.queue.len();
         campaign.import(&[1u8; 16]); // identical coverage: rejected
         assert_eq!(campaign.queue.len(), before);
         campaign.import(&[0xFFu8; 64]); // different path: likely admitted
-        // (If the path happens to be identical this would be flaky; the
-        // 0xFF pattern differs from 0x01 across every gate, so it is not.)
+                                        // (If the path happens to be identical this would be flaky; the
+                                        // 0xFF pattern differs from 0x01 across every gate, so it is not.)
         assert!(campaign.queue.len() > before);
     }
 }

@@ -74,7 +74,10 @@ pub fn minimize_corpus(interpreter: &Interpreter<'_>, corpus: &[Vec<u8>]) -> Min
     let mut per_input: Vec<HashSet<(usize, usize)>> = Vec::with_capacity(corpus.len());
     let mut all_edges: HashSet<(usize, usize)> = HashSet::new();
     for input in corpus {
-        let mut collector = EdgeCollector { edges: HashSet::new(), prev: None };
+        let mut collector = EdgeCollector {
+            edges: HashSet::new(),
+            prev: None,
+        };
         let _ = interpreter.run(input, &mut collector);
         all_edges.extend(collector.edges.iter().copied());
         per_input.push(collector.edges);
@@ -141,7 +144,10 @@ mod tests {
 
     #[test]
     fn duplicates_collapse_to_one() {
-        let program = ProgramBuilder::new("t").gate(0, b'A', false).build().unwrap();
+        let program = ProgramBuilder::new("t")
+            .gate(0, b'A', false)
+            .build()
+            .unwrap();
         let interp = Interpreter::new(&program);
         let corpus = vec![b"AA".to_vec(); 10];
         let min = minimize_corpus(&interp, &corpus);
@@ -150,7 +156,10 @@ mod tests {
 
     #[test]
     fn prefers_smaller_covers() {
-        let program = ProgramBuilder::new("t").gate(0, b'A', false).build().unwrap();
+        let program = ProgramBuilder::new("t")
+            .gate(0, b'A', false)
+            .build()
+            .unwrap();
         let interp = Interpreter::new(&program);
         // Same coverage, different sizes: the small one must be kept.
         let corpus = vec![vec![b'A'; 100], vec![b'A'; 2]];
@@ -160,7 +169,11 @@ mod tests {
 
     #[test]
     fn coverage_is_preserved_on_generated_targets() {
-        let program = GeneratorConfig { seed: 21, ..Default::default() }.generate();
+        let program = GeneratorConfig {
+            seed: 21,
+            ..Default::default()
+        }
+        .generate();
         let interp = Interpreter::new(&program);
         let corpus: Vec<Vec<u8>> = (0..40u8).map(|i| vec![i; 48]).collect();
         let min = minimize_corpus(&interp, &corpus);

@@ -55,9 +55,7 @@ impl CrashWalk {
     /// crash. Non-crash outcomes return `false` and record nothing.
     pub fn observe(&mut self, outcome: &ExecOutcome) -> bool {
         match outcome {
-            ExecOutcome::Crash { site, stack } => {
-                self.seen.insert(Self::bucket_hash(*site, stack))
-            }
+            ExecOutcome::Crash { site, stack } => self.seen.insert(Self::bucket_hash(*site, stack)),
             _ => false,
         }
     }
@@ -86,7 +84,10 @@ mod tests {
     use super::*;
 
     fn crash(site: usize, stack: &[usize]) -> ExecOutcome {
-        ExecOutcome::Crash { site, stack: stack.to_vec() }
+        ExecOutcome::Crash {
+            site,
+            stack: stack.to_vec(),
+        }
     }
 
     #[test]

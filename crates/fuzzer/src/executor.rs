@@ -25,14 +25,22 @@ struct MappingSink<'a> {
 impl TraceSink for MappingSink<'_> {
     #[inline]
     fn on_block(&mut self, global_block: usize) {
-        let MappingSink { instrumentation, metric, map } = self;
+        let MappingSink {
+            instrumentation,
+            metric,
+            map,
+        } = self;
         let id = instrumentation.block_id(global_block);
         metric.on_event(TraceEvent::Block(id), &mut |key| map.record(key));
     }
 
     #[inline]
     fn on_call(&mut self, call_site: usize) {
-        let MappingSink { instrumentation, metric, map } = self;
+        let MappingSink {
+            instrumentation,
+            metric,
+            map,
+        } = self;
         let id = instrumentation.call_site_id(call_site);
         metric.on_event(TraceEvent::Call(id), &mut |key| map.record(key));
     }
@@ -149,12 +157,8 @@ mod tests {
             ..Default::default()
         }
         .generate();
-        let instrumentation = Instrumentation::assign(
-            program.block_count(),
-            program.call_sites,
-            MapSize::K64,
-            42,
-        );
+        let instrumentation =
+            Instrumentation::assign(program.block_count(), program.call_sites, MapSize::K64, 42);
         (program, instrumentation)
     }
 
@@ -238,7 +242,10 @@ mod tests {
 
     #[test]
     fn crash_propagates_from_target() {
-        let program = ProgramBuilder::new("c").gate(0, b'X', true).build().unwrap();
+        let program = ProgramBuilder::new("c")
+            .gate(0, b'X', true)
+            .build()
+            .unwrap();
         let inst =
             Instrumentation::assign(program.block_count(), program.call_sites, MapSize::K64, 1);
         let interp = Interpreter::new(&program);

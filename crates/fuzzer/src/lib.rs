@@ -55,9 +55,7 @@ pub mod replay;
 pub mod timeline;
 pub mod trim;
 
-pub use campaign::{
-    build_metric, Budget, Campaign, CampaignConfig, CampaignOutput, CampaignStats,
-};
+pub use campaign::{build_metric, Budget, Campaign, CampaignConfig, CampaignOutput, CampaignStats};
 pub use cmin::{minimize_corpus, MinimizedCorpus};
 pub use crashwalk::CrashWalk;
 pub use executor::{Execution, Executor};

@@ -14,8 +14,7 @@ use rand::{Rng, SeedableRng};
 /// AFL's "interesting" 8-bit values.
 pub const INTERESTING_8: [i8; 9] = [-128, -1, 0, 1, 16, 32, 64, 100, 127];
 /// AFL's "interesting" 16-bit values.
-pub const INTERESTING_16: [i16; 10] =
-    [-32768, -129, 128, 255, 256, 512, 1000, 1024, 4096, 32767];
+pub const INTERESTING_16: [i16; 10] = [-32768, -129, 128, 255, 256, 512, 1000, 1024, 4096, 32767];
 
 /// Maximum number of stacked havoc operations per test case (AFL stacks
 /// `2^(1..=7)`; we cap at 64).
@@ -91,7 +90,11 @@ impl Mutator {
             data.push(0);
         }
 
-        let stack = 1 << self.rng.gen_range(1..=HAVOC_STACK_MAX.trailing_zeros() + 1).min(6);
+        let stack = 1
+            << self
+                .rng
+                .gen_range(1..=HAVOC_STACK_MAX.trailing_zeros() + 1)
+                .min(6);
         for _ in 0..stack {
             self.havoc_one(&mut data);
         }
@@ -116,7 +119,7 @@ impl Mutator {
             0 => {
                 // Flip a single bit.
                 let pos = self.rng.gen_range(0..len);
-                data[pos] ^= 1 << self.rng.gen_range(0..8);
+                data[pos] ^= 1u8 << self.rng.gen_range(0..8u32);
             }
             1 => {
                 // Set a random byte to a random value.
@@ -266,9 +269,7 @@ mod tests {
             assert_eq!(a.havoc(&seed, None), b.havoc(&seed, None));
         }
         let mut c = Mutator::new(10);
-        let differs = (0..50).any(|_| {
-            Mutator::new(9).havoc(&seed, None) != c.havoc(&seed, None)
-        });
+        let differs = (0..50).any(|_| Mutator::new(9).havoc(&seed, None) != c.havoc(&seed, None));
         assert!(differs);
     }
 
@@ -339,7 +340,10 @@ mod tests {
                 child.windows(9).any(|w| w == b"MAGICWORD")
             })
             .count();
-        assert!(hits > 20, "dictionary token appeared in only {hits}/500 children");
+        assert!(
+            hits > 20,
+            "dictionary token appeared in only {hits}/500 children"
+        );
     }
 
     #[test]

@@ -165,12 +165,8 @@ mod tests {
             .gate(1, b'Q', false)
             .build()
             .unwrap();
-        let inst = Instrumentation::assign(
-            program.block_count(),
-            program.call_sites,
-            MapSize::K64,
-            8,
-        );
+        let inst =
+            Instrumentation::assign(program.block_count(), program.call_sites, MapSize::K64, 8);
         let interp = Interpreter::new(&program);
         let mut campaign = Campaign::new(
             CampaignConfig {
@@ -236,7 +232,9 @@ mod tests {
             .unwrap()
             .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
             .collect();
-        assert!(names.iter().all(|n| n.starts_with("id:") && n.contains("sig:")));
+        assert!(names
+            .iter()
+            .all(|n| n.starts_with("id:") && n.contains("sig:")));
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -254,12 +252,8 @@ mod tests {
             .gate(1, b'Q', false)
             .build()
             .unwrap();
-        let inst = Instrumentation::assign(
-            program.block_count(),
-            program.call_sites,
-            MapSize::K64,
-            8,
-        );
+        let inst =
+            Instrumentation::assign(program.block_count(), program.call_sites, MapSize::K64, 8);
         let interp = Interpreter::new(&program);
         let mut campaign = Campaign::new(
             CampaignConfig {

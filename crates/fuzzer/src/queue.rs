@@ -26,6 +26,10 @@ pub struct QueueEntry {
     pub favored: bool,
     /// How many times the entry has been picked for fuzzing.
     pub fuzzed_rounds: usize,
+    /// Derivation depth: 0 for initial seeds, parent depth + 1 for entries
+    /// minted from a scheduled seed's mutants. Feeds AFL's
+    /// `calculate_score` depth bonus.
+    pub depth: usize,
 }
 
 impl QueueEntry {
@@ -98,6 +102,22 @@ impl Queue {
         bitmap_hash: u32,
         covered_slots: &[usize],
     ) -> usize {
+        self.add_with_depth(input, exec_time, bitmap_hash, covered_slots, 0)
+    }
+
+    /// [`Queue::add`] with an explicit derivation depth (0 for initial
+    /// seeds, parent depth + 1 for mutated finds). Depth feeds the
+    /// campaign's AFL-style energy score: entries far down a derivation
+    /// chain — e.g. the frontier of a laf-intel compare ladder — get a
+    /// havoc-energy bonus.
+    pub fn add_with_depth(
+        &mut self,
+        input: Vec<u8>,
+        exec_time: Duration,
+        bitmap_hash: u32,
+        covered_slots: &[usize],
+        depth: usize,
+    ) -> usize {
         let id = self.entries.len();
         let entry = QueueEntry {
             id,
@@ -107,6 +127,7 @@ impl Queue {
             coverage_slots: covered_slots.len(),
             favored: false,
             fuzzed_rounds: 0,
+            depth,
         };
         let score = entry.score();
         self.entries.push(entry);
@@ -143,13 +164,16 @@ impl Queue {
         self.entries.iter().filter(|e| e.favored).count()
     }
 
-    /// Picks the next seed to fuzz: round-robin over the queue, always
-    /// accepting favored entries. Non-favored entries are skipped with
-    /// AFL's probabilities: 99% while favored entries exist, 75% once
-    /// every favored entry has been fuzzed at least once (AFL's
-    /// `SKIP_TO_NEW_PROB` / `SKIP_NFAV_*` policy, which is what keeps
-    /// mutation effort concentrated on the covering set of the corpus).
-    /// `coin` supplies randomness in `[0, 1)`.
+    /// Picks the next seed to fuzz: round-robin over the queue with AFL's
+    /// `fuzz_one` skip policy. While a *pending* favored entry (favored,
+    /// never fuzzed) exists, everything else — including already-fuzzed
+    /// favored entries — is skipped with 99% probability (AFL's
+    /// `SKIP_TO_NEW_PROB`), which rushes mutation energy to fresh coverage
+    /// instead of re-grinding the whole corpus. Once every favored entry
+    /// has been fuzzed, favored entries are always kept and non-favored
+    /// ones are skipped with 75% (never fuzzed) or 95% (already fuzzed)
+    /// probability (`SKIP_NFAV_NEW_PROB` / `SKIP_NFAV_OLD_PROB`). `coin`
+    /// supplies randomness in `[0, 1)`.
     ///
     /// Returns `None` only for an empty queue.
     pub fn schedule(&mut self, mut coin: impl FnMut() -> f64) -> Option<usize> {
@@ -160,12 +184,20 @@ impl Queue {
             .entries
             .iter()
             .any(|e| e.favored && e.fuzzed_rounds == 0);
-        let keep_prob = if pending_favored { 0.01 } else { 0.25 };
         for _ in 0..self.entries.len() * 2 {
             let id = self.cursor % self.entries.len();
             self.cursor = self.cursor.wrapping_add(1);
-            let favored = self.entries[id].favored;
-            if favored || coin() < keep_prob {
+            let entry = &self.entries[id];
+            let keep = if pending_favored {
+                (entry.favored && entry.fuzzed_rounds == 0) || coin() < 0.01
+            } else if entry.favored {
+                true
+            } else if entry.fuzzed_rounds == 0 {
+                coin() < 0.25
+            } else {
+                coin() < 0.05
+            };
+            if keep {
                 self.entries[id].fuzzed_rounds += 1;
                 return Some(id);
             }
@@ -228,7 +260,7 @@ mod tests {
         let mut q = Queue::new();
         q.add(vec![0; 4], micros(10), 0, &[1]); // favored
         q.add(vec![0; 100], micros(9999), 0, &[1]); // not favored
-        // Deterministic "always skip non-favored" coin:
+                                                    // Deterministic "always skip non-favored" coin:
         let mut picks = [0usize; 2];
         for _ in 0..100 {
             let id = q.schedule(|| 0.9).unwrap();
@@ -278,6 +310,7 @@ mod tests {
             coverage_slots: 0,
             favored: false,
             fuzzed_rounds: 0,
+            depth: 0,
         };
         let mut slower = a.clone();
         slower.exec_time = micros(100);

@@ -44,7 +44,10 @@ impl ReplayCoverage {
 
     /// Replays one input, folding its structural edges in.
     pub fn replay(&mut self, interpreter: &Interpreter<'_>, input: &[u8]) {
-        let mut recorder = EdgeRecorder { coverage: self, prev: None };
+        let mut recorder = EdgeRecorder {
+            coverage: self,
+            prev: None,
+        };
         let _ = interpreter.run(input, &mut recorder);
     }
 
@@ -121,7 +124,11 @@ mod tests {
 
     #[test]
     fn union_over_corpus_is_monotone() {
-        let program = GeneratorConfig { seed: 4, ..Default::default() }.generate();
+        let program = GeneratorConfig {
+            seed: 4,
+            ..Default::default()
+        }
+        .generate();
         let interp = Interpreter::new(&program);
         let mut cov = ReplayCoverage::new();
         let mut last = 0;
@@ -135,7 +142,11 @@ mod tests {
 
     #[test]
     fn replay_is_idempotent() {
-        let program = GeneratorConfig { seed: 4, ..Default::default() }.generate();
+        let program = GeneratorConfig {
+            seed: 4,
+            ..Default::default()
+        }
+        .generate();
         let interp = Interpreter::new(&program);
         let mut cov = ReplayCoverage::new();
         cov.replay(&interp, &[9; 32]);
@@ -148,7 +159,11 @@ mod tests {
     fn measures_independent_of_map_collisions() {
         // The replay count must equal the true distinct structural pairs —
         // validated by recomputing with a second accumulator.
-        let program = GeneratorConfig { seed: 8, ..Default::default() }.generate();
+        let program = GeneratorConfig {
+            seed: 8,
+            ..Default::default()
+        }
+        .generate();
         let interp = Interpreter::new(&program);
         let corpus: Vec<Vec<u8>> = (0..8u8).map(|i| vec![i; 24]).collect();
         let a = replay_edge_coverage(&interp, &corpus);

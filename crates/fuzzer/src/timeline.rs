@@ -112,7 +112,13 @@ mod tests {
     fn saturating_curve() -> CoverageTimeline {
         let mut t = CoverageTimeline::new();
         // Fast growth, then flat: a classic discovery curve.
-        for (e, c) in [(10u64, 100u64), (100, 400), (1_000, 480), (10_000, 500), (100_000, 502)] {
+        for (e, c) in [
+            (10u64, 100u64),
+            (100, 400),
+            (1_000, 480),
+            (10_000, 500),
+            (100_000, 502),
+        ] {
             t.record(e, c);
         }
         t
@@ -148,7 +154,10 @@ mod tests {
     fn plateau_detected_on_saturating_curve() {
         let t = saturating_curve();
         assert!(t.plateaued(0.5, 0.05));
-        assert!(!t.plateaued(0.999, 0.05), "whole-run window sees the growth");
+        assert!(
+            !t.plateaued(0.999, 0.05),
+            "whole-run window sees the growth"
+        );
     }
 
     #[test]

@@ -107,7 +107,7 @@ pub fn trim_input(
             execs += 1;
             if hash == reference {
                 current = candidate; // removal kept coverage: keep it
-                // same offset now points at the next chunk
+                                     // same offset now points at the next chunk
             } else {
                 offset = end;
             }
@@ -146,7 +146,10 @@ mod tests {
 
     #[test]
     fn dead_tail_is_removed() {
-        let program = ProgramBuilder::new("t").gate(0, b'X', false).build().unwrap();
+        let program = ProgramBuilder::new("t")
+            .gate(0, b'X', false)
+            .build()
+            .unwrap();
         let inst = setup(&program);
         let interp = Interpreter::new(&program);
         let mut executor = Executor::new(&interp, &inst, Box::new(EdgeHitCount::new()));
@@ -154,7 +157,11 @@ mod tests {
 
         let fat = [b"X".as_slice(), &[0xAA; 1000]].concat();
         let result = trim_input(&mut executor, &mut map, &fat);
-        assert!(result.removed > 900, "removed only {} bytes", result.removed);
+        assert!(
+            result.removed > 900,
+            "removed only {} bytes",
+            result.removed
+        );
         assert!(result.execs > 1);
         // Behaviour preserved: gate still passes.
         assert_eq!(result.input[0], b'X');
@@ -185,7 +192,11 @@ mod tests {
 
     #[test]
     fn trim_preserves_coverage_on_generated_targets() {
-        let program = GeneratorConfig { seed: 6, ..Default::default() }.generate();
+        let program = GeneratorConfig {
+            seed: 6,
+            ..Default::default()
+        }
+        .generate();
         let inst = setup(&program);
         let interp = Interpreter::new(&program);
         let mut executor = Executor::new(&interp, &inst, Box::new(EdgeHitCount::new()));

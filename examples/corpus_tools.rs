@@ -18,12 +18,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = spec.build(0.05);
     let seeds = spec.build_seeds(&program, 16);
     let map_size = MapSize::M2;
-    let instrumentation = Instrumentation::assign(
-        program.block_count(),
-        program.call_sites,
-        map_size,
-        21,
-    );
+    let instrumentation =
+        Instrumentation::assign(program.block_count(), program.call_sites, map_size, 21);
 
     // 1. Fuzz briefly to grow a corpus.
     let interpreter = Interpreter::new(&program);

@@ -48,12 +48,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     .generate();
     let map_size = MapSize::M2;
-    let instrumentation = Instrumentation::assign(
-        program.block_count(),
-        program.call_sites,
-        map_size,
-        1,
-    );
+    let instrumentation =
+        Instrumentation::assign(program.block_count(), program.call_sites, map_size, 1);
     let interpreter = Interpreter::new(&program);
 
     // Drive the metric by hand through the executor building blocks: one

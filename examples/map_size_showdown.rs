@@ -27,14 +27,13 @@ fn main() {
     let mut table = TextTable::new(vec!["map size", "AFL exec/s", "BigMap exec/s", "speedup"]);
 
     for map_size in [MapSize::K64, MapSize::M2, MapSize::M8] {
-        let instrumentation = Instrumentation::assign(
-            program.block_count(),
-            program.call_sites,
-            map_size,
-            42,
-        );
+        let instrumentation =
+            Instrumentation::assign(program.block_count(), program.call_sites, map_size, 42);
         let mut throughput = [0.0f64; 2];
-        for (i, scheme) in [MapScheme::Flat, MapScheme::TwoLevel].into_iter().enumerate() {
+        for (i, scheme) in [MapScheme::Flat, MapScheme::TwoLevel]
+            .into_iter()
+            .enumerate()
+        {
             let interpreter = Interpreter::new(&program);
             let mut campaign = Campaign::new(
                 CampaignConfig {

@@ -20,12 +20,8 @@ fn campaign(
     metric: MetricKind,
     seeds: &[Vec<u8>],
 ) -> CampaignStats {
-    let instrumentation = Instrumentation::assign(
-        program.block_count(),
-        program.call_sites,
-        map_size,
-        7,
-    );
+    let instrumentation =
+        Instrumentation::assign(program.block_count(), program.call_sites, map_size, 7);
     let interpreter = Interpreter::new(program);
     let mut campaign = Campaign::new(
         CampaignConfig {

@@ -17,12 +17,8 @@ fn main() {
     let program = spec.build(0.03);
     let seeds = spec.build_seeds(&program, 16);
     let map_size = MapSize::M2;
-    let instrumentation = Instrumentation::assign(
-        program.block_count(),
-        program.call_sites,
-        map_size,
-        11,
-    );
+    let instrumentation =
+        Instrumentation::assign(program.block_count(), program.call_sites, map_size, 11);
     println!(
         "benchmark: {}-like | map: {} | crash sites: {}\n",
         spec.name,

@@ -84,7 +84,7 @@ pub mod prelude {
         CrashWalk, Executor, Mutator, ParallelStats,
     };
     pub use bigmap_target::{
-        apply_laf_intel, generate_seeds, BenchmarkSpec, ExecOutcome, GeneratorConfig, Interpreter,
-        Program, ProgramBuilder,
+        apply_laf_intel, generate_seeds, BenchmarkSpec, ExecConfig, ExecOutcome, GeneratorConfig,
+        Interpreter, LafIntelStats, NullSink, Program, ProgramBuilder, TargetError, TraceSink,
     };
 }

@@ -17,7 +17,9 @@ fn static_edges_enumerate_the_cfg() {
     // Gate chain: test0 -> {reward0, test1}, reward0 -> test1,
     // test1 -> {crash, exit}. reward1 is the crash (no out edges).
     assert_eq!(edges.len(), 5);
-    assert!(edges.iter().all(|&(s, d)| s < program.block_count() && d < program.block_count()));
+    assert!(edges
+        .iter()
+        .all(|&(s, d)| s < program.block_count() && d < program.block_count()));
     // Deduped and sorted.
     let mut sorted = edges.clone();
     sorted.sort_unstable();
@@ -72,7 +74,11 @@ fn collafl_ids_drive_a_campaign_with_fewer_used_slots_wasted() {
     // matching Instrumentation through the same map size; the two-level
     // map neither knows nor cares where the IDs came from (orthogonality,
     // as the paper argues).
-    let program = GeneratorConfig { seed: 9, ..Default::default() }.generate();
+    let program = GeneratorConfig {
+        seed: 9,
+        ..Default::default()
+    }
+    .generate();
     let edges = program.static_edge_pairs();
     let assignment = assign_collafl(program.block_count(), &edges, MapSize::K64, 3);
     assert_eq!(assignment.block_ids.len(), program.block_count());

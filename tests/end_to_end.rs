@@ -13,12 +13,8 @@ fn campaign_stats(
     budget: Budget,
     seeds: &[Vec<u8>],
 ) -> CampaignStats {
-    let instrumentation = Instrumentation::assign(
-        program.block_count(),
-        program.call_sites,
-        map_size,
-        9,
-    );
+    let instrumentation =
+        Instrumentation::assign(program.block_count(), program.call_sites, map_size, 9);
     let interpreter = Interpreter::new(program);
     let mut campaign = Campaign::new(
         CampaignConfig {
@@ -90,12 +86,8 @@ fn crashes_survive_the_whole_stack() {
         .gate(1, b'D', false)
         .build()
         .unwrap();
-    let instrumentation = Instrumentation::assign(
-        program.block_count(),
-        program.call_sites,
-        MapSize::M2,
-        3,
-    );
+    let instrumentation =
+        Instrumentation::assign(program.block_count(), program.call_sites, MapSize::M2, 3);
     let interpreter = Interpreter::new(&program);
     let mut campaign = Campaign::new(
         CampaignConfig {
@@ -134,7 +126,10 @@ fn laf_intel_improves_crash_discovery_under_feedback() {
 
     let plain = campaign_stats(&base, MapScheme::TwoLevel, MapSize::K64, budget, &seeds);
     let guided = campaign_stats(&laf, MapScheme::TwoLevel, MapSize::K64, budget, &seeds);
-    assert_eq!(plain.unique_crashes, 0, "blind luck through a 4-byte magic?");
+    assert_eq!(
+        plain.unique_crashes, 0,
+        "blind luck through a 4-byte magic?"
+    );
     assert_eq!(
         guided.unique_crashes, 1,
         "laf-intel feedback ladder should solve the magic"
@@ -153,12 +148,8 @@ fn auto_dictionary_solves_magic_without_laf_intel() {
     let dictionary = program.extract_dictionary();
     assert_eq!(dictionary, vec![b"K3Y!".to_vec()]);
 
-    let instrumentation = Instrumentation::assign(
-        program.block_count(),
-        program.call_sites,
-        MapSize::K64,
-        9,
-    );
+    let instrumentation =
+        Instrumentation::assign(program.block_count(), program.call_sites, MapSize::K64, 9);
     let interpreter = Interpreter::new(&program);
     let mut campaign = Campaign::new(
         CampaignConfig {
@@ -185,12 +176,8 @@ fn corpus_minimization_preserves_coverage_end_to_end() {
     let program = spec.build(0.03);
     let seeds = spec.build_seeds(&program, 16);
     let stats = {
-        let instrumentation = Instrumentation::assign(
-            program.block_count(),
-            program.call_sites,
-            MapSize::K64,
-            9,
-        );
+        let instrumentation =
+            Instrumentation::assign(program.block_count(), program.call_sites, MapSize::K64, 9);
         let interp = Interpreter::new(&program);
         let mut campaign = Campaign::new(
             CampaignConfig {
@@ -228,12 +215,8 @@ fn replay_coverage_is_scheme_independent() {
     let interpreter = Interpreter::new(&program);
 
     let run = |scheme| {
-        let instrumentation = Instrumentation::assign(
-            program.block_count(),
-            program.call_sites,
-            MapSize::K64,
-            9,
-        );
+        let instrumentation =
+            Instrumentation::assign(program.block_count(), program.call_sites, MapSize::K64, 9);
         let interp = Interpreter::new(&program);
         let mut campaign = Campaign::new(
             CampaignConfig {
@@ -267,12 +250,8 @@ fn parallel_fleet_beats_single_instance() {
     let spec = BenchmarkSpec::by_name("gvn").unwrap();
     let program = spec.build(0.015);
     let seeds = spec.build_seeds(&program, 8);
-    let instrumentation = Instrumentation::assign(
-        program.block_count(),
-        program.call_sites,
-        MapSize::M2,
-        5,
-    );
+    let instrumentation =
+        Instrumentation::assign(program.block_count(), program.call_sites, MapSize::M2, 5);
     let config = CampaignConfig {
         scheme: MapScheme::TwoLevel,
         map_size: MapSize::M2,
@@ -307,14 +286,14 @@ fn context_metric_composes_with_bigmap_end_to_end() {
     }
     .generate();
     let seeds = vec![vec![0u8; 32]];
-    let instrumentation = Instrumentation::assign(
-        program.block_count(),
-        program.call_sites,
-        MapSize::M2,
-        2,
-    );
+    let instrumentation =
+        Instrumentation::assign(program.block_count(), program.call_sites, MapSize::M2, 2);
     let interpreter = Interpreter::new(&program);
-    for metric in [MetricKind::Edge, MetricKind::ContextSensitive, MetricKind::NGram(3)] {
+    for metric in [
+        MetricKind::Edge,
+        MetricKind::ContextSensitive,
+        MetricKind::NGram(3),
+    ] {
         let mut campaign = Campaign::new(
             CampaignConfig {
                 scheme: MapScheme::TwoLevel,
@@ -341,12 +320,8 @@ fn trim_stage_yields_shorter_queue_entries() {
         .gate(1, b'R', false)
         .build()
         .unwrap();
-    let instrumentation = Instrumentation::assign(
-        program.block_count(),
-        program.call_sites,
-        MapSize::K64,
-        4,
-    );
+    let instrumentation =
+        Instrumentation::assign(program.block_count(), program.call_sites, MapSize::K64, 4);
     let interpreter = Interpreter::new(&program);
     let run = |trim: bool| {
         let mut campaign = Campaign::new(

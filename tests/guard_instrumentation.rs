@@ -46,7 +46,11 @@ fn guards_are_collision_free_but_miss_return_edges() {
     for i in 0..64u8 {
         tracker.begin_execution();
         let before = tracker.dropped_edges();
-        let mut sink = GuardSink { tracker: &mut tracker, seen: HashSet::new(), drops_before: before };
+        let mut sink = GuardSink {
+            tracker: &mut tracker,
+            seen: HashSet::new(),
+            drops_before: before,
+        };
         let _ = interp.run(&[i; 48], &mut sink);
         covered.extend(sink.seen);
         dropped_total = sink.tracker.dropped_edges();
@@ -78,7 +82,12 @@ fn guards_are_collision_free_but_miss_return_edges() {
 
 #[test]
 fn classified_split_partitions_all_pairs() {
-    let program = GeneratorConfig { seed: 3, functions: 5, ..Default::default() }.generate();
+    let program = GeneratorConfig {
+        seed: 3,
+        functions: 5,
+        ..Default::default()
+    }
+    .generate();
     let all = program.static_edge_pairs();
     let (direct, indirect) = program.static_edge_pairs_classified();
     let mut merged = direct.clone();

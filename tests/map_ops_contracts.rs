@@ -2,7 +2,7 @@
 //! implementation must satisfy, run against both schemes through the same
 //! generic driver (the trait-object path the fuzzer actually uses).
 
-use bigmap::core::{build_map, CoverageMap, MapScheme, MapSize, NewCoverage, VirginState};
+use bigmap::core::{build_map, MapScheme, MapSize, NewCoverage, VirginState};
 use proptest::prelude::*;
 
 fn schemes() -> [MapScheme; 2] {

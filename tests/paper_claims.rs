@@ -25,7 +25,10 @@ fn figure2_halving_behaviour() {
     let r64k = collision_rate(1 << 16, keys);
     let r128k = collision_rate(1 << 17, keys);
     let r256k = collision_rate(1 << 18, keys);
-    assert!((r64k / r128k) > 1.7 && (r64k / r128k) < 2.3, "{r64k} vs {r128k}");
+    assert!(
+        (r64k / r128k) > 1.7 && (r64k / r128k) < 2.3,
+        "{r64k} vs {r128k}"
+    );
     assert!((r128k / r256k) > 1.7 && (r128k / r256k) < 2.3);
 }
 
@@ -159,12 +162,7 @@ fn figure6_throughput_mechanism() {
     let program = spec.build(0.02);
     let seeds = spec.build_seeds(&program, 8);
     let throughput = |scheme: MapScheme, size: MapSize| {
-        let inst = Instrumentation::assign(
-            program.block_count(),
-            program.call_sites,
-            size,
-            17,
-        );
+        let inst = Instrumentation::assign(program.block_count(), program.call_sites, size, 17);
         let interp = Interpreter::new(&program);
         let mut campaign = Campaign::new(
             CampaignConfig {
@@ -205,12 +203,8 @@ fn table3_composition_multiplies_keys() {
     let seeds = spec.build_seeds(&base, 16);
 
     let keys_used = |program: &Program, metric: MetricKind| {
-        let inst = Instrumentation::assign(
-            program.block_count(),
-            program.call_sites,
-            MapSize::M8,
-            19,
-        );
+        let inst =
+            Instrumentation::assign(program.block_count(), program.call_sites, MapSize::M8, 19);
         let interp = Interpreter::new(program);
         let mut campaign = Campaign::new(
             CampaignConfig {

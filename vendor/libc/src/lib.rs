@@ -1,0 +1,25 @@
+//! Offline stand-in for the `libc` crate.
+//!
+//! The registry is unreachable in this build environment, so this crate
+//! declares just the raw C bindings the workspace actually uses: `madvise`
+//! with `MADV_HUGEPAGE`. The symbols come straight from the platform's C
+//! library the binary links anyway.
+
+#![allow(non_camel_case_types)]
+
+/// C `int`.
+pub type c_int = i32;
+/// C `void` (for pointer types only).
+pub type c_void = core::ffi::c_void;
+/// C `size_t`.
+pub type size_t = usize;
+
+/// `MADV_HUGEPAGE` from `<sys/mman.h>` on Linux.
+#[cfg(target_os = "linux")]
+pub const MADV_HUGEPAGE: c_int = 14;
+
+#[cfg(unix)]
+extern "C" {
+    /// Give advice about use of memory; see `madvise(2)`.
+    pub fn madvise(addr: *mut c_void, length: size_t, advice: c_int) -> c_int;
+}

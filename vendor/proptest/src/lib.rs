@@ -1,0 +1,367 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The registry is unreachable in this build environment, so this crate
+//! reimplements the subset of the proptest API the workspace uses: the
+//! [`proptest!`] macro, `prop_assert*` macros, [`Strategy`] with
+//! `prop_map`, [`Just`], [`prop_oneof!`], [`any`], range strategies, and
+//! `prop::collection::vec` / `prop::array::uniform8`.
+//!
+//! Semantics: each property runs `ProptestConfig::cases` times with inputs
+//! drawn from a generator seeded deterministically from the test function
+//! name — so failures are reproducible run-to-run. There is no shrinking:
+//! a failing case panics with the assertion message directly, which is
+//! enough for CI; rerunning the test replays the identical sequence.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Per-property configuration. Only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Smaller than upstream's 256: properties here wrap whole fuzzing
+        // campaigns, and determinism makes re-covering the same cases
+        // across runs pointless.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The RNG driving value generation inside [`proptest!`].
+#[derive(Debug, Clone)]
+pub struct TestRng(pub SmallRng);
+
+impl TestRng {
+    /// Deterministic per-property RNG, seeded from the test name.
+    pub fn for_property(name: &str) -> Self {
+        let mut hash = 0xCBF2_9CE4_8422_2325u64;
+        for byte in name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(SmallRng::seed_from_u64(hash))
+    }
+}
+
+/// A generator of random values for one property argument.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary {
+    /// Draw an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rand::Rng::gen(&mut rng.0)
+            }
+        }
+    )*};
+}
+impl_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f32, f64);
+
+/// Strategy for [`Arbitrary`] types; construct via [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+/// The full range of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(&mut rng.0, self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(&mut rng.0, self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Uniform choice between boxed alternative strategies; construct via
+/// [`prop_oneof!`].
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Union over `options`; panics if empty.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let pick = rand::Rng::gen_range(&mut rng.0, 0..self.options.len());
+        self.options[pick].generate(rng)
+    }
+}
+
+/// Box a strategy for use in [`Union`] (object-safe alternatives).
+pub fn boxed<S: Strategy + 'static>(strategy: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(strategy)
+}
+
+/// Collection and array strategies, under the same paths as upstream
+/// (`prop::collection::vec`, `prop::array::uniform8`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+
+        /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: core::ops::Range<usize>,
+        }
+
+        /// `Vec` of values from `element`, length in `size`.
+        pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = rand::Rng::gen_range(&mut rng.0, self.size.clone());
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Fixed-size array strategies.
+    pub mod array {
+        use crate::{Strategy, TestRng};
+
+        /// Strategy for `[S::Value; 8]`.
+        #[derive(Debug, Clone)]
+        pub struct UniformArray8<S>(S);
+
+        /// Array of 8 values drawn from `strategy`.
+        pub fn uniform8<S: Strategy>(strategy: S) -> UniformArray8<S> {
+            UniformArray8(strategy)
+        }
+
+        impl<S: Strategy> Strategy for UniformArray8<S> {
+            type Value = [S::Value; 8];
+            fn generate(&self, rng: &mut TestRng) -> [S::Value; 8] {
+                core::array::from_fn(|_| self.0.generate(rng))
+            }
+        }
+    }
+}
+
+/// Everything a test module needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        any, boxed, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof,
+        proptest, Any, Just, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+/// Define property tests. Supports the upstream form:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///     #[test]
+///     fn prop(x in 0u32..10, mut v in prop::collection::vec(any::<u8>(), 0..9)) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { (<$crate::ProptestConfig as ::core::default::Default>::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr); $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::TestRng::for_property(stringify!($name));
+                for case in 0..config.cases {
+                    let _ = case;
+                    $(let $pat = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Assert inside a property (panics like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+/// Upstream proptest rejects and regenerates; this stub, which expands the
+/// test body inline in the case loop, just moves on to the next case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// Assert equality inside a property (panics like `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assert inequality inside a property (panics like `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::boxed($strategy)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_vecs(
+            x in 1u32..100,
+            y in 2usize..=8,
+            mut data in prop::collection::vec(any::<u8>(), 1..64),
+        ) {
+            prop_assert!((1..100).contains(&x));
+            prop_assert!((2..=8).contains(&y));
+            prop_assert!(!data.is_empty() && data.len() < 64);
+            data.push(0);
+            prop_assert_eq!(*data.last().unwrap(), 0);
+        }
+
+        #[test]
+        fn oneof_and_map(v in prop_oneof![Just(1u8), Just(7u8), (10u8..=12).prop_map(|x| x)]) {
+            prop_assert!(v == 1 || v == 7 || (10..=12).contains(&v));
+        }
+
+        #[test]
+        fn arrays(bytes in prop::array::uniform8(any::<u8>())) {
+            prop_assert_eq!(bytes.len(), 8);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::for_property("p");
+        let mut b = TestRng::for_property("p");
+        let s = prop::collection::vec(any::<u32>(), 0..50);
+        for _ in 0..20 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+}
