@@ -7,9 +7,11 @@
 //! the paper: 0.98x / 1.4x / 4.5x / 33.1x.
 
 use bigmap_analytics::{geometric_mean, mean, TextTable};
-use bigmap_bench::{evaluated_sizes, report_header, Effort, PreparedBenchmark};
+use bigmap_bench::{
+    evaluated_sizes, report_header, telemetry_path_from_args, Effort, PreparedBenchmark,
+};
 use bigmap_core::MapScheme;
-use bigmap_fuzzer::Budget;
+use bigmap_fuzzer::{Budget, JsonlSink, TelemetryRegistry};
 use bigmap_target::BenchmarkSpec;
 
 fn main() {
@@ -19,6 +21,19 @@ fn main() {
         effort,
         "throughput in execs/sec; speedup = BigMap / AFL; avg of 2 runs per arm",
     );
+
+    // `--telemetry <path>` attaches the live stats registry to every arm
+    // and streams per-run snapshots to the file — the configuration used to
+    // measure the telemetry layer's own overhead (see EXPERIMENTS.md).
+    let registry = telemetry_path_from_args().map(|path| {
+        let sink = JsonlSink::to_file(&path)
+            .unwrap_or_else(|e| panic!("cannot open telemetry sink {}: {e}", path.display()));
+        eprintln!(
+            "  telemetry: attached to every arm, sink {}",
+            path.display()
+        );
+        TelemetryRegistry::with_sink(sink)
+    });
 
     let sizes = evaluated_sizes();
     let runs = if effort == Effort::Quick { 1 } else { 2 };
@@ -42,8 +57,18 @@ fn main() {
         for (i, &size) in sizes.iter().enumerate() {
             let prepared = PreparedBenchmark::build(spec, size, effort);
             let budget = Budget::Time(effort.arm_budget());
-            let afl = prepared.mean_throughput(MapScheme::Flat, budget, runs);
-            let big = prepared.mean_throughput(MapScheme::TwoLevel, budget, runs);
+            let afl = prepared.mean_throughput_telemetry(
+                MapScheme::Flat,
+                budget,
+                runs,
+                registry.as_ref(),
+            );
+            let big = prepared.mean_throughput_telemetry(
+                MapScheme::TwoLevel,
+                budget,
+                runs,
+                registry.as_ref(),
+            );
             let speedup = big / afl.max(1e-9);
             speedups[i].push(speedup);
             row.push(format!("{afl:.0}"));

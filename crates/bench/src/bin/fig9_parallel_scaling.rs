@@ -9,9 +9,12 @@
 //! is therefore super-linear in the instance count.
 
 use bigmap_analytics::{normalize_to_first, TextTable};
-use bigmap_bench::{report_header, Effort, PreparedBenchmark};
+use bigmap_bench::{report_header, telemetry_path_from_args, Effort, PreparedBenchmark};
 use bigmap_core::{MapScheme, MapSize};
-use bigmap_fuzzer::{run_parallel, Budget, CampaignConfig};
+use bigmap_fuzzer::{
+    parse_jsonl, run_parallel_with_telemetry, Budget, CampaignConfig, JsonlSink, TelemetryEvent,
+    TelemetryRegistry,
+};
 use bigmap_target::BenchmarkSpec;
 
 fn main() {
@@ -21,6 +24,14 @@ fn main() {
         effort,
         "per benchmark: total execs at 1/4/8/12 instances; normalized + speedup",
     );
+
+    let telemetry_path = telemetry_path_from_args();
+    let registry = telemetry_path.as_ref().map(|path| {
+        let sink = JsonlSink::to_file(path)
+            .unwrap_or_else(|e| panic!("cannot open telemetry sink {}: {e}", path.display()));
+        eprintln!("  telemetry: streaming snapshots to {}", path.display());
+        TelemetryRegistry::with_sink(sink)
+    });
 
     let instance_counts: &[usize] = if effort == Effort::Quick {
         &[1, 2, 4]
@@ -60,14 +71,28 @@ fn main() {
                     deterministic: true, // master runs deterministic stages
                     ..Default::default()
                 };
-                let stats = run_parallel(
+                let before = registry.as_ref().map(|r| r.fleet_totals());
+                let stats = run_parallel_with_telemetry(
                     &prepared.program,
                     &prepared.instrumentation,
                     &config,
                     &prepared.seeds,
                     instances,
                     5_000,
+                    registry.as_ref(),
                 );
+                if let (Some(registry), Some(before)) = (&registry, before) {
+                    let after = registry.fleet_totals();
+                    let delta = |event| after.get(event) - before.get(event);
+                    eprintln!(
+                        "  sync traffic: {} / {scheme:?} @{instances}: \
+                         {} published, {} imported, {} rejected",
+                        spec.name,
+                        delta(TelemetryEvent::SyncPublish),
+                        delta(TelemetryEvent::SyncImport),
+                        delta(TelemetryEvent::ImportRejection),
+                    );
+                }
                 per_count.push(stats.total_execs() as f64);
             }
             let norm = normalize_to_first(&per_count);
@@ -103,4 +128,22 @@ fn main() {
          speedup grows super-linearly with the instance count (paper avg: \
          4.9x / 9.2x / 13.8x at 4 / 8 / 12)."
     );
+
+    // Close the loop on the telemetry stream: read the JSONL back and make
+    // sure every line parses (the CI smoke job relies on this check).
+    if let Some(path) = telemetry_path {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read back telemetry {}: {e}", path.display()));
+        let snapshots =
+            parse_jsonl(&text).unwrap_or_else(|e| panic!("telemetry JSONL failed to parse: {e}"));
+        assert!(
+            !snapshots.is_empty(),
+            "telemetry sink produced no snapshots"
+        );
+        println!(
+            "telemetry: {} snapshots written to {} and parsed back cleanly",
+            snapshots.len(),
+            path.display()
+        );
+    }
 }

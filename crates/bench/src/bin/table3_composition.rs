@@ -9,10 +9,10 @@
 //! lifts unique crashes by ~33%, while edge coverage stays flat.
 
 use bigmap_analytics::{collision_rate, mean, TextTable};
-use bigmap_bench::{report_header, Effort, PreparedBenchmark};
+use bigmap_bench::{report_header, telemetry_path_from_args, Effort, PreparedBenchmark};
 use bigmap_core::{MapScheme, MapSize};
 use bigmap_coverage::MetricKind;
-use bigmap_fuzzer::{replay_edge_coverage, Budget};
+use bigmap_fuzzer::{replay_edge_coverage, Budget, JsonlSink, TelemetryRegistry};
 use bigmap_target::{apply_laf_intel, BenchmarkSpec, Interpreter};
 
 fn main() {
@@ -22,6 +22,15 @@ fn main() {
         effort,
         "both arms use BigMap; laf-intel applied to the target; metric = ngram3",
     );
+
+    // `--telemetry <path>` streams one snapshot per campaign arm to the
+    // given JSONL file.
+    let registry = telemetry_path_from_args().map(|path| {
+        let sink = JsonlSink::to_file(&path)
+            .unwrap_or_else(|e| panic!("cannot open telemetry sink {}: {e}", path.display()));
+        eprintln!("  telemetry: per-arm snapshots to {}", path.display());
+        TelemetryRegistry::with_sink(sink)
+    });
 
     let benchmarks = if effort == Effort::Quick {
         BenchmarkSpec::llvm()
@@ -58,12 +67,17 @@ fn main() {
         let mut cells: Vec<(usize, usize)> = Vec::new(); // (edges, crashes)
         for size in [MapSize::K64, MapSize::M2] {
             let prepared = PreparedBenchmark::from_program(spec, laf.clone(), size, effort);
-            let (stats, corpus) = prepared.run_campaign_with_corpus(
+            let telemetry = registry.as_ref().map(|r| r.register(r.snapshots().len()));
+            let (stats, corpus) = prepared.run_campaign_with_corpus_telemetry(
                 MapScheme::TwoLevel,
                 MetricKind::NGram(3),
                 Budget::Time(effort.crash_arm_budget()),
                 31,
+                telemetry.clone(),
             );
+            if let (Some(registry), Some(telemetry)) = (&registry, &telemetry) {
+                registry.emit(telemetry);
+            }
             let interp = Interpreter::new(&prepared.program);
             let edges = replay_edge_coverage(&interp, &corpus);
             cells.push((edges, stats.unique_crashes));

@@ -18,11 +18,15 @@
 
 #![deny(missing_docs)]
 
+use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
 use bigmap_core::{MapScheme, MapSize};
 use bigmap_coverage::{Instrumentation, MetricKind};
-use bigmap_fuzzer::{Budget, Campaign, CampaignConfig, CampaignStats};
+use bigmap_fuzzer::{
+    Budget, Campaign, CampaignConfig, CampaignStats, Telemetry, TelemetryRegistry,
+};
 use bigmap_target::{BenchmarkSpec, Interpreter, Program};
 
 /// Harness effort level, from the command line.
@@ -101,6 +105,22 @@ impl Effort {
     }
 }
 
+/// Parses `--telemetry <path>` (or `--telemetry=<path>`) from the process
+/// arguments: the JSONL file the harness should stream telemetry
+/// snapshots into. `None` when the flag is absent — telemetry stays off.
+pub fn telemetry_path_from_args() -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, arg) in args.iter().enumerate() {
+        if let Some(path) = arg.strip_prefix("--telemetry=") {
+            return Some(PathBuf::from(path));
+        }
+        if arg == "--telemetry" {
+            return args.get(i + 1).map(PathBuf::from);
+        }
+    }
+    None
+}
+
 /// A benchmark prepared for campaigns at one map size: program +
 /// instrumentation + seeds.
 pub struct PreparedBenchmark {
@@ -177,6 +197,30 @@ impl PreparedBenchmark {
         self.run_campaign_opts(scheme, metric, budget, seed, true)
     }
 
+    /// The standard harness campaign configuration for one arm.
+    fn arm_config(
+        &self,
+        scheme: MapScheme,
+        metric: MetricKind,
+        budget: Budget,
+        seed: u64,
+        merged_classify_compare: bool,
+    ) -> CampaignConfig {
+        CampaignConfig {
+            scheme,
+            map_size: self.instrumentation.map_size(),
+            metric,
+            budget,
+            mutations_per_seed: 512,
+            deterministic: false,
+            merged_classify_compare,
+            dictionary: Vec::new(),
+            trim_new_entries: false,
+            seed,
+            exec: Default::default(),
+        }
+    }
+
     /// Runs one campaign arm with an explicit classify/compare pipeline
     /// choice (`merged = false` reproduces the paper's Figure 3 separate
     /// bars).
@@ -190,24 +234,57 @@ impl PreparedBenchmark {
     ) -> CampaignStats {
         let interpreter = Interpreter::new(&self.program);
         let mut campaign = Campaign::new(
-            CampaignConfig {
-                scheme,
-                map_size: self.instrumentation.map_size(),
-                metric,
-                budget,
-                mutations_per_seed: 512,
-                deterministic: false,
-                merged_classify_compare,
-                dictionary: Vec::new(),
-                trim_new_entries: false,
-                seed,
-                exec: Default::default(),
-            },
+            self.arm_config(scheme, metric, budget, seed, merged_classify_compare),
             &interpreter,
             &self.instrumentation,
         );
         campaign.add_seeds(self.seeds.clone());
         campaign.run()
+    }
+
+    /// Runs one campaign arm with a live telemetry handle attached; the
+    /// final snapshot lands in [`CampaignStats::telemetry`].
+    pub fn run_campaign_telemetry(
+        &self,
+        scheme: MapScheme,
+        metric: MetricKind,
+        budget: Budget,
+        seed: u64,
+        telemetry: Arc<Telemetry>,
+    ) -> CampaignStats {
+        let interpreter = Interpreter::new(&self.program);
+        let mut campaign = Campaign::new(
+            self.arm_config(scheme, metric, budget, seed, true),
+            &interpreter,
+            &self.instrumentation,
+        );
+        campaign.set_telemetry(telemetry);
+        campaign.add_seeds(self.seeds.clone());
+        campaign.run()
+    }
+
+    /// Runs a campaign arm and returns the final corpus alongside the stats
+    /// (coverage replay experiments). `telemetry` optionally attaches a
+    /// live stats registry to the arm.
+    pub fn run_campaign_with_corpus_telemetry(
+        &self,
+        scheme: MapScheme,
+        metric: MetricKind,
+        budget: Budget,
+        seed: u64,
+        telemetry: Option<Arc<Telemetry>>,
+    ) -> (CampaignStats, Vec<Vec<u8>>) {
+        let interpreter = Interpreter::new(&self.program);
+        let mut campaign = Campaign::new(
+            self.arm_config(scheme, metric, budget, seed, true),
+            &interpreter,
+            &self.instrumentation,
+        );
+        if let Some(telemetry) = telemetry {
+            campaign.set_telemetry(telemetry);
+        }
+        campaign.add_seeds(self.seeds.clone());
+        campaign.run_with_corpus()
     }
 
     /// Runs a campaign arm and returns the final corpus alongside the stats
@@ -219,35 +296,46 @@ impl PreparedBenchmark {
         budget: Budget,
         seed: u64,
     ) -> (CampaignStats, Vec<Vec<u8>>) {
-        let interpreter = Interpreter::new(&self.program);
-        let mut campaign = Campaign::new(
-            CampaignConfig {
-                scheme,
-                map_size: self.instrumentation.map_size(),
-                metric,
-                budget,
-                mutations_per_seed: 512,
-                deterministic: false,
-                merged_classify_compare: true,
-                dictionary: Vec::new(),
-                trim_new_entries: false,
-                seed,
-                exec: Default::default(),
-            },
-            &interpreter,
-            &self.instrumentation,
-        );
-        campaign.add_seeds(self.seeds.clone());
-        campaign.run_with_corpus()
+        self.run_campaign_with_corpus_telemetry(scheme, metric, budget, seed, None)
     }
 
     /// Average of `runs` campaign arms' throughput (the paper aggregates
     /// three runs per configuration, §V-B).
     pub fn mean_throughput(&self, scheme: MapScheme, budget: Budget, runs: usize) -> f64 {
+        self.mean_throughput_telemetry(scheme, budget, runs, None)
+    }
+
+    /// [`mean_throughput`](PreparedBenchmark::mean_throughput) with live
+    /// telemetry: each run registers a fresh instance in `registry` (when
+    /// given) and emits its final snapshot to the registry's sink — the
+    /// harness that measures the telemetry layer's own overhead (Figure 6
+    /// with `--telemetry`).
+    pub fn mean_throughput_telemetry(
+        &self,
+        scheme: MapScheme,
+        budget: Budget,
+        runs: usize,
+        registry: Option<&TelemetryRegistry>,
+    ) -> f64 {
         let total: f64 = (0..runs)
             .map(|r| {
-                self.run_campaign(scheme, MetricKind::Edge, budget, 0x5EED + r as u64)
-                    .throughput()
+                let seed = 0x5EED + r as u64;
+                let stats = match registry {
+                    Some(registry) => {
+                        let telemetry = registry.register(registry.snapshots().len());
+                        let stats = self.run_campaign_telemetry(
+                            scheme,
+                            MetricKind::Edge,
+                            budget,
+                            seed,
+                            Arc::clone(&telemetry),
+                        );
+                        registry.emit(&telemetry);
+                        stats
+                    }
+                    None => self.run_campaign(scheme, MetricKind::Edge, budget, seed),
+                };
+                stats.throughput()
             })
             .sum();
         total / runs.max(1) as f64

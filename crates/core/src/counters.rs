@@ -1,0 +1,145 @@
+//! Lock-free event counters and wall-time accumulators for runtime
+//! telemetry.
+//!
+//! The fuzzer layer threads a per-instance statistics registry through the
+//! campaign loop (see `bigmap-fuzzer::telemetry`); the primitives live here
+//! because the same hooks are useful to anything that owns a coverage map.
+//! Both types are single writers' worth of cost — one relaxed atomic add —
+//! so they can sit directly on the per-test-case path without perturbing
+//! the Figure 3 / Figure 6 measurements they exist to observe.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A lock-free monotone event counter.
+///
+/// Writers use relaxed atomics: counts are statistics, not synchronization
+/// edges, and the campaign threads that increment them never contend with
+/// anything but the (rare) snapshot reader.
+///
+/// # Examples
+///
+/// ```rust
+/// use bigmap_core::EventCounter;
+///
+/// let resets = EventCounter::new();
+/// resets.incr();
+/// resets.add(4);
+/// assert_eq!(resets.get(), 5);
+/// ```
+#[derive(Debug, Default)]
+pub struct EventCounter(AtomicU64);
+
+impl EventCounter {
+    /// Creates a counter at zero.
+    pub const fn new() -> Self {
+        EventCounter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A lock-free wall-time accumulator (nanoseconds).
+///
+/// The atomic sibling of one [`OpStats`](crate::OpStats) slot: stages add
+/// their elapsed [`Duration`]s, observers read a consistent total at any
+/// time without stopping the writer.
+///
+/// # Examples
+///
+/// ```rust
+/// use bigmap_core::StageNanos;
+/// use std::time::Duration;
+///
+/// let clock = StageNanos::new();
+/// clock.add(Duration::from_millis(2));
+/// clock.add(Duration::from_millis(3));
+/// assert_eq!(clock.total(), Duration::from_millis(5));
+/// ```
+#[derive(Debug, Default)]
+pub struct StageNanos(AtomicU64);
+
+impl StageNanos {
+    /// Creates an accumulator at zero.
+    pub const fn new() -> Self {
+        StageNanos(AtomicU64::new(0))
+    }
+
+    /// Adds an elapsed duration. Saturates at `u64::MAX` nanoseconds
+    /// (~584 years) rather than wrapping.
+    #[inline]
+    pub fn add(&self, elapsed: Duration) {
+        let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.0.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Accumulated nanoseconds.
+    #[inline]
+    pub fn nanos(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Accumulated time as a [`Duration`].
+    pub fn total(&self) -> Duration {
+        Duration::from_nanos(self.nanos())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = EventCounter::new();
+        assert_eq!(c.get(), 0);
+        c.incr();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+    }
+
+    #[test]
+    fn stage_nanos_accumulates() {
+        let s = StageNanos::new();
+        s.add(Duration::from_nanos(40));
+        s.add(Duration::from_nanos(2));
+        assert_eq!(s.nanos(), 42);
+        assert_eq!(s.total(), Duration::from_nanos(42));
+    }
+
+    #[test]
+    fn counters_are_shareable_across_threads() {
+        let c = Arc::new(EventCounter::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..1_000 {
+                        c.incr();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.get(), 4_000);
+    }
+}

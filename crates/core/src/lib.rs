@@ -26,7 +26,9 @@
 //!   ([`simd`]) and huge-page-backed allocation ([`alloc`]),
 //! * [`hash`] — CRC32 with the paper's hash-up-to-last-non-zero rule,
 //! * [`timing`] — per-operation runtime accounting used to regenerate the
-//!   paper's Figure 3.
+//!   paper's Figure 3,
+//! * [`counters`] — lock-free event counters and wall-time accumulators,
+//!   the substrate of the fuzzer's live telemetry layer.
 //!
 //! ## Example
 //!
@@ -58,6 +60,7 @@
 
 pub mod alloc;
 pub mod classify;
+pub mod counters;
 pub mod diff;
 pub mod flat;
 pub mod hash;
@@ -68,6 +71,7 @@ pub mod traits;
 pub mod two_level;
 pub mod virgin;
 
+pub use counters::{EventCounter, StageNanos};
 pub use flat::FlatBitmap;
 pub use hash::Crc32;
 pub use map_size::{MapSize, MapSizeError};

@@ -85,6 +85,7 @@ impl fmt::Display for OpKind {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct OpStats {
     nanos: [u128; 6],
+    counts: [u64; 6],
 }
 
 impl OpStats {
@@ -93,10 +94,18 @@ impl OpStats {
         OpStats::default()
     }
 
-    /// Adds `elapsed` to the accumulator for `kind`.
+    /// Adds `elapsed` to the accumulator for `kind` and counts one
+    /// invocation of the stage.
     #[inline]
     pub fn add(&mut self, kind: OpKind, elapsed: Duration) {
         self.nanos[kind.slot()] += elapsed.as_nanos();
+        self.counts[kind.slot()] += 1;
+    }
+
+    /// Number of times `kind` was recorded (telemetry: per-stage pass
+    /// counts alongside the per-stage time).
+    pub fn count(&self, kind: OpKind) -> u64 {
+        self.counts[kind.slot()]
     }
 
     /// Total time recorded for `kind`.
@@ -123,15 +132,18 @@ impl OpStats {
     pub fn merge(&mut self, other: &OpStats) {
         for i in 0..self.nanos.len() {
             self.nanos[i] += other.nanos[i];
+            self.counts[i] += other.counts[i];
         }
     }
 
     /// Scales every accumulator by `factor` — used to extrapolate a measured
     /// run to the paper's "time per one million test cases" normalization.
+    /// Invocation counts are extrapolated with the same factor.
     pub fn scaled(&self, factor: f64) -> OpStats {
         let mut out = OpStats::new();
         for (i, &n) in self.nanos.iter().enumerate() {
             out.nanos[i] = (n as f64 * factor) as u128;
+            out.counts[i] = (self.counts[i] as f64 * factor) as u64;
         }
         out
     }
@@ -187,6 +199,22 @@ mod tests {
     fn empty_stats_fraction_is_zero() {
         assert_eq!(OpStats::new().fraction(OpKind::Reset), 0.0);
         assert_eq!(OpStats::new().total(), Duration::ZERO);
+    }
+
+    #[test]
+    fn counts_track_invocations() {
+        let mut s = OpStats::new();
+        s.add(OpKind::Reset, Duration::from_nanos(1));
+        s.add(OpKind::Reset, Duration::from_nanos(1));
+        s.add(OpKind::Compare, Duration::from_nanos(1));
+        assert_eq!(s.count(OpKind::Reset), 2);
+        assert_eq!(s.count(OpKind::Compare), 1);
+        assert_eq!(s.count(OpKind::Hash), 0);
+        let mut other = OpStats::new();
+        other.add(OpKind::Reset, Duration::from_nanos(1));
+        s.merge(&other);
+        assert_eq!(s.count(OpKind::Reset), 3);
+        assert_eq!(s.scaled(2.0).count(OpKind::Reset), 6);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! ([`MapScheme`]), the map size and the coverage metric — the three axes
 //! of the paper's evaluation.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rand::rngs::SmallRng;
@@ -26,6 +27,7 @@ use crate::crashwalk::CrashWalk;
 use crate::executor::Executor;
 use crate::mutate::Mutator;
 use crate::queue::Queue;
+use crate::telemetry::{Stage, Telemetry, TelemetryEvent, TelemetrySnapshot};
 use crate::timeline::CoverageTimeline;
 use crate::trim::trim_input;
 
@@ -148,6 +150,9 @@ pub struct CampaignStats {
     /// Coverage discovery over time (sampled every ~256 executions),
     /// for plateau analysis (Figure 7).
     pub timeline: CoverageTimeline,
+    /// Final telemetry snapshot, when the campaign ran with a
+    /// [`Telemetry`] handle attached (see [`Campaign::set_telemetry`]).
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 impl CampaignStats {
@@ -187,6 +192,13 @@ pub struct Campaign<'p> {
     crash_inputs: Vec<Vec<u8>>,
     timeline: CoverageTimeline,
     discovered_running: u64,
+    /// Optional live stats registry (parallel fleets and the bench
+    /// harnesses attach one; `None` costs a single predicted branch per
+    /// pipeline stage).
+    telemetry: Option<Arc<Telemetry>>,
+    /// Which mutation stage the loop is currently generating children
+    /// for — scheduling/mutation overhead is attributed to it.
+    mutation_stage: Stage,
 }
 
 impl std::fmt::Debug for Campaign<'_> {
@@ -241,8 +253,22 @@ impl<'p> Campaign<'p> {
             crash_inputs: Vec::new(),
             timeline: CoverageTimeline::new(),
             discovered_running: 0,
+            telemetry: None,
+            mutation_stage: Stage::Havoc,
             config,
         }
+    }
+
+    /// Attaches a live telemetry registry: every pipeline stage from here
+    /// on counts its events and attributes its wall time into `telemetry`,
+    /// and [`CampaignStats::telemetry`] carries the final snapshot.
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.telemetry = Some(telemetry);
+    }
+
+    /// The attached telemetry registry, if any.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
     }
 
     /// Seeds the pool by executing the initial corpus (AFL's dry run).
@@ -258,7 +284,13 @@ impl<'p> Campaign<'p> {
     /// admitted only if it still shows new coverage locally.
     pub fn import(&mut self, input: &[u8]) {
         self.admit_depth = 0;
-        self.execute_and_judge(input, false);
+        let verdict = self.execute_and_judge(input, false);
+        if let Some(tel) = &self.telemetry {
+            tel.incr(TelemetryEvent::SyncImport);
+            if !verdict.is_interesting() {
+                tel.incr(TelemetryEvent::ImportRejection);
+            }
+        }
     }
 
     /// Drains the inputs admitted since the last call (parallel sync
@@ -294,7 +326,9 @@ impl<'p> Campaign<'p> {
         // Map reset (timed separately — the paper's "Map Reset" bar).
         let t = Instant::now();
         self.map.reset();
-        self.ops.add(OpKind::Reset, t.elapsed());
+        let reset_time = t.elapsed();
+        self.ops.add(OpKind::Reset, reset_time);
+        let mut map_ops_time = reset_time;
 
         // Target execution, including bitmap updates.
         let execution = self.executor.run(input, self.map.as_mut());
@@ -311,18 +345,24 @@ impl<'p> Campaign<'p> {
             ExecOutcome::Crash { .. } => &mut self.virgin_crash,
             ExecOutcome::Hang => &mut self.virgin_hang,
         };
+        let split_pipeline = !self.config.merged_classify_compare;
         let verdict = if self.config.merged_classify_compare {
             let t = Instant::now();
             let verdict = self.map.classify_and_compare(virgin);
-            self.ops.add(OpKind::Compare, t.elapsed());
+            let compare_time = t.elapsed();
+            self.ops.add(OpKind::Compare, compare_time);
+            map_ops_time += compare_time;
             verdict
         } else {
             let t = Instant::now();
             self.map.classify();
-            self.ops.add(OpKind::Classify, t.elapsed());
+            let classify_time = t.elapsed();
+            self.ops.add(OpKind::Classify, classify_time);
             let t = Instant::now();
             let verdict = self.map.compare(virgin);
-            self.ops.add(OpKind::Compare, t.elapsed());
+            let compare_time = t.elapsed();
+            self.ops.add(OpKind::Compare, compare_time);
+            map_ops_time += classify_time + compare_time;
             verdict
         };
 
@@ -345,7 +385,9 @@ impl<'p> Campaign<'p> {
                     // Bitmap hash — interesting test cases only (§II-A2).
                     let t = Instant::now();
                     let hash = self.map.hash();
-                    self.ops.add(OpKind::Hash, t.elapsed());
+                    let hash_time = t.elapsed();
+                    self.ops.add(OpKind::Hash, hash_time);
+                    map_ops_time += hash_time;
 
                     let mut slots = Vec::new();
                     self.map.for_each_nonzero(&mut |slot, _| slots.push(slot));
@@ -381,6 +423,28 @@ impl<'p> Campaign<'p> {
         if self.stats_execs.is_multiple_of(256) {
             self.timeline
                 .record(self.stats_execs, self.discovered_running);
+        }
+
+        // Live telemetry: a handful of relaxed atomic adds per test case,
+        // all behind one branch.
+        if let Some(tel) = &self.telemetry {
+            tel.incr(TelemetryEvent::Exec);
+            tel.incr(TelemetryEvent::MapReset);
+            tel.incr(TelemetryEvent::VirginCompare);
+            if split_pipeline {
+                tel.incr(TelemetryEvent::ClassifyPass);
+            }
+            tel.add(TelemetryEvent::MapUpdate, execution.map_updates);
+            tel.add_stage(Stage::TargetExec, execution.exec_time);
+            tel.add_stage(Stage::MapOps, map_ops_time);
+            if verdict == NewCoverage::NewEdge {
+                tel.incr(TelemetryEvent::NewCoverage);
+            }
+            match &execution.outcome {
+                ExecOutcome::Ok => {}
+                ExecOutcome::Crash { .. } => tel.incr(TelemetryEvent::Crash),
+                ExecOutcome::Hang => tel.incr(TelemetryEvent::Hang),
+            }
         }
         verdict
     }
@@ -465,7 +529,8 @@ impl<'p> Campaign<'p> {
 
         let mut deterministic_done = 0usize;
         while self.budget_left(started) {
-            // Seed scheduling ("Others" time).
+            // Seed scheduling ("Others" time; attributed to the havoc
+            // bucket in the live telemetry, as general loop overhead).
             let t = Instant::now();
             let rng = &mut self.rng;
             let entry_id = self
@@ -475,13 +540,24 @@ impl<'p> Campaign<'p> {
             let parent = self.queue.entry(entry_id).input.clone();
             let parent_depth = self.queue.entry(entry_id).depth;
             self.admit_depth = parent_depth + 1;
-            self.ops.add(OpKind::Other, t.elapsed());
+            let sched_time = t.elapsed();
+            self.ops.add(OpKind::Other, sched_time);
+            if let Some(tel) = &self.telemetry {
+                tel.incr(TelemetryEvent::QueueCycle);
+                tel.add_stage(Stage::Havoc, sched_time);
+            }
 
             // Deterministic stages for newly scheduled seeds (master
             // instances only; capped so one long seed cannot eat the run).
             if self.config.deterministic && deterministic_done <= entry_id {
                 deterministic_done = entry_id + 1;
-                for child in Mutator::deterministic(&parent, 512) {
+                self.mutation_stage = Stage::Deterministic;
+                let t = Instant::now();
+                let children = Mutator::deterministic(&parent, 512);
+                if let Some(tel) = &self.telemetry {
+                    tel.add_stage(Stage::Deterministic, t.elapsed());
+                }
+                for child in children {
                     if !self.budget_left(started) {
                         break;
                     }
@@ -494,6 +570,7 @@ impl<'p> Campaign<'p> {
                         }
                     }
                 }
+                self.mutation_stage = Stage::Havoc;
             }
 
             // AFL's `calculate_score` depth bonus: seeds far down a
@@ -521,7 +598,11 @@ impl<'p> Campaign<'p> {
                     None
                 };
                 let child = self.mutator.havoc(&parent, splice_with.as_deref());
-                self.ops.add(OpKind::Other, t.elapsed());
+                let mutate_time = t.elapsed();
+                self.ops.add(OpKind::Other, mutate_time);
+                if let Some(tel) = &self.telemetry {
+                    tel.add_stage(self.mutation_stage, mutate_time);
+                }
 
                 self.execute_and_judge(&child, false);
 
@@ -556,6 +637,7 @@ impl<'p> Campaign<'p> {
                 }
                 timeline
             },
+            telemetry: self.telemetry.as_ref().map(|t| t.snapshot()),
         }
     }
 }
@@ -799,6 +881,84 @@ mod tests {
         });
         assert!(fired >= 5, "hook fired only {fired} times");
         assert_eq!(stats.execs, 1_000);
+    }
+
+    #[test]
+    fn telemetry_counters_match_stats() {
+        use crate::telemetry::{Stage, Telemetry, TelemetryEvent};
+
+        let program = GeneratorConfig::default().generate();
+        let inst = instrument(&program, MapSize::K64);
+        let interp = Interpreter::new(&program);
+        let mut campaign = Campaign::new(quick_config(MapScheme::TwoLevel, 1_000), &interp, &inst);
+        let tel = Arc::new(Telemetry::new(0));
+        campaign.set_telemetry(Arc::clone(&tel));
+        assert!(campaign.telemetry().is_some());
+        campaign.add_seeds(vec![vec![5u8; 24]]);
+        let stats = campaign.run();
+
+        let snap = stats.telemetry.as_ref().expect("telemetry attached");
+        assert_eq!(snap.get(TelemetryEvent::Exec), stats.execs);
+        assert_eq!(snap.get(TelemetryEvent::MapReset), stats.execs);
+        assert_eq!(snap.get(TelemetryEvent::VirginCompare), stats.execs);
+        assert_eq!(snap.get(TelemetryEvent::ClassifyPass), 0); // merged pipeline
+        assert_eq!(
+            snap.get(TelemetryEvent::NewCoverage),
+            stats.timeline.final_coverage()
+        );
+        assert!(snap.get(TelemetryEvent::QueueCycle) > 0);
+        assert!(snap.get(TelemetryEvent::MapUpdate) > 0);
+        assert!(snap.stage_time(Stage::TargetExec) > Duration::ZERO);
+        assert!(snap.stage_time(Stage::MapOps) > Duration::ZERO);
+        // Deterministic stages ran (default config), so mutation time was
+        // attributed to both mutation buckets.
+        assert!(snap.stage_time(Stage::Deterministic) > Duration::ZERO);
+        assert!(snap.stage_time(Stage::Havoc) > Duration::ZERO);
+        // No sync traffic in a plain single-instance run.
+        assert_eq!(snap.get(TelemetryEvent::SyncImport), 0);
+        assert_eq!(snap.get(TelemetryEvent::ImportRejection), 0);
+    }
+
+    #[test]
+    fn telemetry_counts_split_classify_passes() {
+        use crate::telemetry::{Telemetry, TelemetryEvent};
+
+        let program = GeneratorConfig::default().generate();
+        let inst = instrument(&program, MapSize::K64);
+        let interp = Interpreter::new(&program);
+        let mut campaign = Campaign::new(
+            CampaignConfig {
+                merged_classify_compare: false,
+                ..quick_config(MapScheme::TwoLevel, 500)
+            },
+            &interp,
+            &inst,
+        );
+        campaign.set_telemetry(Arc::new(Telemetry::new(0)));
+        campaign.add_seeds(vec![vec![5u8; 24]]);
+        let stats = campaign.run();
+        let snap = stats.telemetry.as_ref().unwrap();
+        assert_eq!(snap.get(TelemetryEvent::ClassifyPass), stats.execs);
+        assert_eq!(snap.get(TelemetryEvent::VirginCompare), stats.execs);
+    }
+
+    #[test]
+    fn import_counts_rejections() {
+        use crate::telemetry::{Telemetry, TelemetryEvent};
+
+        let program = BenchmarkSpec::by_name("zlib").unwrap().build(0.05);
+        let inst = instrument(&program, MapSize::K64);
+        let interp = Interpreter::new(&program);
+        let mut campaign = Campaign::new(quick_config(MapScheme::TwoLevel, 10), &interp, &inst);
+        let tel = Arc::new(Telemetry::new(0));
+        campaign.set_telemetry(Arc::clone(&tel));
+        campaign.add_seeds(vec![vec![1u8; 16]]);
+        campaign.import(&[1u8; 16]); // identical coverage: rejected
+        assert_eq!(tel.get(TelemetryEvent::SyncImport), 1);
+        assert_eq!(tel.get(TelemetryEvent::ImportRejection), 1);
+        campaign.import(&[0xFFu8; 64]); // different path: admitted
+        assert_eq!(tel.get(TelemetryEvent::SyncImport), 2);
+        assert_eq!(tel.get(TelemetryEvent::ImportRejection), 1);
     }
 
     #[test]

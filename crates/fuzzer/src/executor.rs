@@ -20,6 +20,9 @@ struct MappingSink<'a> {
     instrumentation: &'a Instrumentation,
     metric: &'a mut dyn CoverageMetric,
     map: &'a mut dyn CoverageMap,
+    /// Map `record` calls this execution (telemetry; local non-atomic
+    /// counting keeps the per-event cost at one increment).
+    updates: u64,
 }
 
 impl TraceSink for MappingSink<'_> {
@@ -29,9 +32,13 @@ impl TraceSink for MappingSink<'_> {
             instrumentation,
             metric,
             map,
+            updates,
         } = self;
         let id = instrumentation.block_id(global_block);
-        metric.on_event(TraceEvent::Block(id), &mut |key| map.record(key));
+        metric.on_event(TraceEvent::Block(id), &mut |key| {
+            *updates += 1;
+            map.record(key)
+        });
     }
 
     #[inline]
@@ -40,15 +47,27 @@ impl TraceSink for MappingSink<'_> {
             instrumentation,
             metric,
             map,
+            updates,
         } = self;
         let id = instrumentation.call_site_id(call_site);
-        metric.on_event(TraceEvent::Call(id), &mut |key| map.record(key));
+        metric.on_event(TraceEvent::Call(id), &mut |key| {
+            *updates += 1;
+            map.record(key)
+        });
     }
 
     #[inline]
     fn on_return(&mut self) {
-        let MappingSink { metric, map, .. } = self;
-        metric.on_event(TraceEvent::Return, &mut |key| map.record(key));
+        let MappingSink {
+            metric,
+            map,
+            updates,
+            ..
+        } = self;
+        metric.on_event(TraceEvent::Return, &mut |key| {
+            *updates += 1;
+            map.record(key)
+        });
     }
 }
 
@@ -60,6 +79,9 @@ pub struct Execution {
     /// Wall-clock time of the execution (including map updates, per the
     /// paper's accounting).
     pub exec_time: Duration,
+    /// Coverage-map updates (`record` calls) the execution performed —
+    /// the telemetry layer's measure of instrumentation traffic.
+    pub map_updates: u64,
 }
 
 /// Executes test cases against one instrumented target.
@@ -122,17 +144,18 @@ impl<'p> Executor<'p> {
     pub fn run(&mut self, input: &[u8], map: &mut dyn CoverageMap) -> Execution {
         self.metric.begin_execution();
         let start = Instant::now();
-        let outcome = {
-            let mut sink = MappingSink {
-                instrumentation: self.instrumentation,
-                metric: self.metric.as_mut(),
-                map,
-            };
-            self.interpreter.run(input, &mut sink)
+        let mut sink = MappingSink {
+            instrumentation: self.instrumentation,
+            metric: self.metric.as_mut(),
+            map,
+            updates: 0,
         };
+        let outcome = self.interpreter.run(input, &mut sink);
+        let map_updates = sink.updates;
         Execution {
             outcome,
             exec_time: start.elapsed(),
+            map_updates,
         }
     }
 
@@ -254,6 +277,19 @@ mod tests {
         assert!(executor.run(b"X", &mut map).outcome.is_crash());
         map.reset();
         assert!(!executor.run(b"?", &mut map).outcome.is_crash());
+    }
+
+    #[test]
+    fn map_updates_counted_and_deterministic() {
+        let (program, inst) = setup();
+        let interp = Interpreter::new(&program);
+        let mut executor = Executor::new(&interp, &inst, Box::new(EdgeHitCount::new()));
+        let mut map = BigMap::new(MapSize::K64).unwrap();
+        let first = executor.run(b"count me", &mut map);
+        assert!(first.map_updates > 0, "execution must record coverage");
+        map.reset();
+        let again = executor.run(b"count me", &mut map);
+        assert_eq!(first.map_updates, again.map_updates);
     }
 
     #[test]

@@ -7,7 +7,10 @@
 //! substrate, the classify/compare/hash fitness pipeline (timed per stage,
 //! regenerating Figure 3), Crashwalk-style crash deduplication, bias-free
 //! coverage replay, and master–secondary parallel campaigns with periodic
-//! corpus synchronization (Figures 9 and 10).
+//! corpus synchronization (Figures 9 and 10). The [`telemetry`] module
+//! adds a live, lock-free observability layer: per-instance counters and
+//! per-stage wall-time attribution, snapshotted at sync boundaries into a
+//! JSONL sink.
 //!
 //! The campaign is parametric over the three axes of the paper's
 //! evaluation: map scheme (AFL flat vs BigMap two-level), map size, and
@@ -52,6 +55,7 @@ pub mod output_dir;
 pub mod parallel;
 pub mod queue;
 pub mod replay;
+pub mod telemetry;
 pub mod timeline;
 pub mod trim;
 
@@ -61,8 +65,12 @@ pub use crashwalk::CrashWalk;
 pub use executor::{Execution, Executor};
 pub use mutate::Mutator;
 pub use output_dir::OutputDir;
-pub use parallel::{run_parallel, ParallelStats, SyncHub};
+pub use parallel::{run_parallel, run_parallel_with_telemetry, ParallelStats, SyncHub};
 pub use queue::{Queue, QueueEntry};
 pub use replay::{replay_edge_coverage, ReplayCoverage};
+pub use telemetry::{
+    parse_jsonl, JsonlSink, SharedBuffer, Stage, Telemetry, TelemetryEvent, TelemetryRegistry,
+    TelemetrySnapshot,
+};
 pub use timeline::{CoverageTimeline, TimelinePoint};
 pub use trim::{trim_input, TrimResult};

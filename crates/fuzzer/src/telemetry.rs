@@ -1,0 +1,674 @@
+//! Live fleet telemetry: lock-free per-instance counters, per-stage
+//! wall-time attribution, and a JSONL event sink.
+//!
+//! The paper's evaluation is built from two kinds of observation: *where
+//! the time goes* per test case (Figure 3 / Table III's runtime
+//! composition) and *where fleet throughput collapses* as instances are
+//! added (Figures 9/10). Both were measured post-hoc from campaign return
+//! values; this module makes the same quantities observable **while the
+//! fleet runs**, cheaply enough to leave on:
+//!
+//! * [`Telemetry`] — one per campaign instance; relaxed-atomic event
+//!   counters ([`TelemetryEvent`]) plus wall-time accumulators for the
+//!   four coarse stages ([`Stage`]): deterministic mutation, havoc
+//!   mutation, map operations, target execution.
+//! * [`TelemetrySnapshot`] — a point-in-time copy, taken at sync
+//!   boundaries (never on the per-exec path), serializable to/from a
+//!   single JSON line.
+//! * [`JsonlSink`] — an append-only JSONL writer shared by a fleet.
+//! * [`TelemetryRegistry`] — hands out per-instance [`Telemetry`] handles
+//!   and fans snapshots into the sink.
+//!
+//! Counters use [`EventCounter`]/[`StageNanos`] from `bigmap-core`: one
+//! relaxed `fetch_add` per event, `#[inline]` all the way down, so the
+//! hot path costs a predictable handful of nanoseconds (measured ≤ 2% on
+//! the Figure 6 throughput harness — see EXPERIMENTS.md).
+//!
+//! # Examples
+//!
+//! ```rust
+//! use bigmap_fuzzer::telemetry::{Stage, Telemetry, TelemetryEvent};
+//! use std::time::Duration;
+//!
+//! let t = Telemetry::new(0);
+//! t.incr(TelemetryEvent::Exec);
+//! t.add(TelemetryEvent::MapUpdate, 17);
+//! t.add_stage(Stage::TargetExec, Duration::from_micros(50));
+//!
+//! let snap = t.snapshot();
+//! assert_eq!(snap.get(TelemetryEvent::Exec), 1);
+//! let line = snap.to_json();
+//! let back = bigmap_fuzzer::telemetry::TelemetrySnapshot::from_json(&line).unwrap();
+//! assert_eq!(back.get(TelemetryEvent::MapUpdate), 17);
+//! ```
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use bigmap_core::{EventCounter, StageNanos};
+
+use crate::timeline::TimelinePoint;
+
+/// The countable events of the campaign pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TelemetryEvent {
+    /// Coverage-map resets (one per test case).
+    MapReset,
+    /// Standalone classify passes (split pipeline only; the merged
+    /// pipeline accounts its single pass as a virgin compare).
+    ClassifyPass,
+    /// Virgin-map scans: compare or merged classify+compare passes.
+    VirginCompare,
+    /// Seed-queue scheduling decisions (one per scheduled entry).
+    QueueCycle,
+    /// Inputs published to the fleet's sync hub.
+    SyncPublish,
+    /// Inputs fetched from the sync hub and re-executed locally.
+    SyncImport,
+    /// Fetched inputs rejected for showing no new local coverage.
+    ImportRejection,
+    /// Test cases executed.
+    Exec,
+    /// Coverage-map updates (`record` calls) performed by the target.
+    MapUpdate,
+    /// Executions whose verdict was a brand-new edge (the timeline's
+    /// coverage unit).
+    NewCoverage,
+    /// Crashing executions (non-unique).
+    Crash,
+    /// Hanging executions.
+    Hang,
+}
+
+impl TelemetryEvent {
+    /// Every event, in serialization order.
+    pub const ALL: [TelemetryEvent; 12] = [
+        TelemetryEvent::MapReset,
+        TelemetryEvent::ClassifyPass,
+        TelemetryEvent::VirginCompare,
+        TelemetryEvent::QueueCycle,
+        TelemetryEvent::SyncPublish,
+        TelemetryEvent::SyncImport,
+        TelemetryEvent::ImportRejection,
+        TelemetryEvent::Exec,
+        TelemetryEvent::MapUpdate,
+        TelemetryEvent::NewCoverage,
+        TelemetryEvent::Crash,
+        TelemetryEvent::Hang,
+    ];
+
+    #[inline]
+    fn slot(self) -> usize {
+        match self {
+            TelemetryEvent::MapReset => 0,
+            TelemetryEvent::ClassifyPass => 1,
+            TelemetryEvent::VirginCompare => 2,
+            TelemetryEvent::QueueCycle => 3,
+            TelemetryEvent::SyncPublish => 4,
+            TelemetryEvent::SyncImport => 5,
+            TelemetryEvent::ImportRejection => 6,
+            TelemetryEvent::Exec => 7,
+            TelemetryEvent::MapUpdate => 8,
+            TelemetryEvent::NewCoverage => 9,
+            TelemetryEvent::Crash => 10,
+            TelemetryEvent::Hang => 11,
+        }
+    }
+
+    /// The JSON field name of this event's counter.
+    pub fn key(self) -> &'static str {
+        match self {
+            TelemetryEvent::MapReset => "map_resets",
+            TelemetryEvent::ClassifyPass => "classify_passes",
+            TelemetryEvent::VirginCompare => "virgin_compares",
+            TelemetryEvent::QueueCycle => "queue_cycles",
+            TelemetryEvent::SyncPublish => "sync_publishes",
+            TelemetryEvent::SyncImport => "sync_imports",
+            TelemetryEvent::ImportRejection => "import_rejections",
+            TelemetryEvent::Exec => "execs",
+            TelemetryEvent::MapUpdate => "map_updates",
+            TelemetryEvent::NewCoverage => "new_coverage",
+            TelemetryEvent::Crash => "crashes",
+            TelemetryEvent::Hang => "hangs",
+        }
+    }
+}
+
+/// The coarse wall-time stages of the campaign loop — the live analogue
+/// of the paper's runtime-composition breakdown. The four buckets are
+/// disjoint: mutation/scheduling overhead is attributed to the mutation
+/// stage that incurred it, while map operations and target execution are
+/// carved out separately regardless of the surrounding stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Deterministic-stage mutation generation and scheduling overhead.
+    Deterministic,
+    /// Havoc/splice mutation generation and scheduling overhead.
+    Havoc,
+    /// Whole-map operations: reset, classify, compare, hash.
+    MapOps,
+    /// Instrumented target execution (includes map updates, as in the
+    /// paper's accounting).
+    TargetExec,
+}
+
+impl Stage {
+    /// Every stage, in serialization order.
+    pub const ALL: [Stage; 4] = [
+        Stage::Deterministic,
+        Stage::Havoc,
+        Stage::MapOps,
+        Stage::TargetExec,
+    ];
+
+    #[inline]
+    fn slot(self) -> usize {
+        match self {
+            Stage::Deterministic => 0,
+            Stage::Havoc => 1,
+            Stage::MapOps => 2,
+            Stage::TargetExec => 3,
+        }
+    }
+
+    /// The JSON field name of this stage's nanosecond accumulator.
+    pub fn key(self) -> &'static str {
+        match self {
+            Stage::Deterministic => "stage_deterministic_nanos",
+            Stage::Havoc => "stage_havoc_nanos",
+            Stage::MapOps => "stage_map_ops_nanos",
+            Stage::TargetExec => "stage_target_exec_nanos",
+        }
+    }
+}
+
+/// Lock-free per-instance statistics registry.
+///
+/// One writer (the owning campaign thread), any number of concurrent
+/// snapshot readers. All mutation is relaxed-atomic, so a `Telemetry`
+/// can be shared as `Arc<Telemetry>` between a running campaign and an
+/// observer without synchronization on the hot path.
+#[derive(Debug)]
+pub struct Telemetry {
+    instance: usize,
+    started: Instant,
+    events: [EventCounter; 12],
+    stages: [StageNanos; 4],
+}
+
+impl Telemetry {
+    /// Creates an empty registry for one fleet instance.
+    pub fn new(instance: usize) -> Self {
+        Telemetry {
+            instance,
+            started: Instant::now(),
+            events: std::array::from_fn(|_| EventCounter::new()),
+            stages: std::array::from_fn(|_| StageNanos::new()),
+        }
+    }
+
+    /// The fleet instance index this registry belongs to.
+    pub fn instance(&self) -> usize {
+        self.instance
+    }
+
+    /// Counts one occurrence of `event`.
+    #[inline]
+    pub fn incr(&self, event: TelemetryEvent) {
+        self.events[event.slot()].incr();
+    }
+
+    /// Counts `n` occurrences of `event`.
+    #[inline]
+    pub fn add(&self, event: TelemetryEvent, n: u64) {
+        self.events[event.slot()].add(n);
+    }
+
+    /// Attributes `elapsed` wall time to `stage`.
+    #[inline]
+    pub fn add_stage(&self, stage: Stage, elapsed: Duration) {
+        self.stages[stage.slot()].add(elapsed);
+    }
+
+    /// Current count of `event`.
+    pub fn get(&self, event: TelemetryEvent) -> u64 {
+        self.events[event.slot()].get()
+    }
+
+    /// Wall time attributed to `stage` so far.
+    pub fn stage_time(&self, stage: Stage) -> Duration {
+        self.stages[stage.slot()].total()
+    }
+
+    /// Takes a point-in-time snapshot (called at sync boundaries, never
+    /// per execution).
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            instance: self.instance,
+            wall_nanos: u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            events: std::array::from_fn(|i| self.events[i].get()),
+            stage_nanos: std::array::from_fn(|i| self.stages[i].nanos()),
+        }
+    }
+}
+
+/// A point-in-time copy of one instance's telemetry, serializable as one
+/// JSON line.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TelemetrySnapshot {
+    /// Fleet instance index.
+    pub instance: usize,
+    /// Wall-clock nanoseconds since the instance's telemetry was created.
+    pub wall_nanos: u64,
+    /// Event counters, indexed in [`TelemetryEvent::ALL`] order.
+    pub events: [u64; 12],
+    /// Stage accumulators (nanoseconds), indexed in [`Stage::ALL`] order.
+    pub stage_nanos: [u64; 4],
+}
+
+impl TelemetrySnapshot {
+    /// Count of `event` at snapshot time.
+    pub fn get(&self, event: TelemetryEvent) -> u64 {
+        self.events[event.slot()]
+    }
+
+    /// Wall time attributed to `stage` at snapshot time.
+    pub fn stage_time(&self, stage: Stage) -> Duration {
+        Duration::from_nanos(self.stage_nanos[stage.slot()])
+    }
+
+    /// The snapshot as a coverage-timeline point: executions completed
+    /// vs. new-coverage discoveries — the unit [`crate::CoverageTimeline`]
+    /// samples.
+    pub fn timeline_point(&self) -> TimelinePoint {
+        TimelinePoint {
+            execs: self.get(TelemetryEvent::Exec),
+            coverage: self.get(TelemetryEvent::NewCoverage),
+        }
+    }
+
+    /// Folds another snapshot into this one, summing every counter and
+    /// stage clock and keeping the max wall time (fleet-wide totals).
+    pub fn merge(&mut self, other: &TelemetrySnapshot) {
+        self.wall_nanos = self.wall_nanos.max(other.wall_nanos);
+        for i in 0..self.events.len() {
+            self.events[i] += other.events[i];
+        }
+        for i in 0..self.stage_nanos.len() {
+            self.stage_nanos[i] += other.stage_nanos[i];
+        }
+    }
+
+    /// Serializes to one JSON object on a single line (no trailing
+    /// newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push('{');
+        push_field(&mut out, "instance", self.instance as u64);
+        push_field(&mut out, "wall_nanos", self.wall_nanos);
+        for event in TelemetryEvent::ALL {
+            push_field(&mut out, event.key(), self.get(event));
+        }
+        for stage in Stage::ALL {
+            push_field(&mut out, stage.key(), self.stage_nanos[stage.slot()]);
+        }
+        out.pop(); // trailing comma
+        out.push('}');
+        out
+    }
+
+    /// Parses a snapshot from a JSON line produced by [`to_json`]
+    /// (unknown fields are ignored; missing counter fields default to 0).
+    ///
+    /// Returns `None` if `line` is not a JSON object or lacks the
+    /// `instance` field.
+    ///
+    /// [`to_json`]: TelemetrySnapshot::to_json
+    pub fn from_json(line: &str) -> Option<TelemetrySnapshot> {
+        let line = line.trim();
+        if !line.starts_with('{') || !line.ends_with('}') {
+            return None;
+        }
+        let mut snap = TelemetrySnapshot {
+            instance: usize::try_from(json_u64(line, "instance")?).ok()?,
+            wall_nanos: json_u64(line, "wall_nanos").unwrap_or(0),
+            ..TelemetrySnapshot::default()
+        };
+        for event in TelemetryEvent::ALL {
+            snap.events[event.slot()] = json_u64(line, event.key()).unwrap_or(0);
+        }
+        for stage in Stage::ALL {
+            snap.stage_nanos[stage.slot()] = json_u64(line, stage.key()).unwrap_or(0);
+        }
+        Some(snap)
+    }
+}
+
+fn push_field(out: &mut String, key: &str, value: u64) {
+    use fmt::Write as _;
+    let _ = write!(out, "\"{key}\":{value},");
+}
+
+/// Extracts the unsigned integer value of `"key":<digits>` from a flat
+/// JSON object. Sufficient for the fixed snapshot schema; not a general
+/// JSON parser.
+fn json_u64(line: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses a whole JSONL document back into snapshots.
+///
+/// # Errors
+///
+/// Returns the (1-based) line number and content of the first line that
+/// fails to parse; blank lines are skipped.
+pub fn parse_jsonl(text: &str) -> Result<Vec<TelemetrySnapshot>, String> {
+    let mut snaps = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match TelemetrySnapshot::from_json(line) {
+            Some(snap) => snaps.push(snap),
+            None => return Err(format!("line {}: unparseable snapshot: {line}", i + 1)),
+        }
+    }
+    Ok(snaps)
+}
+
+/// An append-only JSONL sink, shareable across a fleet's threads.
+///
+/// Each [`emit`](JsonlSink::emit) writes one snapshot line under a mutex
+/// — contention is bounded by the sync cadence, not the exec rate.
+pub struct JsonlSink {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JsonlSink").finish_non_exhaustive()
+    }
+}
+
+impl JsonlSink {
+    /// Wraps any writer (a file, a pipe, a shared test buffer).
+    pub fn new(out: Box<dyn Write + Send>) -> Self {
+        JsonlSink {
+            out: Mutex::new(out),
+        }
+    }
+
+    /// Creates (truncates) a JSONL file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying file-creation error.
+    pub fn to_file<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        Ok(JsonlSink::new(Box::new(BufWriter::new(File::create(
+            path,
+        )?))))
+    }
+
+    /// Appends one snapshot line and flushes it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write/flush errors from the underlying writer.
+    pub fn emit(&self, snapshot: &TelemetrySnapshot) -> io::Result<()> {
+        let mut out = self.out.lock().expect("sink mutex poisoned");
+        writeln!(out, "{}", snapshot.to_json())?;
+        out.flush()
+    }
+}
+
+/// A shared in-memory buffer implementing [`Write`] — a [`JsonlSink`]
+/// target for tests and in-process consumers.
+#[derive(Debug, Clone, Default)]
+pub struct SharedBuffer(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuffer {
+    /// Creates an empty shared buffer.
+    pub fn new() -> Self {
+        SharedBuffer::default()
+    }
+
+    /// The buffer contents as a string (lossy on invalid UTF-8).
+    pub fn contents(&self) -> String {
+        String::from_utf8_lossy(&self.0.lock().expect("buffer mutex poisoned")).into_owned()
+    }
+}
+
+impl Write for SharedBuffer {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0
+            .lock()
+            .expect("buffer mutex poisoned")
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Hands out per-instance [`Telemetry`] handles and fans snapshots into
+/// an optional shared [`JsonlSink`].
+#[derive(Debug, Default)]
+pub struct TelemetryRegistry {
+    instances: Mutex<Vec<Arc<Telemetry>>>,
+    sink: Option<JsonlSink>,
+}
+
+impl TelemetryRegistry {
+    /// Creates a registry with no sink (snapshots are only readable
+    /// in-process).
+    pub fn new() -> Self {
+        TelemetryRegistry::default()
+    }
+
+    /// Creates a registry that emits every snapshot to `sink`.
+    pub fn with_sink(sink: JsonlSink) -> Self {
+        TelemetryRegistry {
+            instances: Mutex::new(Vec::new()),
+            sink: Some(sink),
+        }
+    }
+
+    /// Registers (and returns) the telemetry handle for one fleet
+    /// instance.
+    pub fn register(&self, instance: usize) -> Arc<Telemetry> {
+        let telemetry = Arc::new(Telemetry::new(instance));
+        self.instances
+            .lock()
+            .expect("registry mutex poisoned")
+            .push(Arc::clone(&telemetry));
+        telemetry
+    }
+
+    /// Snapshots `telemetry` and appends it to the sink (no-op without a
+    /// sink; sink I/O errors are reported to stderr once per call rather
+    /// than unwinding a fuzzing thread).
+    pub fn emit(&self, telemetry: &Telemetry) {
+        if let Some(sink) = &self.sink {
+            if let Err(e) = sink.emit(&telemetry.snapshot()) {
+                eprintln!("telemetry sink write failed: {e}");
+            }
+        }
+    }
+
+    /// Live snapshots of every registered instance, in registration
+    /// order.
+    pub fn snapshots(&self) -> Vec<TelemetrySnapshot> {
+        self.instances
+            .lock()
+            .expect("registry mutex poisoned")
+            .iter()
+            .map(|t| t.snapshot())
+            .collect()
+    }
+
+    /// Fleet-wide totals: every instance's snapshot merged (counters
+    /// summed, wall time maxed).
+    pub fn fleet_totals(&self) -> TelemetrySnapshot {
+        let mut total = TelemetrySnapshot::default();
+        for snap in self.snapshots() {
+            total.merge(&snap);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_event() {
+        let t = Telemetry::new(3);
+        t.incr(TelemetryEvent::Exec);
+        t.incr(TelemetryEvent::Exec);
+        t.add(TelemetryEvent::MapUpdate, 40);
+        assert_eq!(t.get(TelemetryEvent::Exec), 2);
+        assert_eq!(t.get(TelemetryEvent::MapUpdate), 40);
+        assert_eq!(t.get(TelemetryEvent::Crash), 0);
+        assert_eq!(t.instance(), 3);
+    }
+
+    #[test]
+    fn stage_time_accumulates() {
+        let t = Telemetry::new(0);
+        t.add_stage(Stage::MapOps, Duration::from_micros(5));
+        t.add_stage(Stage::MapOps, Duration::from_micros(5));
+        t.add_stage(Stage::Havoc, Duration::from_micros(1));
+        assert_eq!(t.stage_time(Stage::MapOps), Duration::from_micros(10));
+        assert_eq!(t.stage_time(Stage::Havoc), Duration::from_micros(1));
+        assert_eq!(t.stage_time(Stage::Deterministic), Duration::ZERO);
+    }
+
+    #[test]
+    fn snapshot_json_roundtrip() {
+        let t = Telemetry::new(7);
+        for event in TelemetryEvent::ALL {
+            t.add(event, event.slot() as u64 + 1);
+        }
+        for stage in Stage::ALL {
+            t.add_stage(stage, Duration::from_nanos(stage.slot() as u64 + 100));
+        }
+        let snap = t.snapshot();
+        let line = snap.to_json();
+        let back = TelemetrySnapshot::from_json(&line).expect("roundtrip");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(TelemetrySnapshot::from_json("").is_none());
+        assert!(TelemetrySnapshot::from_json("not json").is_none());
+        assert!(TelemetrySnapshot::from_json("{\"execs\":5}").is_none()); // no instance
+    }
+
+    #[test]
+    fn timeline_point_reflects_exec_and_coverage() {
+        let t = Telemetry::new(0);
+        t.add(TelemetryEvent::Exec, 512);
+        t.add(TelemetryEvent::NewCoverage, 9);
+        let point = t.snapshot().timeline_point();
+        assert_eq!(point.execs, 512);
+        assert_eq!(point.coverage, 9);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_maxes_wall() {
+        let mut a = TelemetrySnapshot {
+            instance: 0,
+            wall_nanos: 10,
+            ..Default::default()
+        };
+        a.events[TelemetryEvent::Exec.slot()] = 5;
+        let mut b = TelemetrySnapshot {
+            instance: 1,
+            wall_nanos: 30,
+            ..Default::default()
+        };
+        b.events[TelemetryEvent::Exec.slot()] = 7;
+        b.stage_nanos[Stage::MapOps.slot()] = 11;
+        a.merge(&b);
+        assert_eq!(a.get(TelemetryEvent::Exec), 12);
+        assert_eq!(a.wall_nanos, 30);
+        assert_eq!(a.stage_nanos[Stage::MapOps.slot()], 11);
+    }
+
+    #[test]
+    fn sink_emits_parseable_jsonl() {
+        let buffer = SharedBuffer::new();
+        let sink = JsonlSink::new(Box::new(buffer.clone()));
+        let t = Telemetry::new(1);
+        t.incr(TelemetryEvent::SyncPublish);
+        sink.emit(&t.snapshot()).unwrap();
+        t.incr(TelemetryEvent::SyncImport);
+        sink.emit(&t.snapshot()).unwrap();
+
+        let parsed = parse_jsonl(&buffer.contents()).expect("valid jsonl");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].get(TelemetryEvent::SyncImport), 0);
+        assert_eq!(parsed[1].get(TelemetryEvent::SyncImport), 1);
+    }
+
+    #[test]
+    fn parse_jsonl_reports_bad_line() {
+        let err = parse_jsonl("{\"instance\":0}\nbroken\n").unwrap_err();
+        assert!(err.contains("line 2"), "got: {err}");
+        // Blank lines are fine.
+        assert_eq!(parse_jsonl("\n\n").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn registry_tracks_instances_and_totals() {
+        let registry = TelemetryRegistry::new();
+        let a = registry.register(0);
+        let b = registry.register(1);
+        a.add(TelemetryEvent::Exec, 100);
+        b.add(TelemetryEvent::Exec, 50);
+        b.incr(TelemetryEvent::Crash);
+
+        let snaps = registry.snapshots();
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0].instance, 0);
+        assert_eq!(snaps[1].get(TelemetryEvent::Exec), 50);
+
+        let totals = registry.fleet_totals();
+        assert_eq!(totals.get(TelemetryEvent::Exec), 150);
+        assert_eq!(totals.get(TelemetryEvent::Crash), 1);
+    }
+
+    #[test]
+    fn registry_emit_without_sink_is_noop() {
+        let registry = TelemetryRegistry::new();
+        let t = registry.register(0);
+        registry.emit(&t); // must not panic
+    }
+
+    #[test]
+    fn registry_emit_writes_to_sink() {
+        let buffer = SharedBuffer::new();
+        let registry = TelemetryRegistry::with_sink(JsonlSink::new(Box::new(buffer.clone())));
+        let t = registry.register(4);
+        t.add(TelemetryEvent::QueueCycle, 3);
+        registry.emit(&t);
+        let parsed = parse_jsonl(&buffer.contents()).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].instance, 4);
+        assert_eq!(parsed[0].get(TelemetryEvent::QueueCycle), 3);
+    }
+}

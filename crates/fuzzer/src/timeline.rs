@@ -60,9 +60,20 @@ impl CoverageTimeline {
         self.points.push(TimelinePoint { execs, coverage });
     }
 
+    /// Records an already-built point (telemetry snapshots convert to
+    /// [`TimelinePoint`]s; this folds them into a per-instance curve).
+    pub fn record_point(&mut self, point: TimelinePoint) {
+        self.record(point.execs, point.coverage);
+    }
+
     /// The recorded points.
     pub fn points(&self) -> &[TimelinePoint] {
         &self.points
+    }
+
+    /// The most recent point, if any.
+    pub fn last(&self) -> Option<TimelinePoint> {
+        self.points.last().copied()
     }
 
     /// Final coverage (0 if nothing recorded).
@@ -131,6 +142,23 @@ mod tests {
         t.record(20, 40); // clamped up
         assert_eq!(t.final_coverage(), 50);
         assert_eq!(t.points().len(), 2);
+    }
+
+    #[test]
+    fn record_point_and_last_roundtrip() {
+        let mut t = CoverageTimeline::new();
+        assert_eq!(t.last(), None);
+        t.record_point(TimelinePoint {
+            execs: 128,
+            coverage: 7,
+        });
+        assert_eq!(
+            t.last(),
+            Some(TimelinePoint {
+                execs: 128,
+                coverage: 7
+            })
+        );
     }
 
     #[test]

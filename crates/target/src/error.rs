@@ -1,0 +1,91 @@
+//! Typed errors for program construction and validation.
+
+use std::fmt;
+
+/// Errors produced by [`crate::ProgramBuilder::build`], [`crate::Program::validate`]
+/// and [`crate::GeneratorConfig::validate`].
+///
+/// The enum is comparable (`PartialEq`) so tests can assert on exact
+/// validation outcomes, and implements [`std::error::Error`] so it threads
+/// through `?` into `Box<dyn Error>` contexts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TargetError {
+    /// The program (or builder) was given an empty name.
+    EmptyName,
+    /// A multi-byte compare was constructed with no bytes to compare.
+    EmptyMagic {
+        /// Index of the offending site in builder order.
+        site: usize,
+    },
+    /// A switch site was constructed with no case arms.
+    EmptySwitch {
+        /// Index of the offending site in builder order.
+        site: usize,
+    },
+    /// A block references a successor outside the program.
+    DanglingBlock {
+        /// Index of the block holding the bad reference.
+        block: usize,
+        /// The out-of-range successor index.
+        successor: usize,
+    },
+    /// A call block references a function that does not exist.
+    DanglingFunction {
+        /// Index of the call block.
+        block: usize,
+        /// The out-of-range function index.
+        function: usize,
+    },
+    /// A function entry or return index is out of range.
+    MalformedFunction {
+        /// Index of the malformed function.
+        function: usize,
+    },
+    /// The program has no functions at all.
+    NoFunctions,
+    /// A generator configuration field is out of its legal range.
+    InvalidConfig {
+        /// Name of the offending field.
+        field: &'static str,
+        /// Human-readable description of the violated constraint.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for TargetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TargetError::EmptyName => write!(f, "program name must not be empty"),
+            TargetError::EmptyMagic { site } => {
+                write!(f, "magic gate at site {site} compares zero bytes")
+            }
+            TargetError::EmptySwitch { site } => {
+                write!(f, "switch at site {site} has no case arms")
+            }
+            TargetError::DanglingBlock { block, successor } => {
+                write!(
+                    f,
+                    "block {block} references out-of-range successor {successor}"
+                )
+            }
+            TargetError::DanglingFunction { block, function } => {
+                write!(
+                    f,
+                    "call block {block} references out-of-range function {function}"
+                )
+            }
+            TargetError::MalformedFunction { function } => {
+                write!(
+                    f,
+                    "function {function} has out-of-range entry or return block"
+                )
+            }
+            TargetError::NoFunctions => write!(f, "program has no functions"),
+            TargetError::InvalidConfig { field, expected } => {
+                write!(f, "invalid generator config: `{field}` must be {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TargetError {}

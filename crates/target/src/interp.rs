@@ -1,0 +1,311 @@
+//! Deterministic program interpreter with trace-sink instrumentation.
+//!
+//! The interpreter is the stand-in for running an AFL-instrumented binary:
+//! each executed basic block is reported to a [`TraceSink`] exactly the way
+//! `afl-clang-fast`'s shim writes to the shared-memory map. Execution is a
+//! pure function of `(program, input, config)` — there is no RNG and no
+//! wall clock — so replaying an input always reproduces the identical
+//! trace, and hang detection is *step-bounded* rather than time-bounded,
+//! keeping exec budgets exact.
+
+use crate::ir::{BlockKind, Program};
+
+/// Receives the dynamic trace of one execution.
+///
+/// Implementations map these events onto coverage metrics: `on_block`
+/// drives edge/block/N-gram metrics, `on_call`/`on_return` drive
+/// context-sensitive metrics.
+pub trait TraceSink {
+    /// A basic block (global index) was executed.
+    fn on_block(&mut self, global_block: usize);
+    /// A call site (dense index) transferred control to a callee.
+    fn on_call(&mut self, call_site: usize);
+    /// Control returned from the most recent call.
+    fn on_return(&mut self);
+}
+
+/// A [`TraceSink`] that discards every event — useful for crash
+/// reproduction and throughput probes where only the
+/// [`ExecOutcome`] matters.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn on_block(&mut self, _global_block: usize) {}
+    fn on_call(&mut self, _call_site: usize) {}
+    fn on_return(&mut self) {}
+}
+
+/// Execution limits and cost model for the interpreter.
+///
+/// Construct with struct-update syntax over [`Default`]:
+///
+/// ```
+/// use bigmap_target::ExecConfig;
+/// let exec = ExecConfig { max_steps: 50_000, ..Default::default() };
+/// assert!(exec.max_steps < ExecConfig::default().max_steps);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Step budget per execution; one step is charged per executed block.
+    /// A program that exhausts it — in particular any planted hang site,
+    /// which drains the budget immediately — reports [`ExecOutcome::Hang`].
+    /// Step-bounding (instead of a wall-clock timeout) keeps campaigns
+    /// deterministic and lets exec-count budgets stay exact.
+    pub max_steps: u64,
+    /// Synthetic extra work units burned per executed block, for modelling
+    /// slower targets in throughput experiments. 0 disables the spin.
+    pub work_per_block: u32,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            max_steps: 1_000_000,
+            work_per_block: 0,
+        }
+    }
+}
+
+/// Result of one interpreted execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecOutcome {
+    /// The program ran to completion.
+    Ok,
+    /// A planted crash site fired.
+    Crash {
+        /// Dense crash-site index (`0..Program::crash_sites`).
+        site: usize,
+        /// Call-site indices active when the crash fired, outermost first —
+        /// the synthetic call stack crash triage deduplicates on.
+        stack: Vec<usize>,
+    },
+    /// The step budget was exhausted (planted hang site or runaway loop).
+    Hang,
+}
+
+impl ExecOutcome {
+    /// True for [`ExecOutcome::Crash`].
+    pub fn is_crash(&self) -> bool {
+        matches!(self, ExecOutcome::Crash { .. })
+    }
+
+    /// True for [`ExecOutcome::Hang`].
+    pub fn is_hang(&self) -> bool {
+        matches!(self, ExecOutcome::Hang)
+    }
+
+    /// True for [`ExecOutcome::Ok`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, ExecOutcome::Ok)
+    }
+}
+
+/// Executes a [`Program`] over concrete inputs, reporting each executed
+/// block to a [`TraceSink`].
+///
+/// The interpreter borrows the program for its own lifetime; it holds no
+/// mutable state, so one interpreter can serve an entire campaign.
+#[derive(Debug)]
+pub struct Interpreter<'p> {
+    program: &'p Program,
+    config: ExecConfig,
+}
+
+impl<'p> Interpreter<'p> {
+    /// Interpreter with the default [`ExecConfig`].
+    pub fn new(program: &'p Program) -> Self {
+        Interpreter {
+            program,
+            config: ExecConfig::default(),
+        }
+    }
+
+    /// Interpreter with an explicit [`ExecConfig`].
+    pub fn with_config(program: &'p Program, config: ExecConfig) -> Self {
+        Interpreter { program, config }
+    }
+
+    /// The program being interpreted.
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// The active execution configuration.
+    pub fn config(&self) -> ExecConfig {
+        self.config
+    }
+
+    /// Execute `input`, streaming the block trace into `sink`.
+    ///
+    /// Deterministic: the same program, config and input always produce the
+    /// identical event sequence and outcome.
+    pub fn run<S: TraceSink + ?Sized>(&self, input: &[u8], sink: &mut S) -> ExecOutcome {
+        let mut state = ExecState {
+            program: self.program,
+            input,
+            steps_left: self.config.max_steps,
+            work_per_block: self.config.work_per_block,
+            call_stack: Vec::new(),
+        };
+        match state.exec_function(0, sink) {
+            Flow::Done => ExecOutcome::Ok,
+            Flow::Crash { site, stack } => ExecOutcome::Crash { site, stack },
+            Flow::Hang => ExecOutcome::Hang,
+        }
+    }
+}
+
+enum Flow {
+    Done,
+    Crash { site: usize, stack: Vec<usize> },
+    Hang,
+}
+
+struct ExecState<'a> {
+    program: &'a Program,
+    input: &'a [u8],
+    steps_left: u64,
+    work_per_block: u32,
+    call_stack: Vec<usize>,
+}
+
+impl ExecState<'_> {
+    fn byte_at(&self, offset: usize) -> Option<u8> {
+        self.input.get(offset).copied()
+    }
+
+    /// Charge one step (plus the configured per-block work). Returns false
+    /// when the budget is exhausted.
+    fn step(&mut self) -> bool {
+        if self.steps_left == 0 {
+            return false;
+        }
+        self.steps_left -= 1;
+        if self.work_per_block > 0 {
+            let mut acc = 0u64;
+            for unit in 0..self.work_per_block {
+                acc = acc
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(unit as u64);
+            }
+            std::hint::black_box(acc);
+        }
+        true
+    }
+
+    fn exec_function<S: TraceSink + ?Sized>(&mut self, function: usize, sink: &mut S) -> Flow {
+        let mut pc = self.program.functions[function].entry;
+        loop {
+            if !self.step() {
+                return Flow::Hang;
+            }
+            sink.on_block(pc);
+            match &self.program.blocks[pc].kind {
+                BlockKind::Jump { next } => pc = *next,
+                BlockKind::ByteGuard {
+                    offset,
+                    value,
+                    taken,
+                    fallthrough,
+                } => {
+                    pc = if self.byte_at(*offset) == Some(*value) {
+                        *taken
+                    } else {
+                        *fallthrough
+                    };
+                }
+                BlockKind::MaskGuard {
+                    offset,
+                    mask,
+                    value,
+                    taken,
+                    fallthrough,
+                } => {
+                    pc = match self.byte_at(*offset) {
+                        Some(byte) if byte & *mask == *value => *taken,
+                        _ => *fallthrough,
+                    };
+                }
+                BlockKind::MagicGuard {
+                    offset,
+                    values,
+                    taken,
+                    fallthrough,
+                } => {
+                    let matched = values
+                        .iter()
+                        .enumerate()
+                        .all(|(i, v)| self.byte_at(offset + i) == Some(*v));
+                    pc = if matched { *taken } else { *fallthrough };
+                }
+                BlockKind::Switch {
+                    offset,
+                    arms,
+                    default,
+                } => {
+                    let byte = self.byte_at(*offset);
+                    pc = arms
+                        .iter()
+                        .find(|(value, _)| Some(*value) == byte)
+                        .map(|(_, arm)| *arm)
+                        .unwrap_or(*default);
+                }
+                BlockKind::LoopHead {
+                    offset,
+                    max_iters,
+                    body,
+                    exit,
+                } => {
+                    // Unrolled inline: trace is head, (body, head) per
+                    // iteration, then the exit — so the back edge's hit
+                    // count carries the trip count into the coverage map.
+                    let iters = match (self.byte_at(*offset), *max_iters) {
+                        (Some(byte), m) if m > 0 => (byte % m) as u32,
+                        _ => 0,
+                    };
+                    for _ in 0..iters {
+                        if !self.step() {
+                            return Flow::Hang;
+                        }
+                        sink.on_block(*body);
+                        if !self.step() {
+                            return Flow::Hang;
+                        }
+                        sink.on_block(pc);
+                    }
+                    pc = *exit;
+                }
+                BlockKind::Call {
+                    function: callee,
+                    call_site,
+                    next,
+                } => {
+                    sink.on_call(*call_site);
+                    self.call_stack.push(*call_site);
+                    match self.exec_function(*callee, sink) {
+                        Flow::Done => {}
+                        other => return other,
+                    }
+                    self.call_stack.pop();
+                    sink.on_return();
+                    pc = *next;
+                }
+                BlockKind::Crash { site } => {
+                    return Flow::Crash {
+                        site: *site,
+                        stack: self.call_stack.clone(),
+                    };
+                }
+                BlockKind::Hang => {
+                    // A planted hang models an unbounded loop: it drains
+                    // the remaining step budget at once so campaigns count
+                    // the hang without actually stalling.
+                    self.steps_left = 0;
+                    return Flow::Hang;
+                }
+                BlockKind::Return => return Flow::Done,
+            }
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! The laf-intel IR-to-IR transform: split roadblock comparisons so the
+//! coverage map sees a gradient instead of a cliff.
+//!
+//! Mirrors the LLVM passes of laf-intel / AFL++'s `AFL_LLVM_LAF_ALL`:
+//! K-byte all-at-once compares become cascades of 8·K sub-byte compares
+//! (cumulative bit-prefix rungs per magic byte — every solved bit prefix
+//! is a fresh block, i.e. fresh coverage feedback), and switches are
+//! deconstructed into if-else chains. The
+//! transform multiplies the program's static edge population — exactly the
+//! map pressure BigMap's large maps are built to absorb.
+
+use crate::ir::{Block, BlockKind, FunctionInfo, Program};
+
+/// What [`apply_laf_intel`] did to a program.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LafIntelStats {
+    /// Multi-byte compares split into single-byte cascades.
+    pub comparisons_split: usize,
+    /// Switches deconstructed into if-else chains.
+    pub switches_deconstructed: usize,
+    /// Net new basic blocks introduced by the transform.
+    pub blocks_added: usize,
+}
+
+/// Apply the laf-intel transform, returning the rewritten program and the
+/// transform statistics. The input program is untouched; crash sites, hang
+/// sites and call structure are preserved, only comparison shapes change.
+///
+/// ```
+/// use bigmap_target::{apply_laf_intel, ProgramBuilder};
+///
+/// let plain = ProgramBuilder::new("roadblock")
+///     .magic_gate(0, b"MAGIC", true)
+///     .build()
+///     .unwrap();
+/// let (laf, stats) = apply_laf_intel(&plain);
+/// assert_eq!(stats.comparisons_split, 1);
+/// assert_eq!(laf.block_count(), plain.block_count() + stats.blocks_added);
+/// ```
+pub fn apply_laf_intel(program: &Program) -> (Program, LafIntelStats) {
+    let mut stats = LafIntelStats::default();
+
+    // Pass 1: the new starting index of every old block.
+    let mut new_index = Vec::with_capacity(program.blocks.len());
+    let mut cursor = 0usize;
+    for block in &program.blocks {
+        new_index.push(cursor);
+        cursor += match &block.kind {
+            BlockKind::MagicGuard { values, .. } => 8 * values.len(),
+            BlockKind::Switch { arms, .. } => arms.len(),
+            _ => 1,
+        };
+    }
+
+    // Pass 2: emit rewritten blocks with successors remapped.
+    let mut blocks = Vec::with_capacity(cursor);
+    for (old, block) in program.blocks.iter().enumerate() {
+        let function = block.function;
+        match &block.kind {
+            BlockKind::MagicGuard {
+                offset,
+                values,
+                taken,
+                fallthrough,
+            } => {
+                // Each magic byte becomes eight cascaded rungs — cumulative
+                // MSB-first prefix masks (0x80, 0xC0, … 0xFE) capped by a
+                // full-byte equality — so the coverage map rewards every
+                // solved bit prefix, not just whole matched bytes. The
+                // cascade is *conjunctive*: reaching rung k proves every
+                // earlier bit still matches, which is what lets a campaign
+                // accumulate progress in a single corpus entry rather than
+                // scattering solved bits across the queue. Real laf-intel
+                // stops at 8-bit granularity and lets campaigns grind out
+                // each byte over millions of executions; this substrate
+                // compresses those dynamics to smoke-scale exec budgets, so
+                // the split granularity scales down with it: one
+                // coverage-visible rung per constrained bit, each reachable
+                // from its predecessor by a single bit flip.
+                let base = new_index[old];
+                let bytes = values.len();
+                for (i, value) in values.iter().enumerate() {
+                    let byte_base = base + 8 * i;
+                    for bit in 0..7u8 {
+                        let mask = 0xFFu8 << (7 - bit);
+                        blocks.push(Block {
+                            kind: BlockKind::MaskGuard {
+                                offset: offset + i,
+                                mask,
+                                value: value & mask,
+                                taken: byte_base + bit as usize + 1,
+                                fallthrough: new_index[*fallthrough],
+                            },
+                            function,
+                        });
+                    }
+                    blocks.push(Block {
+                        kind: BlockKind::ByteGuard {
+                            offset: offset + i,
+                            value: *value,
+                            taken: if i + 1 < bytes {
+                                base + 8 * (i + 1)
+                            } else {
+                                new_index[*taken]
+                            },
+                            fallthrough: new_index[*fallthrough],
+                        },
+                        function,
+                    });
+                }
+                stats.comparisons_split += 1;
+                stats.blocks_added += 8 * bytes - 1;
+            }
+            BlockKind::Switch {
+                offset,
+                arms,
+                default,
+            } => {
+                // If-else chain: test each case in order, falling through
+                // to the default when none match.
+                let base = new_index[old];
+                let tests = arms.len();
+                for (i, (value, arm)) in arms.iter().enumerate() {
+                    blocks.push(Block {
+                        kind: BlockKind::ByteGuard {
+                            offset: *offset,
+                            value: *value,
+                            taken: new_index[*arm],
+                            fallthrough: if i + 1 < tests {
+                                base + i + 1
+                            } else {
+                                new_index[*default]
+                            },
+                        },
+                        function,
+                    });
+                }
+                stats.switches_deconstructed += 1;
+                stats.blocks_added += tests - 1;
+            }
+            other => {
+                let kind = match other {
+                    BlockKind::Jump { next } => BlockKind::Jump {
+                        next: new_index[*next],
+                    },
+                    BlockKind::ByteGuard {
+                        offset,
+                        value,
+                        taken,
+                        fallthrough,
+                    } => BlockKind::ByteGuard {
+                        offset: *offset,
+                        value: *value,
+                        taken: new_index[*taken],
+                        fallthrough: new_index[*fallthrough],
+                    },
+                    BlockKind::MaskGuard {
+                        offset,
+                        mask,
+                        value,
+                        taken,
+                        fallthrough,
+                    } => BlockKind::MaskGuard {
+                        offset: *offset,
+                        mask: *mask,
+                        value: *value,
+                        taken: new_index[*taken],
+                        fallthrough: new_index[*fallthrough],
+                    },
+                    BlockKind::LoopHead {
+                        offset,
+                        max_iters,
+                        body,
+                        exit,
+                    } => BlockKind::LoopHead {
+                        offset: *offset,
+                        max_iters: *max_iters,
+                        body: new_index[*body],
+                        exit: new_index[*exit],
+                    },
+                    BlockKind::Call {
+                        function: callee,
+                        call_site,
+                        next,
+                    } => BlockKind::Call {
+                        function: *callee,
+                        call_site: *call_site,
+                        next: new_index[*next],
+                    },
+                    BlockKind::Crash { site } => BlockKind::Crash { site: *site },
+                    BlockKind::Hang => BlockKind::Hang,
+                    BlockKind::Return => BlockKind::Return,
+                    BlockKind::MagicGuard { .. } | BlockKind::Switch { .. } => unreachable!(),
+                };
+                blocks.push(Block { kind, function });
+            }
+        }
+    }
+
+    let functions = program
+        .functions
+        .iter()
+        .map(|f| FunctionInfo {
+            entry: new_index[f.entry],
+            ret: new_index[f.ret],
+        })
+        .collect();
+
+    let laf = Program {
+        name: program.name.clone(),
+        call_sites: program.call_sites,
+        crash_sites: program.crash_sites,
+        hang_sites: program.hang_sites,
+        blocks,
+        functions,
+    };
+    debug_assert_eq!(laf.validate(), Ok(()));
+    (laf, stats)
+}

@@ -1,0 +1,269 @@
+//! The Table II benchmark suite: named program shapes matched to the
+//! paper's evaluation targets.
+//!
+//! Each [`BenchmarkSpec`] carries the published corpus/edge
+//! characteristics of one evaluation target (eight FuzzBench-style
+//! libraries plus eleven `llvm-opt-fuzzer` pass harnesses) and knows how
+//! to instantiate a synthetic program of matching shape at any density —
+//! `build(1.0)` approximates the full static edge count, `build(0.05)` a
+//! twenty-times-smaller stand-in for quick experiments.
+
+use crate::generator::{generate_seeds, GeneratorConfig};
+use crate::ir::Program;
+
+/// One row of the paper's Table II: a named benchmark with its seed-corpus
+/// size and static/discovered edge characteristics, plus everything needed
+/// to build a synthetic program of the same shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchmarkSpec {
+    /// Benchmark name (e.g. `"zlib"`, `"instcombine"`).
+    pub name: &'static str,
+    /// Version fuzzed in the paper's evaluation.
+    pub version: &'static str,
+    /// Seed-corpus size used in the paper.
+    pub seeds: usize,
+    /// Edges discovered in the paper's 24 h AFL runs.
+    pub discovered_edges: usize,
+    /// Static instrumented edge count of the real target.
+    pub static_edges: usize,
+    /// True for `llvm-opt-fuzzer` pass harnesses (magic-heavy,
+    /// switch-heavy, crash-bearing shapes).
+    pub llvm: bool,
+}
+
+/// All 19 benchmarks, zlib through instcombine.
+const TABLE_II: [BenchmarkSpec; 19] = [
+    BenchmarkSpec {
+        name: "zlib",
+        version: "1.2.11",
+        seeds: 1,
+        discovered_edges: 1_630,
+        static_edges: 4_500,
+        llvm: false,
+    },
+    BenchmarkSpec {
+        name: "libpng",
+        version: "1.6.38",
+        seeds: 1,
+        discovered_edges: 2_190,
+        static_edges: 6_550,
+        llvm: false,
+    },
+    BenchmarkSpec {
+        name: "proj4",
+        version: "8.1.0",
+        seeds: 44,
+        discovered_edges: 4_400,
+        static_edges: 9_000,
+        llvm: false,
+    },
+    BenchmarkSpec {
+        name: "harfbuzz",
+        version: "2.8.1",
+        seeds: 58,
+        discovered_edges: 8_900,
+        static_edges: 18_100,
+        llvm: false,
+    },
+    BenchmarkSpec {
+        name: "bloaty",
+        version: "1.1",
+        seeds: 94,
+        discovered_edges: 12_300,
+        static_edges: 47_000,
+        llvm: false,
+    },
+    BenchmarkSpec {
+        name: "sqlite3",
+        version: "3.36.0",
+        seeds: 1,
+        discovered_edges: 16_000,
+        static_edges: 50_000,
+        llvm: false,
+    },
+    BenchmarkSpec {
+        name: "openssl",
+        version: "1.1.1",
+        seeds: 2,
+        discovered_edges: 9_900,
+        static_edges: 64_000,
+        llvm: false,
+    },
+    BenchmarkSpec {
+        name: "php",
+        version: "7.4.21",
+        seeds: 2,
+        discovered_edges: 17_600,
+        static_edges: 107_000,
+        llvm: false,
+    },
+    BenchmarkSpec {
+        name: "mem2reg",
+        version: "llvm-12",
+        seeds: 5_598,
+        discovered_edges: 18_700,
+        static_edges: 84_000,
+        llvm: true,
+    },
+    BenchmarkSpec {
+        name: "sccp",
+        version: "llvm-12",
+        seeds: 5_598,
+        discovered_edges: 19_200,
+        static_edges: 86_500,
+        llvm: true,
+    },
+    BenchmarkSpec {
+        name: "earlycse",
+        version: "llvm-12",
+        seeds: 5_598,
+        discovered_edges: 20_100,
+        static_edges: 88_000,
+        llvm: true,
+    },
+    BenchmarkSpec {
+        name: "loop-rotate",
+        version: "llvm-12",
+        seeds: 5_598,
+        discovered_edges: 19_800,
+        static_edges: 89_000,
+        llvm: true,
+    },
+    BenchmarkSpec {
+        name: "instsimplify",
+        version: "llvm-12",
+        seeds: 5_598,
+        discovered_edges: 22_800,
+        static_edges: 90_500,
+        llvm: true,
+    },
+    BenchmarkSpec {
+        name: "loop-unroll",
+        version: "llvm-12",
+        seeds: 5_598,
+        discovered_edges: 20_900,
+        static_edges: 91_500,
+        llvm: true,
+    },
+    BenchmarkSpec {
+        name: "licm",
+        version: "llvm-12",
+        seeds: 5_598,
+        discovered_edges: 21_500,
+        static_edges: 92_000,
+        llvm: true,
+    },
+    BenchmarkSpec {
+        name: "indvars",
+        version: "llvm-12",
+        seeds: 5_598,
+        discovered_edges: 23_400,
+        static_edges: 94_000,
+        llvm: true,
+    },
+    BenchmarkSpec {
+        name: "gvn",
+        version: "llvm-12",
+        seeds: 5_598,
+        discovered_edges: 24_000,
+        static_edges: 96_000,
+        llvm: true,
+    },
+    BenchmarkSpec {
+        name: "jump-threading",
+        version: "llvm-12",
+        seeds: 5_598,
+        discovered_edges: 22_100,
+        static_edges: 98_000,
+        llvm: true,
+    },
+    BenchmarkSpec {
+        name: "instcombine",
+        version: "llvm-12",
+        seeds: 5_598,
+        discovered_edges: 30_000,
+        static_edges: 120_000,
+        llvm: true,
+    },
+];
+
+impl BenchmarkSpec {
+    /// Every benchmark in Table II.
+    pub fn all() -> Vec<BenchmarkSpec> {
+        TABLE_II.to_vec()
+    }
+
+    /// Alias for [`BenchmarkSpec::all`], named after the paper's table.
+    pub fn table_ii() -> Vec<BenchmarkSpec> {
+        Self::all()
+    }
+
+    /// The six benchmarks of the paper's Figure 3 runtime-composition
+    /// study.
+    pub fn figure3() -> Vec<BenchmarkSpec> {
+        ["libpng", "sqlite3", "gvn", "bloaty", "openssl", "php"]
+            .iter()
+            .map(|name| Self::by_name(name).expect("figure 3 benchmark in Table II"))
+            .collect()
+    }
+
+    /// The `llvm-opt-fuzzer` pass harnesses (the crash-bearing subset used
+    /// by the unique-crash and composition studies).
+    pub fn llvm() -> Vec<BenchmarkSpec> {
+        TABLE_II.iter().filter(|spec| spec.llvm).copied().collect()
+    }
+
+    /// Look up one benchmark by its Table II name.
+    pub fn by_name(name: &str) -> Option<BenchmarkSpec> {
+        TABLE_II.iter().find(|spec| spec.name == name).copied()
+    }
+
+    /// Build a synthetic program of this benchmark's shape at the given
+    /// density: the generated static edge count is approximately
+    /// `static_edges * scale`. Deterministic per `(spec, scale)`.
+    pub fn build(&self, scale: f64) -> Program {
+        let scale = if scale.is_finite() {
+            scale.clamp(0.0005, 1.0)
+        } else {
+            0.05
+        };
+        // ~3.2 static edges per comparison site on average (branch, reward
+        // and fall-through edges, plus call/switch/loop extras).
+        let sites = ((self.static_edges as f64 * scale / 3.2) as usize).max(16);
+        let functions = (sites / 26).clamp(2, 64);
+        let gates_per_function = (sites / functions).max(2);
+        GeneratorConfig {
+            name: format!("{}-{}", self.name, self.version),
+            seed: self.stable_seed(),
+            functions,
+            gates_per_function,
+            magic_gate_ratio: if self.llvm { 0.30 } else { 0.12 },
+            switch_ratio: if self.llvm { 0.15 } else { 0.08 },
+            loop_ratio: 0.12,
+            crash_sites: if self.llvm { (sites / 50).max(4) } else { 1 },
+            hang_sites: 0,
+            crash_guard_width: 2,
+            max_magic_len: 4,
+            offset_range: 64,
+            seed_len: 64,
+        }
+        .generate()
+    }
+
+    /// Synthesise a seed corpus of `n` inputs for a program built from this
+    /// spec (see [`generate_seeds`]). Deterministic per `(spec, program,
+    /// n)`.
+    pub fn build_seeds(&self, program: &Program, n: usize) -> Vec<Vec<u8>> {
+        generate_seeds(program, n, self.stable_seed() ^ 0x5EED_C0DE)
+    }
+
+    /// Stable per-benchmark RNG seed (FNV-1a over the name).
+    fn stable_seed(&self) -> u64 {
+        let mut hash = 0xCBF2_9CE4_8422_2325u64;
+        for byte in self.name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash
+    }
+}

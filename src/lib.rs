@@ -80,8 +80,9 @@ pub mod prelude {
         CoverageMetric, EdgeHitCount, Instrumentation, MetricKind, MetricStack, NGram, TraceEvent,
     };
     pub use bigmap_fuzzer::{
-        replay_edge_coverage, run_parallel, Budget, Campaign, CampaignConfig, CampaignStats,
-        CrashWalk, Executor, Mutator, ParallelStats,
+        replay_edge_coverage, run_parallel, run_parallel_with_telemetry, Budget, Campaign,
+        CampaignConfig, CampaignStats, CrashWalk, Executor, JsonlSink, Mutator, ParallelStats,
+        Stage, Telemetry, TelemetryEvent, TelemetryRegistry, TelemetrySnapshot,
     };
     pub use bigmap_target::{
         apply_laf_intel, generate_seeds, BenchmarkSpec, ExecConfig, ExecOutcome, GeneratorConfig,
