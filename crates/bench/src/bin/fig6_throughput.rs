@@ -8,7 +8,8 @@
 
 use bigmap_analytics::{geometric_mean, mean, TextTable};
 use bigmap_bench::{
-    evaluated_sizes, report_header, telemetry_path_from_args, Effort, PreparedBenchmark,
+    evaluated_sizes, report_header, telemetry_path_from_args, CheckpointArgs, Effort,
+    PreparedBenchmark,
 };
 use bigmap_core::MapScheme;
 use bigmap_fuzzer::{Budget, JsonlSink, TelemetryRegistry};
@@ -35,6 +36,19 @@ fn main() {
         TelemetryRegistry::with_sink(sink)
     });
 
+    // `--checkpoint <dir>` snapshots every arm periodically; `--resume`
+    // continues a killed run from the last snapshots (the kill-and-resume
+    // CI smoke job drives exactly this path).
+    let checkpoint = CheckpointArgs::from_args();
+    if let Some(args) = &checkpoint {
+        eprintln!(
+            "  checkpointing: dir {}, every {} execs{}",
+            args.dir.display(),
+            args.every,
+            if args.resume { ", resuming" } else { "" }
+        );
+    }
+
     let sizes = evaluated_sizes();
     let runs = if effort == Effort::Quick { 1 } else { 2 };
     let benchmarks = if effort == Effort::Quick {
@@ -57,17 +71,21 @@ fn main() {
         for (i, &size) in sizes.iter().enumerate() {
             let prepared = PreparedBenchmark::build(spec, size, effort);
             let budget = Budget::Time(effort.arm_budget());
-            let afl = prepared.mean_throughput_telemetry(
+            let afl = prepared.mean_throughput_checkpointed(
                 MapScheme::Flat,
                 budget,
                 runs,
                 registry.as_ref(),
+                checkpoint.as_ref(),
+                &format!("fig6-{}-{}-afl", spec.name, size.label()),
             );
-            let big = prepared.mean_throughput_telemetry(
+            let big = prepared.mean_throughput_checkpointed(
                 MapScheme::TwoLevel,
                 budget,
                 runs,
                 registry.as_ref(),
+                checkpoint.as_ref(),
+                &format!("fig6-{}-{}-big", spec.name, size.label()),
             );
             let speedup = big / afl.max(1e-9);
             speedups[i].push(speedup);

@@ -9,11 +9,13 @@
 //! is therefore super-linear in the instance count.
 
 use bigmap_analytics::{normalize_to_first, TextTable};
-use bigmap_bench::{report_header, telemetry_path_from_args, Effort, PreparedBenchmark};
+use bigmap_bench::{
+    report_header, telemetry_path_from_args, CheckpointArgs, Effort, PreparedBenchmark,
+};
 use bigmap_core::{MapScheme, MapSize};
 use bigmap_fuzzer::{
-    parse_jsonl, run_parallel_with_telemetry, Budget, CampaignConfig, JsonlSink, TelemetryEvent,
-    TelemetryRegistry,
+    parse_jsonl, run_parallel_with_telemetry, run_supervised, Budget, CampaignConfig, JsonlSink,
+    SupervisorConfig, TelemetryEvent, TelemetryRegistry,
 };
 use bigmap_target::BenchmarkSpec;
 
@@ -32,6 +34,20 @@ fn main() {
         eprintln!("  telemetry: streaming snapshots to {}", path.display());
         TelemetryRegistry::with_sink(sink)
     });
+
+    // `--checkpoint <dir>` switches every fleet to the supervised runtime:
+    // per-instance checkpoints under a per-arm subdirectory, crashed
+    // workers restarted from their last snapshot, and `--resume` picks a
+    // killed run back up from disk.
+    let checkpoint = CheckpointArgs::from_args();
+    if let Some(args) = &checkpoint {
+        eprintln!(
+            "  supervised fleets: checkpoint dir {}, every {} execs{}",
+            args.dir.display(),
+            args.every,
+            if args.resume { ", resuming" } else { "" }
+        );
+    }
 
     let instance_counts: &[usize] = if effort == Effort::Quick {
         &[1, 2, 4]
@@ -72,15 +88,49 @@ fn main() {
                     ..Default::default()
                 };
                 let before = registry.as_ref().map(|r| r.fleet_totals());
-                let stats = run_parallel_with_telemetry(
-                    &prepared.program,
-                    &prepared.instrumentation,
-                    &config,
-                    &prepared.seeds,
-                    instances,
-                    5_000,
-                    registry.as_ref(),
-                );
+                let stats = match &checkpoint {
+                    Some(args) => {
+                        let arm_key = format!(
+                            "fig9-{}-{}-n{instances}",
+                            spec.name,
+                            if scheme == MapScheme::TwoLevel {
+                                "big"
+                            } else {
+                                "afl"
+                            }
+                        );
+                        let supervisor = SupervisorConfig {
+                            checkpoint_every: args.every,
+                            checkpoint_root: Some(args.prepare_arm(&arm_key)),
+                            ..SupervisorConfig::resilient()
+                        };
+                        run_supervised(
+                            &prepared.program,
+                            &prepared.instrumentation,
+                            &config,
+                            &prepared.seeds,
+                            instances,
+                            5_000,
+                            &supervisor,
+                            registry.as_ref(),
+                        )
+                    }
+                    None => run_parallel_with_telemetry(
+                        &prepared.program,
+                        &prepared.instrumentation,
+                        &config,
+                        &prepared.seeds,
+                        instances,
+                        5_000,
+                        registry.as_ref(),
+                    ),
+                };
+                if !stats.all_completed() {
+                    eprintln!(
+                        "  warning: {} / {scheme:?} @{instances}: fleet health {:?}",
+                        spec.name, stats.health
+                    );
+                }
                 if let (Some(registry), Some(before)) = (&registry, before) {
                     let after = registry.fleet_totals();
                     let delta = |event| after.get(event) - before.get(event);

@@ -9,7 +9,9 @@
 //! lifts unique crashes by ~33%, while edge coverage stays flat.
 
 use bigmap_analytics::{collision_rate, mean, TextTable};
-use bigmap_bench::{report_header, telemetry_path_from_args, Effort, PreparedBenchmark};
+use bigmap_bench::{
+    report_header, telemetry_path_from_args, CheckpointArgs, Effort, PreparedBenchmark,
+};
 use bigmap_core::{MapScheme, MapSize};
 use bigmap_coverage::MetricKind;
 use bigmap_fuzzer::{replay_edge_coverage, Budget, JsonlSink, TelemetryRegistry};
@@ -31,6 +33,18 @@ fn main() {
         eprintln!("  telemetry: per-arm snapshots to {}", path.display());
         TelemetryRegistry::with_sink(sink)
     });
+
+    // `--checkpoint <dir>` / `--resume`: crash arms run 8x longer than the
+    // throughput arms, so they gain the most from surviving a kill.
+    let checkpoint = CheckpointArgs::from_args();
+    if let Some(args) = &checkpoint {
+        eprintln!(
+            "  checkpointing: dir {}, every {} execs{}",
+            args.dir.display(),
+            args.every,
+            if args.resume { ", resuming" } else { "" }
+        );
+    }
 
     let benchmarks = if effort == Effort::Quick {
         BenchmarkSpec::llvm()
@@ -68,12 +82,14 @@ fn main() {
         for size in [MapSize::K64, MapSize::M2] {
             let prepared = PreparedBenchmark::from_program(spec, laf.clone(), size, effort);
             let telemetry = registry.as_ref().map(|r| r.register(r.snapshots().len()));
-            let (stats, corpus) = prepared.run_campaign_with_corpus_telemetry(
+            let arm_key = format!("table3-{}-{}", spec.name, size.label());
+            let (stats, corpus) = prepared.run_campaign_with_corpus_checkpointed(
                 MapScheme::TwoLevel,
                 MetricKind::NGram(3),
                 Budget::Time(effort.crash_arm_budget()),
                 31,
                 telemetry.clone(),
+                checkpoint.as_ref().map(|args| (args, arm_key.as_str())),
             );
             if let (Some(registry), Some(telemetry)) = (&registry, &telemetry) {
                 registry.emit(telemetry);

@@ -13,6 +13,16 @@
 //! * `--full` — closer-to-paper scale (minutes to tens of minutes),
 //! * neither — a balanced default.
 //!
+//! The campaign-shaped binaries (`fig6_*`, `fig9_*`, `table3_*`)
+//! additionally accept the fault-tolerant runtime flags:
+//!
+//! * `--checkpoint <dir>` — periodically snapshot every arm's campaign
+//!   state into a per-arm subdirectory of `<dir>`,
+//! * `--checkpoint-every <n>` — checkpoint cadence in executions
+//!   (default 2000),
+//! * `--resume` — resume each arm from its checkpoint in `<dir>` if one
+//!   exists (a killed run picks up where the last snapshot left off).
+//!
 //! Reports print the run's actual parameters in the header so measured
 //! numbers in EXPERIMENTS.md are always traceable.
 
@@ -25,7 +35,8 @@ use std::time::Duration;
 use bigmap_core::{MapScheme, MapSize};
 use bigmap_coverage::{Instrumentation, MetricKind};
 use bigmap_fuzzer::{
-    Budget, Campaign, CampaignConfig, CampaignStats, Telemetry, TelemetryRegistry,
+    Budget, Campaign, CampaignConfig, CampaignStats, CheckpointManager, Telemetry,
+    TelemetryRegistry,
 };
 use bigmap_target::{BenchmarkSpec, Interpreter, Program};
 
@@ -119,6 +130,67 @@ pub fn telemetry_path_from_args() -> Option<PathBuf> {
         }
     }
     None
+}
+
+/// Checkpoint/resume settings for the campaign-shaped harness binaries,
+/// parsed from `--checkpoint <dir>`, `--checkpoint-every <n>` and
+/// `--resume`.
+#[derive(Debug, Clone)]
+pub struct CheckpointArgs {
+    /// Root directory holding one checkpoint subdirectory per arm.
+    pub dir: PathBuf,
+    /// Resume arms from their existing checkpoints instead of starting
+    /// clean.
+    pub resume: bool,
+    /// Checkpoint cadence in executions.
+    pub every: u64,
+}
+
+impl CheckpointArgs {
+    /// Wall-clock floor between snapshots. The exec-count cadence alone
+    /// would let a fast arm (hundreds of thousands of execs/sec in quick
+    /// mode) checkpoint hundreds of times per second; the floor bounds
+    /// the write rate so checkpointing stays inside its <2% overhead
+    /// budget regardless of the arm's exec rate (see EXPERIMENTS.md).
+    pub const MIN_INTERVAL: Duration = Duration::from_millis(250);
+
+    /// Parses the checkpoint flags from the process arguments. `None`
+    /// when `--checkpoint` is absent — checkpointing stays off and the
+    /// arms run exactly as before.
+    pub fn from_args() -> Option<CheckpointArgs> {
+        let args: Vec<String> = std::env::args().collect();
+        let mut dir = None;
+        let mut every = 2_000u64;
+        for (i, arg) in args.iter().enumerate() {
+            if let Some(path) = arg.strip_prefix("--checkpoint=") {
+                dir = Some(PathBuf::from(path));
+            } else if arg == "--checkpoint" {
+                dir = args.get(i + 1).map(PathBuf::from);
+            } else if let Some(n) = arg.strip_prefix("--checkpoint-every=") {
+                every = n.parse().expect("--checkpoint-every expects an integer");
+            } else if arg == "--checkpoint-every" {
+                if let Some(n) = args.get(i + 1) {
+                    every = n.parse().expect("--checkpoint-every expects an integer");
+                }
+            }
+        }
+        Some(CheckpointArgs {
+            dir: dir?,
+            resume: args.iter().any(|a| a == "--resume"),
+            every,
+        })
+    }
+
+    /// The checkpoint directory for one named arm. Without `--resume`
+    /// any stale checkpoint state under the key is removed first, so a
+    /// fresh run never silently continues an older campaign.
+    pub fn prepare_arm(&self, key: &str) -> PathBuf {
+        let arm_dir = self.dir.join(key);
+        if !self.resume {
+            let _ = std::fs::remove_dir_all(&arm_dir);
+        }
+        arm_dir
+    }
 }
 
 /// A benchmark prepared for campaigns at one map size: program +
@@ -218,7 +290,110 @@ impl PreparedBenchmark {
             trim_new_entries: false,
             seed,
             exec: Default::default(),
+            hang_budget: None,
         }
+    }
+
+    /// Runs one campaign arm with optional telemetry and optional
+    /// checkpointing. With `checkpoint` set to `(args, key)` the arm
+    /// snapshots its state into `args.dir/key` every `args.every`
+    /// executions; under `--resume` it first restores from an existing
+    /// snapshot (falling back to a cold start when there is none).
+    pub fn run_campaign_checkpointed(
+        &self,
+        scheme: MapScheme,
+        metric: MetricKind,
+        budget: Budget,
+        seed: u64,
+        telemetry: Option<Arc<Telemetry>>,
+        checkpoint: Option<(&CheckpointArgs, &str)>,
+    ) -> CampaignStats {
+        let interpreter = Interpreter::new(&self.program);
+        let mut campaign = Campaign::new(
+            self.arm_config(scheme, metric, budget, seed, true),
+            &interpreter,
+            &self.instrumentation,
+        );
+        if let Some(telemetry) = telemetry {
+            campaign.set_telemetry(telemetry);
+        }
+        let Some((args, key)) = checkpoint else {
+            campaign.add_seeds(self.seeds.clone());
+            return campaign.run();
+        };
+        let arm_dir = args.prepare_arm(key);
+        self.seed_or_restore(&mut campaign, args, &arm_dir);
+        let mut manager = CheckpointManager::new(&arm_dir, args.every)
+            .with_min_interval(CheckpointArgs::MIN_INTERVAL);
+        campaign.run_with_hook(args.every, move |c| {
+            if let Err(err) = manager.maybe_checkpoint(c) {
+                eprintln!("  checkpoint write failed (continuing): {err}");
+            }
+        })
+    }
+
+    /// [`run_campaign_checkpointed`](PreparedBenchmark::run_campaign_checkpointed)
+    /// that also returns the final corpus (coverage-replay arms).
+    pub fn run_campaign_with_corpus_checkpointed(
+        &self,
+        scheme: MapScheme,
+        metric: MetricKind,
+        budget: Budget,
+        seed: u64,
+        telemetry: Option<Arc<Telemetry>>,
+        checkpoint: Option<(&CheckpointArgs, &str)>,
+    ) -> (CampaignStats, Vec<Vec<u8>>) {
+        let interpreter = Interpreter::new(&self.program);
+        let mut campaign = Campaign::new(
+            self.arm_config(scheme, metric, budget, seed, true),
+            &interpreter,
+            &self.instrumentation,
+        );
+        if let Some(telemetry) = telemetry {
+            campaign.set_telemetry(telemetry);
+        }
+        let Some((args, key)) = checkpoint else {
+            campaign.add_seeds(self.seeds.clone());
+            return campaign.run_with_corpus();
+        };
+        let arm_dir = args.prepare_arm(key);
+        self.seed_or_restore(&mut campaign, args, &arm_dir);
+        let mut manager = CheckpointManager::new(&arm_dir, args.every)
+            .with_min_interval(CheckpointArgs::MIN_INTERVAL);
+        let output = campaign.run_with_hook_detailed(args.every, move |c| {
+            if let Err(err) = manager.maybe_checkpoint(c) {
+                eprintln!("  checkpoint write failed (continuing): {err}");
+            }
+        });
+        (output.stats, output.corpus)
+    }
+
+    /// Either restores `campaign` from the arm's checkpoint (resume mode,
+    /// snapshot present) or seeds it for a cold start. A corrupt or
+    /// missing snapshot degrades to the cold start rather than failing
+    /// the arm.
+    fn seed_or_restore(
+        &self,
+        campaign: &mut Campaign<'_>,
+        args: &CheckpointArgs,
+        arm_dir: &std::path::Path,
+    ) {
+        if args.resume {
+            match CheckpointManager::load(arm_dir) {
+                Ok(Some(snapshot)) => {
+                    campaign.restore(&snapshot);
+                    return;
+                }
+                Ok(None) => {}
+                Err(err) => {
+                    eprintln!(
+                        "  checkpoint in {} unusable ({err}); starting clean",
+                        arm_dir.display()
+                    );
+                }
+            }
+        }
+        campaign.add_seeds(self.seeds.clone());
     }
 
     /// Runs one campaign arm with an explicit classify/compare pipeline
@@ -317,24 +492,37 @@ impl PreparedBenchmark {
         runs: usize,
         registry: Option<&TelemetryRegistry>,
     ) -> f64 {
+        self.mean_throughput_checkpointed(scheme, budget, runs, registry, None, "")
+    }
+
+    /// [`mean_throughput_telemetry`](PreparedBenchmark::mean_throughput_telemetry)
+    /// with optional checkpointing: each run checkpoints under (and in
+    /// resume mode restores from) `<dir>/<arm_key>-r<run>`.
+    pub fn mean_throughput_checkpointed(
+        &self,
+        scheme: MapScheme,
+        budget: Budget,
+        runs: usize,
+        registry: Option<&TelemetryRegistry>,
+        checkpoint: Option<&CheckpointArgs>,
+        arm_key: &str,
+    ) -> f64 {
         let total: f64 = (0..runs)
             .map(|r| {
                 let seed = 0x5EED + r as u64;
-                let stats = match registry {
-                    Some(registry) => {
-                        let telemetry = registry.register(registry.snapshots().len());
-                        let stats = self.run_campaign_telemetry(
-                            scheme,
-                            MetricKind::Edge,
-                            budget,
-                            seed,
-                            Arc::clone(&telemetry),
-                        );
-                        registry.emit(&telemetry);
-                        stats
-                    }
-                    None => self.run_campaign(scheme, MetricKind::Edge, budget, seed),
-                };
+                let telemetry = registry.map(|reg| reg.register(reg.snapshots().len()));
+                let run_key = format!("{arm_key}-r{r}");
+                let stats = self.run_campaign_checkpointed(
+                    scheme,
+                    MetricKind::Edge,
+                    budget,
+                    seed,
+                    telemetry.clone(),
+                    checkpoint.map(|args| (args, run_key.as_str())),
+                );
+                if let (Some(registry), Some(telemetry)) = (registry, &telemetry) {
+                    registry.emit(telemetry);
+                }
                 stats.throughput()
             })
             .sum();
@@ -391,5 +579,62 @@ mod tests {
         let prepared = PreparedBenchmark::build(&spec, MapSize::K64, Effort::Quick);
         let t = prepared.mean_throughput(MapScheme::Flat, Budget::Execs(300), 2);
         assert!(t > 0.0);
+    }
+
+    #[test]
+    fn checkpointed_arm_snapshots_and_resumes() {
+        let spec = BenchmarkSpec::by_name("zlib").unwrap();
+        let prepared = PreparedBenchmark::build(&spec, MapSize::K64, Effort::Quick);
+        let root = std::env::temp_dir().join(format!("bigmap-bench-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+
+        // Fresh checkpointed run: the arm leaves a snapshot behind.
+        let fresh = CheckpointArgs {
+            dir: root.clone(),
+            resume: false,
+            every: 200,
+        };
+        let stats = prepared.run_campaign_checkpointed(
+            MapScheme::TwoLevel,
+            MetricKind::Edge,
+            Budget::Execs(600),
+            7,
+            None,
+            Some((&fresh, "arm")),
+        );
+        assert!(stats.execs >= 600);
+        let snapshot = CheckpointManager::load(root.join("arm"))
+            .expect("snapshot readable")
+            .expect("snapshot written");
+        assert!(snapshot.execs >= 200 && snapshot.execs <= stats.execs);
+
+        // Resume mode continues from the snapshot: the arm's final exec
+        // count stays monotonic past the restored state.
+        let resume = CheckpointArgs {
+            resume: true,
+            ..fresh.clone()
+        };
+        let resumed = prepared.run_campaign_checkpointed(
+            MapScheme::TwoLevel,
+            MetricKind::Edge,
+            Budget::Execs(1_000),
+            7,
+            None,
+            Some((&resume, "arm")),
+        );
+        assert!(resumed.execs >= 1_000);
+        assert!(resumed.execs >= snapshot.execs);
+
+        // A fresh (non-resume) run clears the stale arm state first.
+        let cleared = prepared.run_campaign_checkpointed(
+            MapScheme::TwoLevel,
+            MetricKind::Edge,
+            Budget::Execs(250),
+            7,
+            None,
+            Some((&fresh, "arm")),
+        );
+        assert!(cleared.execs >= 250 && cleared.execs < 600);
+        let _ = std::fs::remove_dir_all(&root);
     }
 }

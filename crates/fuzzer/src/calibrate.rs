@@ -1,0 +1,127 @@
+//! AFL-style hang-budget calibration.
+//!
+//! AFL does not run with a fixed execution timeout: during seed
+//! calibration it measures each seed's execution time and sets the
+//! campaign timeout to a multiple of the observed average (clamped to
+//! sane bounds). The deterministic interpreter's analogue of time is the
+//! *step count* — one step per executed block — so calibration here
+//! observes the step counts of the seed executions and derives a step
+//! budget: `mean × multiplier`, clamped to `[floor, ceiling]`.
+//!
+//! A calibrated budget is strictly tighter than the configured
+//! `ExecConfig::max_steps` ceiling, which turns "runaway but not
+//! planted-hang" inputs into [`bigmap_target::ExecOutcome::Hang`] early
+//! instead of burning a million steps each. Executions cut off by the
+//! calibrated budget (rather than the configured one) are counted under
+//! [`crate::telemetry::TelemetryEvent::HangBudgetExceeded`].
+
+/// Policy for deriving a step budget from observed seed step counts.
+///
+/// The defaults mirror AFL's `EXEC_TM_ROUND` spirit: 5× the observed
+/// mean, never below 1 000 steps (so trivially small seeds don't starve
+/// mutants that legitimately run longer), never above the interpreter's
+/// own default ceiling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HangBudget {
+    /// Budget = mean observed steps × this factor.
+    pub multiplier: f64,
+    /// Lower clamp on the derived budget (steps).
+    pub floor: u64,
+    /// Upper clamp on the derived budget (steps).
+    pub ceiling: u64,
+}
+
+impl Default for HangBudget {
+    fn default() -> Self {
+        HangBudget {
+            multiplier: 5.0,
+            floor: 1_000,
+            ceiling: 1_000_000,
+        }
+    }
+}
+
+impl HangBudget {
+    /// Derives the step budget from the observed per-seed step counts.
+    ///
+    /// Returns `None` when there are no observations (an empty seed set
+    /// leaves the configured `max_steps` in force — there is nothing to
+    /// calibrate against).
+    pub fn derive(&self, observed_steps: &[u64]) -> Option<u64> {
+        if observed_steps.is_empty() {
+            return None;
+        }
+        let sum: u128 = observed_steps.iter().map(|&s| s as u128).sum();
+        let mean = sum as f64 / observed_steps.len() as f64;
+        let scaled = (mean * self.multiplier).ceil();
+        // f64→u64 saturates NaN/negatives to 0 and overlarge to MAX;
+        // the clamp below brings either pathological edge back in range.
+        let budget = if scaled.is_finite() && scaled >= 0.0 {
+            scaled.min(u64::MAX as f64) as u64
+        } else {
+            self.ceiling
+        };
+        Some(budget.clamp(self.floor, self.ceiling.max(self.floor)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_observations_leave_budget_unset() {
+        assert_eq!(HangBudget::default().derive(&[]), None);
+    }
+
+    #[test]
+    fn budget_is_mean_times_multiplier() {
+        let policy = HangBudget {
+            multiplier: 3.0,
+            floor: 0,
+            ceiling: u64::MAX,
+        };
+        assert_eq!(policy.derive(&[100, 200, 300]), Some(600));
+    }
+
+    #[test]
+    fn floor_and_ceiling_clamp() {
+        let policy = HangBudget {
+            multiplier: 5.0,
+            floor: 1_000,
+            ceiling: 2_000,
+        };
+        assert_eq!(policy.derive(&[10]), Some(1_000), "floor applies");
+        assert_eq!(policy.derive(&[10_000]), Some(2_000), "ceiling applies");
+    }
+
+    #[test]
+    fn fractional_means_round_up() {
+        let policy = HangBudget {
+            multiplier: 1.0,
+            floor: 0,
+            ceiling: u64::MAX,
+        };
+        // mean of 1 and 2 is 1.5 → ceil to 2.
+        assert_eq!(policy.derive(&[1, 2]), Some(2));
+    }
+
+    #[test]
+    fn default_policy_is_sane() {
+        let policy = HangBudget::default();
+        // A typical benchmark seed runs a few hundred blocks.
+        let budget = policy.derive(&[400, 600]).unwrap();
+        assert_eq!(budget, 2_500);
+        assert!(budget >= policy.floor && budget <= policy.ceiling);
+    }
+
+    #[test]
+    fn inverted_clamp_bounds_do_not_panic() {
+        let policy = HangBudget {
+            multiplier: 1.0,
+            floor: 5_000,
+            ceiling: 10, // ceiling below floor: floor wins
+        };
+        assert_eq!(policy.derive(&[100]), Some(5_000));
+    }
+}

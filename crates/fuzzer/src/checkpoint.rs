@@ -1,0 +1,585 @@
+//! Campaign checkpointing: periodic crash-safe snapshots and resume.
+//!
+//! Long campaigns die — machines reboot, fleets get rescheduled, workers
+//! panic. A checkpoint captures everything a campaign needs to continue
+//! *as if the kill never happened*: the queue with its scheduling
+//! metadata, the crash/hang corpora with their dedup buckets, the
+//! exec/crash counters, the calibrated hang budget, and both RNG stream
+//! positions (scheduler and mutator), so the resumed campaign draws the
+//! same randomness the dead one would have.
+//!
+//! The virgin coverage maps are deliberately **not** serialized: they are
+//! large, scheme-dependent, and exactly reproducible by re-executing the
+//! checkpointed inputs (the interpreter is deterministic). Restore
+//! therefore costs one execution per saved input — milliseconds — in
+//! exchange for a checkpoint file that stays small and
+//! format-independent of the map implementation.
+//!
+//! Persistence is crash-safe by construction: the snapshot is written to
+//! `checkpoint.tmp` and atomically renamed over `checkpoint`, so a kill
+//! mid-write leaves the previous checkpoint intact. The file format is a
+//! versioned line-oriented text format (hex-encoded payloads), ending in
+//! an `end` sentinel so truncation is detectable.
+//!
+//! # Examples
+//!
+//! ```rust
+//! use bigmap_core::MapSize;
+//! use bigmap_coverage::Instrumentation;
+//! use bigmap_fuzzer::{Budget, Campaign, CampaignConfig, CheckpointManager};
+//! use bigmap_target::{GeneratorConfig, Interpreter};
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let program = GeneratorConfig::default().generate();
+//! let inst =
+//!     Instrumentation::assign(program.block_count(), program.call_sites, MapSize::K64, 1);
+//! let interp = Interpreter::new(&program);
+//! let dir = std::env::temp_dir().join(format!("bigmap-ckpt-doc-{}", std::process::id()));
+//!
+//! let config = CampaignConfig { budget: Budget::Execs(2_000), ..Default::default() };
+//! let mut campaign = Campaign::new(config.clone(), &interp, &inst);
+//! campaign.add_seeds(vec![vec![0u8; 32]]);
+//! let mut manager = CheckpointManager::new(&dir, 500);
+//! let stats = campaign.run_with_hook(250, |c| {
+//!     let _ = manager.maybe_checkpoint(c);
+//! });
+//!
+//! // "Kill": start over, resume from the persisted checkpoint instead
+//! // of the seeds.
+//! let checkpoint = CheckpointManager::load(&dir)?.expect("checkpoint written");
+//! assert!(checkpoint.execs > 0 && checkpoint.execs <= stats.execs);
+//! let mut resumed = Campaign::new(config, &interp, &inst);
+//! resumed.restore(&checkpoint);
+//! let final_stats = resumed.run();
+//! assert_eq!(final_stats.execs, 2_000);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use crate::campaign::Campaign;
+use crate::faults::FaultSite;
+use crate::telemetry::TelemetryEvent;
+
+/// File name of the live checkpoint inside a checkpoint directory.
+pub const CHECKPOINT_FILE: &str = "checkpoint";
+/// Temp file the snapshot is staged in before the atomic rename.
+const CHECKPOINT_TMP: &str = "checkpoint.tmp";
+/// Format magic + version (first line of every checkpoint file).
+const MAGIC: &str = "bigmap-checkpoint v1";
+
+/// One queue entry as captured in a checkpoint: the input plus the
+/// scheduling metadata that re-execution cannot re-derive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointQueueEntry {
+    /// Derivation depth (drives the havoc energy bonus).
+    pub depth: usize,
+    /// Times the entry had been scheduled (drives skip probabilities and
+    /// the deterministic-stage gate).
+    pub fuzzed_rounds: usize,
+    /// The test-case bytes.
+    pub input: Vec<u8>,
+}
+
+/// A resumable snapshot of campaign state. Produced by
+/// [`Campaign::checkpoint`], consumed by [`Campaign::restore`];
+/// serialized by [`Checkpoint::to_text`] / [`Checkpoint::from_text`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Test cases executed when the snapshot was taken.
+    pub execs: u64,
+    /// Cumulative campaign wall time (nanoseconds), including any prior
+    /// resumed segments.
+    pub wall_nanos: u64,
+    /// Total (non-unique) crashing executions.
+    pub total_crashes: u64,
+    /// Hanging executions.
+    pub hangs: u64,
+    /// AFL's coverage-bitmap unique-crash count.
+    pub coverage_unique_crashes: u64,
+    /// NewEdge verdicts so far (the timeline's coverage unit).
+    pub discovered_running: u64,
+    /// Scheduler RNG stream position (xoshiro256++ state).
+    pub rng: [u64; 4],
+    /// Mutator RNG stream position.
+    pub mutator_rng: [u64; 4],
+    /// Calibrated hang budget in force, if any.
+    pub hang_budget: Option<u64>,
+    /// The queue, in admission order.
+    pub queue: Vec<CheckpointQueueEntry>,
+    /// Unique crashes: (Crashwalk bucket, input), in first-sighting order.
+    pub crashes: Vec<(u32, Vec<u8>)>,
+    /// Hang-triggering inputs, in first-sighting order.
+    pub hang_inputs: Vec<Vec<u8>>,
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    if bytes.is_empty() {
+        return "-".to_string();
+    }
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        let _ = write!(out, "{b:02x}");
+    }
+    out
+}
+
+fn hex_decode(text: &str) -> Result<Vec<u8>, String> {
+    if text == "-" {
+        return Ok(Vec::new());
+    }
+    if !text.len().is_multiple_of(2) {
+        return Err(format!("odd-length hex payload ({} chars)", text.len()));
+    }
+    (0..text.len())
+        .step_by(2)
+        .map(|i| {
+            u8::from_str_radix(&text[i..i + 2], 16)
+                .map_err(|_| format!("bad hex byte at offset {i}"))
+        })
+        .collect()
+}
+
+impl Checkpoint {
+    /// Serializes the checkpoint as versioned line-oriented text. The
+    /// last line is the `end` sentinel; a file without it is truncated.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{MAGIC}");
+        let _ = writeln!(out, "execs {}", self.execs);
+        let _ = writeln!(out, "wall_nanos {}", self.wall_nanos);
+        let _ = writeln!(out, "total_crashes {}", self.total_crashes);
+        let _ = writeln!(out, "hangs {}", self.hangs);
+        let _ = writeln!(
+            out,
+            "coverage_unique_crashes {}",
+            self.coverage_unique_crashes
+        );
+        let _ = writeln!(out, "discovered_running {}", self.discovered_running);
+        let _ = writeln!(
+            out,
+            "rng {:016x} {:016x} {:016x} {:016x}",
+            self.rng[0], self.rng[1], self.rng[2], self.rng[3]
+        );
+        let _ = writeln!(
+            out,
+            "mutator_rng {:016x} {:016x} {:016x} {:016x}",
+            self.mutator_rng[0], self.mutator_rng[1], self.mutator_rng[2], self.mutator_rng[3]
+        );
+        match self.hang_budget {
+            Some(budget) => {
+                let _ = writeln!(out, "hang_budget {budget}");
+            }
+            None => {
+                let _ = writeln!(out, "hang_budget none");
+            }
+        }
+        for entry in &self.queue {
+            let _ = writeln!(
+                out,
+                "queue {} {} {}",
+                entry.depth,
+                entry.fuzzed_rounds,
+                hex_encode(&entry.input)
+            );
+        }
+        for (bucket, input) in &self.crashes {
+            let _ = writeln!(out, "crash {bucket:08x} {}", hex_encode(input));
+        }
+        for input in &self.hang_inputs {
+            let _ = writeln!(out, "hang {}", hex_encode(input));
+        }
+        let _ = writeln!(out, "end");
+        out
+    }
+
+    /// Parses a checkpoint from [`Checkpoint::to_text`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line, a version
+    /// mismatch, or a missing `end` sentinel (truncated file).
+    pub fn from_text(text: &str) -> Result<Checkpoint, String> {
+        let mut lines = text.lines();
+        if lines.next() != Some(MAGIC) {
+            return Err(format!("not a checkpoint file (expected '{MAGIC}')"));
+        }
+        let mut ckpt = Checkpoint {
+            execs: 0,
+            wall_nanos: 0,
+            total_crashes: 0,
+            hangs: 0,
+            coverage_unique_crashes: 0,
+            discovered_running: 0,
+            rng: [0; 4],
+            mutator_rng: [0; 4],
+            hang_budget: None,
+            queue: Vec::new(),
+            crashes: Vec::new(),
+            hang_inputs: Vec::new(),
+        };
+        let mut ended = false;
+        for (i, line) in lines.enumerate() {
+            let lineno = i + 2;
+            if ended {
+                return Err(format!("line {lineno}: content after 'end' sentinel"));
+            }
+            let mut fields = line.split_ascii_whitespace();
+            let key = fields
+                .next()
+                .ok_or_else(|| format!("line {lineno}: empty line"))?;
+            let mut next = |what: &str| {
+                fields
+                    .next()
+                    .ok_or_else(|| format!("line {lineno}: missing {what}"))
+                    .map(str::to_string)
+            };
+            let parse_u64 = |s: String, lineno: usize| {
+                s.parse::<u64>()
+                    .map_err(|_| format!("line {lineno}: bad integer '{s}'"))
+            };
+            let parse_state = |fields: &mut dyn Iterator<Item = &str>, lineno: usize| {
+                let mut s = [0u64; 4];
+                for slot in &mut s {
+                    let word = fields
+                        .next()
+                        .ok_or_else(|| format!("line {lineno}: short rng state"))?;
+                    *slot = u64::from_str_radix(word, 16)
+                        .map_err(|_| format!("line {lineno}: bad rng word '{word}'"))?;
+                }
+                Ok::<[u64; 4], String>(s)
+            };
+            match key {
+                "execs" => ckpt.execs = parse_u64(next("value")?, lineno)?,
+                "wall_nanos" => ckpt.wall_nanos = parse_u64(next("value")?, lineno)?,
+                "total_crashes" => ckpt.total_crashes = parse_u64(next("value")?, lineno)?,
+                "hangs" => ckpt.hangs = parse_u64(next("value")?, lineno)?,
+                "coverage_unique_crashes" => {
+                    ckpt.coverage_unique_crashes = parse_u64(next("value")?, lineno)?;
+                }
+                "discovered_running" => {
+                    ckpt.discovered_running = parse_u64(next("value")?, lineno)?;
+                }
+                "rng" => ckpt.rng = parse_state(&mut fields, lineno)?,
+                "mutator_rng" => ckpt.mutator_rng = parse_state(&mut fields, lineno)?,
+                "hang_budget" => {
+                    let value = next("value")?;
+                    ckpt.hang_budget = if value == "none" {
+                        None
+                    } else {
+                        Some(parse_u64(value, lineno)?)
+                    };
+                }
+                "queue" => {
+                    let depth = parse_u64(next("depth")?, lineno)? as usize;
+                    let fuzzed_rounds = parse_u64(next("fuzzed_rounds")?, lineno)? as usize;
+                    let input =
+                        hex_decode(&next("input")?).map_err(|e| format!("line {lineno}: {e}"))?;
+                    ckpt.queue.push(CheckpointQueueEntry {
+                        depth,
+                        fuzzed_rounds,
+                        input,
+                    });
+                }
+                "crash" => {
+                    let bucket_text = next("bucket")?;
+                    let bucket = u32::from_str_radix(&bucket_text, 16)
+                        .map_err(|_| format!("line {lineno}: bad bucket '{bucket_text}'"))?;
+                    let input =
+                        hex_decode(&next("input")?).map_err(|e| format!("line {lineno}: {e}"))?;
+                    ckpt.crashes.push((bucket, input));
+                }
+                "hang" => {
+                    let input =
+                        hex_decode(&next("input")?).map_err(|e| format!("line {lineno}: {e}"))?;
+                    ckpt.hang_inputs.push(input);
+                }
+                "end" => ended = true,
+                other => return Err(format!("line {lineno}: unknown key '{other}'")),
+            }
+        }
+        if !ended {
+            return Err("truncated checkpoint (missing 'end' sentinel)".to_string());
+        }
+        Ok(ckpt)
+    }
+}
+
+/// Writes periodic checkpoints for one campaign into a directory, via
+/// temp-file + atomic rename.
+///
+/// The manager owns the cadence (every N executions, checked at sync
+/// boundaries) and the persistence; the state capture itself is
+/// [`Campaign::checkpoint`]. A checkpoint-write failure (real I/O error
+/// or an injected [`FaultSite::CheckpointWrite`] fault) leaves the
+/// previous on-disk checkpoint intact — degradation, not corruption.
+#[derive(Debug)]
+pub struct CheckpointManager {
+    dir: PathBuf,
+    every: u64,
+    next_at: u64,
+    min_interval: Duration,
+    last_write: Option<Instant>,
+}
+
+impl CheckpointManager {
+    /// Manager writing into `dir` (created on first write) every `every`
+    /// executions. An `every` of 0 checkpoints at every opportunity.
+    pub fn new(dir: impl Into<PathBuf>, every: u64) -> Self {
+        let every = every.max(1);
+        CheckpointManager {
+            dir: dir.into(),
+            every,
+            next_at: every,
+            min_interval: Duration::ZERO,
+            last_write: None,
+        }
+    }
+
+    /// Adds a wall-clock floor between snapshots: a cadence mark reached
+    /// sooner than `interval` after the previous write is *postponed* to
+    /// the next sync boundary past the floor, not skipped. An exec-count
+    /// cadence alone lets a fast arm (hundreds of thousands of execs/sec)
+    /// checkpoint hundreds of times per second, which turns a sub-percent
+    /// safety net into double-digit overhead; the floor bounds the write
+    /// rate by wall time no matter the exec rate. The default is no floor
+    /// (pure exec cadence, deterministic for tests).
+    pub fn with_min_interval(mut self, interval: Duration) -> Self {
+        self.min_interval = interval;
+        self
+    }
+
+    /// The directory checkpoints are written to.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Checkpoints `campaign` if it has crossed the next cadence mark.
+    /// Returns whether a checkpoint was written. Meant to be called from
+    /// a [`Campaign::run_with_hook`] sync hook.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures (the cadence still advances, so one
+    /// failed write costs one checkpoint, not the whole schedule).
+    pub fn maybe_checkpoint(&mut self, campaign: &Campaign<'_>) -> io::Result<bool> {
+        if campaign.execs() < self.next_at {
+            return Ok(false);
+        }
+        // Postponed, not skipped: next_at is untouched, so the write
+        // happens at the first boundary past the wall-clock floor.
+        if let Some(last) = self.last_write {
+            if last.elapsed() < self.min_interval {
+                return Ok(false);
+            }
+        }
+        self.next_at = campaign.execs() + self.every;
+        self.last_write = Some(Instant::now());
+        self.checkpoint_now(campaign)?;
+        Ok(true)
+    }
+
+    /// Unconditionally checkpoints `campaign` right now.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; an injected
+    /// [`FaultSite::CheckpointWrite`] fault surfaces as
+    /// [`io::ErrorKind::Other`]. Either way the previous checkpoint file
+    /// is untouched.
+    pub fn checkpoint_now(&self, campaign: &Campaign<'_>) -> io::Result<()> {
+        if let Some(faults) = campaign.faults() {
+            if faults.fire(FaultSite::CheckpointWrite) {
+                return Err(io::Error::other("injected checkpoint write failure"));
+            }
+        }
+        let text = campaign.checkpoint().to_text();
+        fs::create_dir_all(&self.dir)?;
+        let tmp = self.dir.join(CHECKPOINT_TMP);
+        fs::write(&tmp, text)?;
+        fs::rename(&tmp, self.dir.join(CHECKPOINT_FILE))?;
+        if let Some(tel) = campaign.telemetry() {
+            tel.incr(TelemetryEvent::Checkpoint);
+        }
+        Ok(())
+    }
+
+    /// Loads the checkpoint persisted in `dir`, if one exists.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors propagate; a present-but-malformed checkpoint is
+    /// [`io::ErrorKind::InvalidData`] (a half-written temp file never
+    /// is — only the atomic rename publishes).
+    pub fn load(dir: impl AsRef<Path>) -> io::Result<Option<Checkpoint>> {
+        let path = dir.as_ref().join(CHECKPOINT_FILE);
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        Checkpoint::from_text(&text)
+            .map(Some)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            execs: 12_345,
+            wall_nanos: 9_999_999,
+            total_crashes: 17,
+            hangs: 3,
+            coverage_unique_crashes: 5,
+            discovered_running: 321,
+            rng: [1, u64::MAX, 0xDEAD_BEEF, 42],
+            mutator_rng: [7, 8, 9, 10],
+            hang_budget: Some(2_500),
+            queue: vec![
+                CheckpointQueueEntry {
+                    depth: 0,
+                    fuzzed_rounds: 4,
+                    input: b"seed".to_vec(),
+                },
+                CheckpointQueueEntry {
+                    depth: 3,
+                    fuzzed_rounds: 0,
+                    input: vec![0, 255, 128],
+                },
+                CheckpointQueueEntry {
+                    depth: 1,
+                    fuzzed_rounds: 1,
+                    input: Vec::new(), // empty inputs must round-trip
+                },
+            ],
+            crashes: vec![(0xABCD_EF01, b"boom".to_vec()), (3, Vec::new())],
+            hang_inputs: vec![b"spin".to_vec()],
+        }
+    }
+
+    #[test]
+    fn text_round_trip_is_exact() {
+        let ckpt = sample();
+        let parsed = Checkpoint::from_text(&ckpt.to_text()).expect("round trip");
+        assert_eq!(parsed, ckpt);
+    }
+
+    #[test]
+    fn no_budget_round_trips() {
+        let ckpt = Checkpoint {
+            hang_budget: None,
+            ..sample()
+        };
+        let parsed = Checkpoint::from_text(&ckpt.to_text()).unwrap();
+        assert_eq!(parsed.hang_budget, None);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let text = sample().to_text();
+        let cut = text.len() / 2;
+        let err = Checkpoint::from_text(&text[..cut]).unwrap_err();
+        // Either a mangled line or the missing sentinel — both must fail.
+        assert!(!err.is_empty());
+        let no_end = text.replace("\nend\n", "\n");
+        assert!(Checkpoint::from_text(&no_end)
+            .unwrap_err()
+            .contains("truncated"));
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        assert!(Checkpoint::from_text("bigmap-checkpoint v99\nend\n").is_err());
+        assert!(Checkpoint::from_text("").is_err());
+    }
+
+    #[test]
+    fn garbage_lines_rejected() {
+        let good = sample().to_text();
+        let bad = good.replace("execs 12345", "execs twelve");
+        assert!(Checkpoint::from_text(&bad).unwrap_err().contains("line"));
+        let unknown = good.replace("execs 12345", "frobnicate 12345");
+        assert!(Checkpoint::from_text(&unknown)
+            .unwrap_err()
+            .contains("unknown key"));
+    }
+
+    #[test]
+    fn hex_codec_round_trips() {
+        for payload in [vec![], vec![0u8], vec![0xFF; 33], (0..=255u8).collect()] {
+            assert_eq!(hex_decode(&hex_encode(&payload)).unwrap(), payload);
+        }
+        assert!(hex_decode("abc").is_err());
+        assert!(hex_decode("zz").is_err());
+    }
+
+    #[test]
+    fn min_interval_postpones_extra_writes() {
+        use crate::campaign::{Budget, Campaign, CampaignConfig};
+        use bigmap_core::MapSize;
+        use bigmap_coverage::Instrumentation;
+        use bigmap_target::{GeneratorConfig, Interpreter};
+
+        let program = GeneratorConfig {
+            seed: 3,
+            ..Default::default()
+        }
+        .generate();
+        let inst =
+            Instrumentation::assign(program.block_count(), program.call_sites, MapSize::K64, 1);
+        let interp = Interpreter::new(&program);
+        let dir = std::env::temp_dir().join(format!("bigmap-ckpt-floor-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+
+        let mut campaign = Campaign::new(
+            CampaignConfig {
+                budget: Budget::Execs(400),
+                ..Default::default()
+            },
+            &interp,
+            &inst,
+        );
+        campaign.add_seeds(vec![vec![0u8; 16]]);
+
+        // Cadence of 1 exec but an unreachable wall-clock floor: only the
+        // very first cadence mark writes, every later one is postponed.
+        let mut manager =
+            CheckpointManager::new(&dir, 1).with_min_interval(Duration::from_secs(3600));
+        let mut writes = 0u32;
+        campaign.run_with_hook(100, |c| {
+            if manager.maybe_checkpoint(c).unwrap() {
+                writes += 1;
+            }
+        });
+        assert_eq!(writes, 1, "floor allowed more than the initial write");
+        // The postponed marks left the schedule armed, not skipped ahead.
+        assert!(CheckpointManager::load(&dir).unwrap().is_some());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_missing_dir_is_none() {
+        let dir = std::env::temp_dir().join("bigmap-ckpt-missing-nonexistent");
+        assert!(CheckpointManager::load(&dir).unwrap().is_none());
+    }
+
+    #[test]
+    fn load_rejects_corrupt_file() {
+        let dir = std::env::temp_dir().join(format!("bigmap-ckpt-corrupt-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(CHECKPOINT_FILE), "garbage").unwrap();
+        let err = CheckpointManager::load(&dir).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -29,12 +29,29 @@ use bigmap_target::ExecOutcome;
 #[derive(Debug, Default)]
 pub struct CrashWalk {
     seen: HashSet<u32>,
+    /// First-sighting order of the buckets in `seen`. Keeping this makes
+    /// [`CrashWalk::buckets`] align index-for-index with the campaign's
+    /// crash-input list (both append on a unique sighting), which the
+    /// output directory and the checkpoint format rely on.
+    order: Vec<u32>,
 }
 
 impl CrashWalk {
     /// Creates an empty deduplicator.
     pub fn new() -> Self {
         CrashWalk::default()
+    }
+
+    /// Rebuilds a deduplicator from previously captured bucket hashes
+    /// (checkpoint resume), preserving their order. Duplicates collapse.
+    pub fn restore(buckets: &[u32]) -> Self {
+        let mut cw = CrashWalk::new();
+        for &bucket in buckets {
+            if cw.seen.insert(bucket) {
+                cw.order.push(bucket);
+            }
+        }
+        cw
     }
 
     /// Computes the dedup hash of a crash: CRC32 over the call-site chain
@@ -55,7 +72,14 @@ impl CrashWalk {
     /// crash. Non-crash outcomes return `false` and record nothing.
     pub fn observe(&mut self, outcome: &ExecOutcome) -> bool {
         match outcome {
-            ExecOutcome::Crash { site, stack } => self.seen.insert(Self::bucket_hash(*site, stack)),
+            ExecOutcome::Crash { site, stack } => {
+                let bucket = Self::bucket_hash(*site, stack);
+                let fresh = self.seen.insert(bucket);
+                if fresh {
+                    self.order.push(bucket);
+                }
+                fresh
+            }
             _ => false,
         }
     }
@@ -65,17 +89,22 @@ impl CrashWalk {
         self.seen.len()
     }
 
-    /// The bucket hashes observed so far (for cross-instance fleet-wide
-    /// deduplication: the same (stack, site) hashes identically in every
-    /// instance).
+    /// The bucket hashes observed so far, in first-sighting order — index
+    /// `i` is the bucket of the `i`-th unique crash input the campaign
+    /// collected. Also used for cross-instance fleet-wide deduplication:
+    /// the same (stack, site) hashes identically in every instance.
     pub fn buckets(&self) -> Vec<u32> {
-        self.seen.iter().copied().collect()
+        self.order.clone()
     }
 
     /// Merges another deduplicator's sightings into this one (parallel
     /// campaign aggregation).
     pub fn merge(&mut self, other: &CrashWalk) {
-        self.seen.extend(&other.seen);
+        for &bucket in &other.order {
+            if self.seen.insert(bucket) {
+                self.order.push(bucket);
+            }
+        }
     }
 }
 
@@ -135,9 +164,54 @@ mod tests {
     }
 
     #[test]
+    fn buckets_keep_first_sighting_order() {
+        let mut cw = CrashWalk::new();
+        cw.observe(&crash(5, &[1]));
+        cw.observe(&crash(2, &[]));
+        cw.observe(&crash(5, &[1])); // duplicate: no new bucket
+        cw.observe(&crash(9, &[3, 4]));
+        let buckets = cw.buckets();
+        assert_eq!(buckets.len(), 3);
+        assert_eq!(buckets[0], CrashWalk::bucket_hash(5, &[1]));
+        assert_eq!(buckets[1], CrashWalk::bucket_hash(2, &[]));
+        assert_eq!(buckets[2], CrashWalk::bucket_hash(9, &[3, 4]));
+    }
+
+    #[test]
+    fn restore_round_trips_buckets() {
+        let mut cw = CrashWalk::new();
+        cw.observe(&crash(1, &[7]));
+        cw.observe(&crash(2, &[8]));
+        let restored = CrashWalk::restore(&cw.buckets());
+        assert_eq!(restored.buckets(), cw.buckets());
+        assert_eq!(restored.unique_count(), 2);
+        // A restored walker still deduplicates against old sightings.
+        let mut restored = restored;
+        assert!(!restored.observe(&crash(1, &[7])));
+        assert!(restored.observe(&crash(3, &[])));
+    }
+
+    #[test]
     fn empty_stack_crash_handled() {
         let mut cw = CrashWalk::new();
         assert!(cw.observe(&crash(0, &[])));
         assert!(!cw.observe(&crash(0, &[])));
+    }
+
+    #[test]
+    fn hang_outcomes_are_never_bucketed() {
+        // Hangs are tracked by the campaign's hang corpus, not crash
+        // triage: feeding them to the walker must be a no-op, before,
+        // between and after real crashes.
+        let mut cw = CrashWalk::new();
+        assert!(!cw.observe(&ExecOutcome::Hang));
+        assert_eq!(cw.unique_count(), 0);
+        assert!(cw.buckets().is_empty());
+
+        assert!(cw.observe(&crash(3, &[1, 2])));
+        assert!(!cw.observe(&ExecOutcome::Hang));
+        assert!(!cw.observe(&ExecOutcome::Ok));
+        assert_eq!(cw.unique_count(), 1);
+        assert_eq!(cw.buckets(), vec![CrashWalk::bucket_hash(3, &[1, 2])]);
     }
 }

@@ -82,6 +82,13 @@ pub struct Execution {
     /// Coverage-map updates (`record` calls) the execution performed —
     /// the telemetry layer's measure of instrumentation traffic.
     pub map_updates: u64,
+    /// Interpreter steps (executed blocks) the run consumed — the raw
+    /// observation hang-budget calibration averages over seed runs.
+    pub steps: u64,
+    /// For [`ExecOutcome::Hang`] outcomes: `true` when a planted hang
+    /// site fired, `false` when ordinary execution exhausted the step
+    /// budget (the case a calibrated budget is responsible for).
+    pub planted_hang: bool,
 }
 
 /// Executes test cases against one instrumented target.
@@ -112,6 +119,10 @@ pub struct Executor<'p> {
     interpreter: &'p Interpreter<'p>,
     instrumentation: &'p Instrumentation,
     metric: Box<dyn CoverageMetric>,
+    /// Calibrated step budget overriding `ExecConfig::max_steps` when set.
+    /// Lives here (not on the interpreter) because the campaign shares one
+    /// immutable interpreter across executors but calibrates per campaign.
+    step_budget: Option<u64>,
 }
 
 impl std::fmt::Debug for Executor<'_> {
@@ -135,7 +146,21 @@ impl<'p> Executor<'p> {
             interpreter,
             instrumentation,
             metric,
+            step_budget: None,
         }
+    }
+
+    /// Sets (or clears) a calibrated step budget. When set, it replaces
+    /// `ExecConfig::max_steps` for every subsequent [`Executor::run`]; an
+    /// execution exhausting it reports [`ExecOutcome::Hang`] exactly as if
+    /// the configured budget had run out.
+    pub fn set_step_budget(&mut self, budget: Option<u64>) {
+        self.step_budget = budget;
+    }
+
+    /// The calibrated step budget, if one is active.
+    pub fn step_budget(&self) -> Option<u64> {
+        self.step_budget
     }
 
     /// Runs `input`, recording coverage into `map` (which the caller must
@@ -150,12 +175,17 @@ impl<'p> Executor<'p> {
             map,
             updates: 0,
         };
-        let outcome = self.interpreter.run(input, &mut sink);
+        let budget = self
+            .step_budget
+            .unwrap_or(self.interpreter.config().max_steps);
+        let run = self.interpreter.run_bounded(input, &mut sink, budget);
         let map_updates = sink.updates;
         Execution {
-            outcome,
+            outcome: run.outcome,
             exec_time: start.elapsed(),
             map_updates,
+            steps: run.steps,
+            planted_hang: run.planted_hang,
         }
     }
 

@@ -46,28 +46,39 @@
 
 #![deny(missing_docs)]
 
+pub mod calibrate;
 pub mod campaign;
+pub mod checkpoint;
 pub mod cmin;
 pub mod crashwalk;
 pub mod executor;
+pub mod faults;
 pub mod mutate;
 pub mod output_dir;
 pub mod parallel;
 pub mod queue;
 pub mod replay;
+pub mod supervisor;
 pub mod telemetry;
 pub mod timeline;
 pub mod trim;
 
+pub use calibrate::HangBudget;
 pub use campaign::{build_metric, Budget, Campaign, CampaignConfig, CampaignOutput, CampaignStats};
+pub use checkpoint::{Checkpoint, CheckpointManager};
 pub use cmin::{minimize_corpus, MinimizedCorpus};
 pub use crashwalk::CrashWalk;
 pub use executor::{Execution, Executor};
+pub use faults::{FaultPlan, FaultSite, InstanceFaults};
 pub use mutate::Mutator;
 pub use output_dir::OutputDir;
-pub use parallel::{run_parallel, run_parallel_with_telemetry, ParallelStats, SyncHub};
+pub use parallel::{
+    run_parallel, run_parallel_with_faults, run_parallel_with_telemetry, InstanceHealth,
+    ParallelStats, SyncHub,
+};
 pub use queue::{Queue, QueueEntry};
 pub use replay::{replay_edge_coverage, ReplayCoverage};
+pub use supervisor::{run_supervised, SupervisorConfig};
 pub use telemetry::{
     parse_jsonl, JsonlSink, SharedBuffer, Stage, Telemetry, TelemetryEvent, TelemetryRegistry,
     TelemetrySnapshot,

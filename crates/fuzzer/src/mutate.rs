@@ -68,6 +68,18 @@ impl Mutator {
         self.dictionary.len()
     }
 
+    /// The mutator RNG's raw stream position, for checkpointing.
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Repositions the mutator RNG to a previously captured
+    /// [`Mutator::rng_state`] (checkpoint resume): the havoc stream
+    /// continues exactly where the checkpointed campaign left off.
+    pub fn set_rng_state(&mut self, state: [u64; 4]) {
+        self.rng = SmallRng::from_state(state);
+    }
+
     /// One havoc-stage child: 1–64 stacked random mutations of `input`,
     /// optionally splicing with `other` first (AFL's splice stage).
     pub fn havoc(&mut self, input: &[u8], other: Option<&[u8]>) -> Vec<u8> {

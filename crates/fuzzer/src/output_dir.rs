@@ -13,14 +13,37 @@
 //! <out>/
 //!   queue/    id:000000,<...>   one file per queue entry
 //!   crashes/  id:000000,sig:.. one file per unique crash input
+//!   hangs/    id:000000,<...>   one file per novel hang input
 //!   fuzzer_stats                key : value lines (AFL-compatible style)
+//!   checkpoint                  resumable snapshot (see [`crate::checkpoint`])
 //! ```
+//!
+//! Every file is written crash-safely: content goes to a `.tmp` sibling
+//! first and is atomically renamed into place, so a save interrupted by a
+//! kill leaves each file either at its previous content or its new
+//! content — never truncated. A re-save also removes `id:*` files left
+//! over from a previous, larger save (and abandoned `.tmp` staging
+//! files), so the directory always reflects exactly one campaign state.
 
+use std::collections::HashSet;
 use std::fs;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 
 use crate::campaign::{CampaignOutput, CampaignStats};
+
+/// Writes `bytes` to `path` via a `.tmp` sibling plus atomic rename, so
+/// a crash mid-write cannot leave a truncated file at `path`.
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?
+        .to_string_lossy()
+        .into_owned();
+    let tmp = path.with_file_name(format!("{file_name}.tmp"));
+    fs::write(&tmp, bytes)?;
+    fs::rename(&tmp, path)
+}
 
 /// Handle to a campaign output directory.
 #[derive(Debug, Clone)]
@@ -38,6 +61,7 @@ impl OutputDir {
         let root = root.into();
         fs::create_dir_all(root.join("queue"))?;
         fs::create_dir_all(root.join("crashes"))?;
+        fs::create_dir_all(root.join("hangs"))?;
         Ok(OutputDir { root })
     }
 
@@ -47,32 +71,78 @@ impl OutputDir {
     }
 
     /// Persists a finished campaign: corpus into `queue/`, crash inputs
-    /// into `crashes/`, statistics into `fuzzer_stats`.
+    /// into `crashes/`, hang inputs into `hangs/`, statistics into
+    /// `fuzzer_stats`.
+    ///
+    /// Each file is written atomically (temp + rename), and `id:*` files
+    /// from a previous save that the new state no longer contains are
+    /// removed, so re-saving over an old directory cannot leave a mix of
+    /// two campaigns' entries.
     ///
     /// # Errors
     ///
-    /// Propagates filesystem errors; the directory may be partially
-    /// written on failure.
+    /// Propagates filesystem errors; on failure every individual file is
+    /// still either old or new, never truncated.
     pub fn save(&self, output: &CampaignOutput) -> io::Result<()> {
-        for (i, input) in output.corpus.iter().enumerate() {
-            let name = format!("id:{i:06},len:{}", input.len());
-            fs::write(self.root.join("queue").join(name), input)?;
-        }
-        for (i, input) in output.crash_inputs.iter().enumerate() {
-            let bucket = output
-                .stats
-                .crash_buckets
-                .get(i)
-                .copied()
-                .unwrap_or_default();
-            let name = format!("id:{i:06},sig:{bucket:08x}");
-            fs::write(self.root.join("crashes").join(name), input)?;
-        }
+        self.save_entries(
+            "queue",
+            output
+                .corpus
+                .iter()
+                .enumerate()
+                .map(|(i, input)| (format!("id:{i:06},len:{}", input.len()), input)),
+        )?;
+        self.save_entries(
+            "crashes",
+            output.crash_inputs.iter().enumerate().map(|(i, input)| {
+                let bucket = output
+                    .stats
+                    .crash_buckets
+                    .get(i)
+                    .copied()
+                    .unwrap_or_default();
+                (format!("id:{i:06},sig:{bucket:08x}"), input)
+            }),
+        )?;
+        self.save_entries(
+            "hangs",
+            output
+                .hang_inputs
+                .iter()
+                .enumerate()
+                .map(|(i, input)| (format!("id:{i:06},len:{}", input.len()), input)),
+        )?;
         self.write_stats(&output.stats)
     }
 
+    /// Writes one subdirectory's `id:*` files atomically, then removes
+    /// stale `id:*` files (including abandoned `.tmp` staging files) that
+    /// are not part of the new state. Write-then-delete order means an
+    /// interruption can leave extra old entries but never lose new ones.
+    fn save_entries<'a>(
+        &self,
+        sub: &str,
+        entries: impl Iterator<Item = (String, &'a Vec<u8>)>,
+    ) -> io::Result<()> {
+        let dir = self.root.join(sub);
+        let mut keep = HashSet::new();
+        for (name, input) in entries {
+            write_atomic(&dir.join(&name), input)?;
+            keep.insert(name);
+        }
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.starts_with("id:") && !keep.contains(&name) {
+                fs::remove_file(entry.path())?;
+            }
+        }
+        Ok(())
+    }
+
     fn write_stats(&self, stats: &CampaignStats) -> io::Result<()> {
-        let mut f = fs::File::create(self.root.join("fuzzer_stats"))?;
+        let mut text = Vec::new();
+        let f = &mut text;
         writeln!(f, "execs_done        : {}", stats.execs)?;
         writeln!(f, "execs_per_sec     : {:.2}", stats.throughput())?;
         writeln!(f, "run_time_ms       : {}", stats.wall_time.as_millis())?;
@@ -82,7 +152,7 @@ impl OutputDir {
         writeln!(f, "total_hangs       : {}", stats.hangs)?;
         writeln!(f, "map_used_slots    : {}", stats.used_len)?;
         writeln!(f, "discovered_slots  : {}", stats.discovered_slots)?;
-        Ok(())
+        write_atomic(&self.root.join("fuzzer_stats"), &text)
     }
 
     /// Loads the persisted corpus (`queue/` files, in id order) — the
@@ -93,17 +163,7 @@ impl OutputDir {
     /// Propagates filesystem errors. Unreadable entries are errors, not
     /// silently skipped (a truncated corpus should be noticed).
     pub fn load_corpus(&self) -> io::Result<Vec<Vec<u8>>> {
-        let mut entries: Vec<(String, PathBuf)> = fs::read_dir(self.root.join("queue"))?
-            .map(|e| {
-                let e = e?;
-                Ok((e.file_name().to_string_lossy().into_owned(), e.path()))
-            })
-            .collect::<io::Result<_>>()?;
-        entries.sort();
-        entries
-            .into_iter()
-            .map(|(_, path)| fs::read(path))
-            .collect()
+        self.load_entries("queue")
     }
 
     /// Loads the persisted crash inputs.
@@ -112,12 +172,36 @@ impl OutputDir {
     ///
     /// Propagates filesystem errors.
     pub fn load_crashes(&self) -> io::Result<Vec<Vec<u8>>> {
-        let mut entries: Vec<(String, PathBuf)> = fs::read_dir(self.root.join("crashes"))?
+        self.load_entries("crashes")
+    }
+
+    /// Loads the persisted hang inputs (`hangs/` files, in id order) —
+    /// the counterpart of the hang corpus [`OutputDir::save`] writes.
+    /// A directory saved before hang persistence existed simply has no
+    /// `hangs/` dir; that reads as an empty list, not an error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors other than a missing directory.
+    pub fn load_hangs(&self) -> io::Result<Vec<Vec<u8>>> {
+        match self.load_entries("hangs") {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Vec::new()),
+            other => other,
+        }
+    }
+
+    /// Loads one subdirectory's `id:*` files in name (= id) order,
+    /// skipping `.tmp` staging leftovers from an interrupted save.
+    fn load_entries(&self, sub: &str) -> io::Result<Vec<Vec<u8>>> {
+        let mut entries: Vec<(String, PathBuf)> = fs::read_dir(self.root.join(sub))?
             .map(|e| {
                 let e = e?;
                 Ok((e.file_name().to_string_lossy().into_owned(), e.path()))
             })
-            .collect::<io::Result<_>>()?;
+            .collect::<io::Result<Vec<_>>>()?
+            .into_iter()
+            .filter(|(name, _)| !name.ends_with(".tmp"))
+            .collect();
         entries.sort();
         entries
             .into_iter()
@@ -275,6 +359,67 @@ mod tests {
         OutputDir::create(&dir).unwrap();
         OutputDir::create(&dir).unwrap();
         assert!(dir.join("queue").is_dir());
+        assert!(dir.join("hangs").is_dir());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resave_removes_stale_entries() {
+        let dir = tmpdir("stale");
+        let out = OutputDir::create(&dir).unwrap();
+        let output = run_small_campaign();
+        assert!(output.corpus.len() > 1, "need a multi-entry corpus");
+        out.save(&output).unwrap();
+
+        // A later save with a smaller state (e.g. after corpus
+        // minimization) must not leave the old, larger save's tail files
+        // behind.
+        let mut smaller = output.clone();
+        smaller.corpus.truncate(1);
+        smaller.crash_inputs.clear();
+        smaller.stats.crash_buckets.clear();
+        out.save(&smaller).unwrap();
+
+        assert_eq!(out.load_corpus().unwrap(), smaller.corpus);
+        assert!(out.load_crashes().unwrap().is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn hang_inputs_round_trip() {
+        let dir = tmpdir("hangs");
+        let out = OutputDir::create(&dir).unwrap();
+        let mut output = run_small_campaign();
+        output.hang_inputs = vec![b"spin-a".to_vec(), Vec::new(), b"spin-c".to_vec()];
+        out.save(&output).unwrap();
+        assert_eq!(out.load_hangs().unwrap(), output.hang_inputs);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_hangs_dir_reads_as_empty() {
+        let dir = tmpdir("nohangs");
+        let out = OutputDir::create(&dir).unwrap();
+        // Simulate a directory from before hang persistence existed.
+        fs::remove_dir_all(dir.join("hangs")).unwrap();
+        assert!(out.load_hangs().unwrap().is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_leaves_no_tmp_staging_files() {
+        let dir = tmpdir("notmp");
+        let out = OutputDir::create(&dir).unwrap();
+        // Plant a leftover from a hypothetical interrupted save; the next
+        // save must clean it up rather than let load_corpus trip on it.
+        fs::write(dir.join("queue").join("id:000099,len:3.tmp"), b"xxx").unwrap();
+        out.save(&run_small_campaign()).unwrap();
+        let leftovers: Vec<String> = fs::read_dir(dir.join("queue"))
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "stale tmp files: {leftovers:?}");
         fs::remove_dir_all(&dir).unwrap();
     }
 }

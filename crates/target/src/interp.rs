@@ -141,25 +141,59 @@ impl<'p> Interpreter<'p> {
     /// Deterministic: the same program, config and input always produce the
     /// identical event sequence and outcome.
     pub fn run<S: TraceSink + ?Sized>(&self, input: &[u8], sink: &mut S) -> ExecOutcome {
+        self.run_bounded(input, sink, self.config.max_steps).outcome
+    }
+
+    /// [`Interpreter::run`] with an explicit step budget overriding the
+    /// configured `max_steps`, reporting the steps actually consumed —
+    /// the entry point for AFL-style hang-budget calibration, where the
+    /// fuzzer measures seed step counts and then tightens the budget.
+    pub fn run_bounded<S: TraceSink + ?Sized>(
+        &self,
+        input: &[u8],
+        sink: &mut S,
+        max_steps: u64,
+    ) -> BoundedRun {
         let mut state = ExecState {
             program: self.program,
             input,
-            steps_left: self.config.max_steps,
+            steps_left: max_steps,
             work_per_block: self.config.work_per_block,
             call_stack: Vec::new(),
         };
-        match state.exec_function(0, sink) {
-            Flow::Done => ExecOutcome::Ok,
-            Flow::Crash { site, stack } => ExecOutcome::Crash { site, stack },
-            Flow::Hang => ExecOutcome::Hang,
+        let (outcome, planted_hang) = match state.exec_function(0, sink) {
+            Flow::Done => (ExecOutcome::Ok, false),
+            Flow::Crash { site, stack } => (ExecOutcome::Crash { site, stack }, false),
+            Flow::Hang { planted } => (ExecOutcome::Hang, planted),
+        };
+        BoundedRun {
+            outcome,
+            steps: max_steps - state.steps_left,
+            planted_hang,
         }
     }
+}
+
+/// Result of a [`Interpreter::run_bounded`] execution: the outcome plus
+/// the interpreter steps consumed. A planted hang site drains the whole
+/// budget, so `steps == max_steps` for those; ordinary completions report
+/// the true block count executed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundedRun {
+    /// The target's outcome.
+    pub outcome: ExecOutcome,
+    /// Interpreter steps (executed blocks) charged against the budget.
+    pub steps: u64,
+    /// When the outcome is [`ExecOutcome::Hang`]: `true` if a planted
+    /// hang site fired, `false` if ordinary execution ran the step budget
+    /// dry — the signal hang-budget calibration telemetry keys on.
+    pub planted_hang: bool,
 }
 
 enum Flow {
     Done,
     Crash { site: usize, stack: Vec<usize> },
-    Hang,
+    Hang { planted: bool },
 }
 
 struct ExecState<'a> {
@@ -198,7 +232,7 @@ impl ExecState<'_> {
         let mut pc = self.program.functions[function].entry;
         loop {
             if !self.step() {
-                return Flow::Hang;
+                return Flow::Hang { planted: false };
             }
             sink.on_block(pc);
             match &self.program.blocks[pc].kind {
@@ -266,11 +300,11 @@ impl ExecState<'_> {
                     };
                     for _ in 0..iters {
                         if !self.step() {
-                            return Flow::Hang;
+                            return Flow::Hang { planted: false };
                         }
                         sink.on_block(*body);
                         if !self.step() {
-                            return Flow::Hang;
+                            return Flow::Hang { planted: false };
                         }
                         sink.on_block(pc);
                     }
@@ -302,7 +336,7 @@ impl ExecState<'_> {
                     // the remaining step budget at once so campaigns count
                     // the hang without actually stalling.
                     self.steps_left = 0;
-                    return Flow::Hang;
+                    return Flow::Hang { planted: true };
                 }
                 BlockKind::Return => return Flow::Done,
             }

@@ -46,7 +46,7 @@ mod suite;
 pub use builder::ProgramBuilder;
 pub use error::TargetError;
 pub use generator::{generate_seeds, GeneratorConfig};
-pub use interp::{ExecConfig, ExecOutcome, Interpreter, NullSink, TraceSink};
+pub use interp::{BoundedRun, ExecConfig, ExecOutcome, Interpreter, NullSink, TraceSink};
 pub use ir::Program;
 pub use lafintel::{apply_laf_intel, LafIntelStats};
 pub use suite::BenchmarkSpec;

@@ -23,7 +23,10 @@
 //!   substrate (program IR, interpreter, generator, laf-intel, Table II
 //!   benchmark suite),
 //! * [`bigmap_fuzzer`] (as `fuzzer`) — the AFL-style campaign loop, parallel
-//!   master–secondary fuzzing, Crashwalk dedup, replay coverage,
+//!   master–secondary fuzzing, Crashwalk dedup, replay coverage, plus the
+//!   fault-tolerant runtime: campaign checkpoint/resume, the supervised
+//!   fleet with bounded restarts, and the deterministic fault-injection
+//!   layer that tests both,
 //! * [`bigmap_cache`] (as `cache`) — the cache-hierarchy simulator behind the
 //!   Table I analysis,
 //! * [`bigmap_analytics`] (as `analytics`) — collision-rate math (Equation 1)
@@ -80,9 +83,11 @@ pub mod prelude {
         CoverageMetric, EdgeHitCount, Instrumentation, MetricKind, MetricStack, NGram, TraceEvent,
     };
     pub use bigmap_fuzzer::{
-        replay_edge_coverage, run_parallel, run_parallel_with_telemetry, Budget, Campaign,
-        CampaignConfig, CampaignStats, CrashWalk, Executor, JsonlSink, Mutator, ParallelStats,
-        Stage, Telemetry, TelemetryEvent, TelemetryRegistry, TelemetrySnapshot,
+        replay_edge_coverage, run_parallel, run_parallel_with_faults, run_parallel_with_telemetry,
+        run_supervised, Budget, Campaign, CampaignConfig, CampaignStats, Checkpoint,
+        CheckpointManager, CrashWalk, Executor, FaultPlan, FaultSite, HangBudget, InstanceFaults,
+        InstanceHealth, JsonlSink, Mutator, ParallelStats, Stage, SupervisorConfig, Telemetry,
+        TelemetryEvent, TelemetryRegistry, TelemetrySnapshot,
     };
     pub use bigmap_target::{
         apply_laf_intel, generate_seeds, BenchmarkSpec, ExecConfig, ExecOutcome, GeneratorConfig,

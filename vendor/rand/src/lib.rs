@@ -207,6 +207,24 @@ pub mod rngs {
         fn rotl(x: u64, k: u32) -> u64 {
             x.rotate_left(k)
         }
+
+        /// The raw xoshiro256++ state, for checkpointing a generator
+        /// mid-stream. Restoring via [`SmallRng::from_state`] continues
+        /// the stream exactly where it left off.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a previously captured
+        /// [`SmallRng::state`]. An all-zero state is invalid for xoshiro
+        /// (it is a fixed point); it is replaced with a fixed non-zero
+        /// state rather than looping forever on zeros.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0; 4] {
+                return Self::seed_from_u64(0);
+            }
+            SmallRng { s }
+        }
     }
 
     impl SeedableRng for SmallRng {
