@@ -7,11 +7,10 @@
 //! the paper measures exploding as the map grows (Figure 3).
 
 use crate::alloc::MapBuffer;
-use crate::classify::classify_slice;
-use crate::diff::{classify_and_compare_region, compare_region};
 use crate::hash::Crc32;
+use crate::kernels;
 use crate::map_size::{MapSize, MapSizeError};
-use crate::simd::nontemporal_zero;
+use crate::simd::{nontemporal_zero, stream_zero};
 use crate::traits::{CoverageMap, MapScheme, NewCoverage};
 use crate::virgin::VirginState;
 
@@ -34,8 +33,10 @@ pub enum ResetKind {
 }
 
 /// Maps at or below this size reset with a plain memset under
-/// [`ResetKind::Adaptive`] (the modeled L2 capacity).
-pub const ADAPTIVE_RESET_THRESHOLD: usize = 256 * 1024;
+/// [`ResetKind::Adaptive`] (the modeled L2 capacity). This is the default
+/// cutoff of [`crate::simd::nt_threshold`], which `BIGMAP_NT_THRESHOLD`
+/// can override at runtime.
+pub const ADAPTIVE_RESET_THRESHOLD: usize = crate::simd::NT_THRESHOLD_DEFAULT;
 
 /// AFL's flat, one-level coverage bitmap.
 ///
@@ -130,29 +131,26 @@ impl CoverageMap for FlatBitmap {
     fn reset(&mut self) {
         match self.reset_kind {
             ResetKind::Standard => self.coverage.as_mut_slice().fill(0),
-            ResetKind::NonTemporal => nontemporal_zero(self.coverage.as_mut_slice()),
-            ResetKind::Adaptive => {
-                if self.size.bytes() <= ADAPTIVE_RESET_THRESHOLD {
-                    self.coverage.as_mut_slice().fill(0);
-                } else {
-                    nontemporal_zero(self.coverage.as_mut_slice());
-                }
-            }
+            // Forced streaming, regardless of size — the ablation arm.
+            ResetKind::NonTemporal => stream_zero(self.coverage.as_mut_slice()),
+            // Threshold-aware: plain memset below the cutoff, streaming
+            // above it (see `simd::nt_threshold`).
+            ResetKind::Adaptive => nontemporal_zero(self.coverage.as_mut_slice()),
         }
     }
 
     fn classify(&mut self) {
-        classify_slice(self.coverage.as_mut_slice());
+        kernels::active().classify(self.coverage.as_mut_slice());
     }
 
     fn compare(&mut self, virgin: &mut VirginState) -> NewCoverage {
         assert_eq!(virgin.map_size(), self.size, "virgin map size mismatch");
-        compare_region(self.coverage.as_slice(), virgin.as_mut_slice())
+        kernels::active().compare(self.coverage.as_slice(), virgin.as_mut_slice())
     }
 
     fn classify_and_compare(&mut self, virgin: &mut VirginState) -> NewCoverage {
         assert_eq!(virgin.map_size(), self.size, "virgin map size mismatch");
-        classify_and_compare_region(self.coverage.as_mut_slice(), virgin.as_mut_slice())
+        kernels::active().classify_and_compare(self.coverage.as_mut_slice(), virgin.as_mut_slice())
     }
 
     fn hash(&self) -> u32 {

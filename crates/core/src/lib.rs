@@ -24,6 +24,8 @@
 //! * [`VirginState`] — the global "virgin" map that `compare` diffs against,
 //! * the §IV-E optimizations: merged classify+compare, non-temporal reset
 //!   ([`simd`]) and huge-page-backed allocation ([`alloc`]),
+//! * [`kernels`] — SSE2/AVX2 vector kernels for classify, compare and the
+//!   merged pass, selected once at startup into a dispatch table,
 //! * [`hash`] — CRC32 with the paper's hash-up-to-last-non-zero rule,
 //! * [`timing`] — per-operation runtime accounting used to regenerate the
 //!   paper's Figure 3,
@@ -64,6 +66,7 @@ pub mod counters;
 pub mod diff;
 pub mod flat;
 pub mod hash;
+pub mod kernels;
 pub mod map_size;
 pub mod simd;
 pub mod timing;
@@ -74,6 +77,7 @@ pub mod virgin;
 pub use counters::{EventCounter, StageNanos};
 pub use flat::FlatBitmap;
 pub use hash::Crc32;
+pub use kernels::{KernelKind, KernelTable};
 pub use map_size::{MapSize, MapSizeError};
 pub use timing::{OpKind, OpStats};
 pub use traits::{CoverageMap, MapScheme, NewCoverage};

@@ -9,13 +9,49 @@
 //!
 //! On x86-64 we use `_mm_stream_si128`; elsewhere this degrades to a plain
 //! `fill(0)`, preserving semantics.
+//!
+//! Streaming is not free, though: below roughly L2 capacity the map is
+//! about to be re-read (classify/compare touch the same lines), so a
+//! cached memset is both faster and leaves the lines warm. The public
+//! [`nontemporal_zero`] is therefore **threshold-aware** — plain `fill(0)`
+//! at or below [`nt_threshold`] (default 256 KiB, `BIGMAP_NT_THRESHOLD`
+//! overrides; measured crossover recorded in EXPERIMENTS.md from the
+//! `bench_mapops` reset sweep) and streaming stores above it.
+//! [`stream_zero`] always streams, for ablation arms that force the
+//! strategy.
 
-/// Zeroes `buf` without displacing existing cache contents where the
-/// platform supports it.
+use std::sync::OnceLock;
+
+/// Default [`nt_threshold`] cutoff: buffers at or below this size zero with
+/// a plain cached memset (the modeled per-core L2 capacity).
+pub const NT_THRESHOLD_DEFAULT: usize = 256 * 1024;
+
+/// The streaming-store cutoff in bytes, resolved once per process:
+/// `BIGMAP_NT_THRESHOLD` (bytes, decimal) if set and parseable, else
+/// [`NT_THRESHOLD_DEFAULT`].
+pub fn nt_threshold() -> usize {
+    static THRESHOLD: OnceLock<usize> = OnceLock::new();
+    *THRESHOLD.get_or_init(|| match std::env::var("BIGMAP_NT_THRESHOLD") {
+        Ok(raw) => match raw.trim().parse() {
+            Ok(bytes) => bytes,
+            Err(_) => {
+                eprintln!(
+                    "BIGMAP_NT_THRESHOLD={raw}: not a byte count, \
+                         using default {NT_THRESHOLD_DEFAULT}"
+                );
+                NT_THRESHOLD_DEFAULT
+            }
+        },
+        Err(_) => NT_THRESHOLD_DEFAULT,
+    })
+}
+
+/// Zeroes `buf`, choosing the reset strategy by size: a plain cached
+/// `fill(0)` at or below [`nt_threshold`] (small maps are about to be
+/// re-read — cache pollution is a non-issue and NT stores just add fence
+/// latency), streaming non-temporal stores above it.
 ///
-/// Semantically identical to `buf.fill(0)`; the only difference is the cache
-/// side effect. Unaligned head/tail bytes (relative to 16-byte boundaries)
-/// are zeroed with regular stores.
+/// Semantically identical to `buf.fill(0)` in every case.
 ///
 /// # Examples
 ///
@@ -27,6 +63,20 @@
 /// assert!(buf.iter().all(|&b| b == 0));
 /// ```
 pub fn nontemporal_zero(buf: &mut [u8]) {
+    if buf.len() <= nt_threshold() {
+        buf.fill(0);
+    } else {
+        stream_zero(buf);
+    }
+}
+
+/// Zeroes `buf` with non-temporal streaming stores unconditionally (where
+/// the platform supports them), bypassing the cache regardless of size.
+///
+/// This is the raw §IV-E mechanism; prefer [`nontemporal_zero`] unless you
+/// are deliberately forcing the strategy (the `ResetKind::NonTemporal`
+/// ablation arm and the `bench_mapops` reset sweep do).
+pub fn stream_zero(buf: &mut [u8]) {
     #[cfg(target_arch = "x86_64")]
     {
         nontemporal_zero_x86(buf);
@@ -86,7 +136,7 @@ mod tests {
         for offset in 0..17 {
             for len in [0usize, 1, 15, 16, 17, 31, 100] {
                 let mut buf = vec![0xFFu8; offset + len + 32];
-                nontemporal_zero(&mut buf[offset..offset + len]);
+                stream_zero(&mut buf[offset..offset + len]);
                 assert!(buf[offset..offset + len].iter().all(|&b| b == 0));
                 // Surrounding bytes untouched.
                 assert!(buf[..offset].iter().all(|&b| b == 0xFF));
@@ -98,6 +148,27 @@ mod tests {
     #[test]
     fn empty_slice_is_fine() {
         nontemporal_zero(&mut []);
+        stream_zero(&mut []);
+    }
+
+    #[test]
+    fn default_threshold_matches_documented_l2_cutoff() {
+        // BIGMAP_NT_THRESHOLD is not set in the test environment, so the
+        // resolved cutoff must be the documented default.
+        assert_eq!(NT_THRESHOLD_DEFAULT, 256 * 1024);
+        assert_eq!(nt_threshold(), NT_THRESHOLD_DEFAULT);
+    }
+
+    #[test]
+    fn both_strategies_zero_above_and_below_threshold() {
+        for len in [1024usize, NT_THRESHOLD_DEFAULT, NT_THRESHOLD_DEFAULT + 4096] {
+            let mut a = vec![0x77u8; len];
+            let mut b = vec![0x77u8; len];
+            nontemporal_zero(&mut a);
+            stream_zero(&mut b);
+            assert_eq!(a, b);
+            assert!(a.iter().all(|&x| x == 0));
+        }
     }
 
     proptest! {

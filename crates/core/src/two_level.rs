@@ -17,9 +17,8 @@
 //! the whole allocation.
 
 use crate::alloc::MapBuffer;
-use crate::classify::classify_slice;
-use crate::diff::{classify_and_compare_region, compare_region};
 use crate::hash::hash_to_last_nonzero;
+use crate::kernels;
 use crate::map_size::{MapSize, MapSizeError};
 use crate::traits::{CoverageMap, MapScheme, NewCoverage};
 use crate::virgin::VirginState;
@@ -156,20 +155,23 @@ impl CoverageMap for BigMap {
     }
 
     fn classify(&mut self) {
+        // The condensed prefix goes through the same dispatch table as the
+        // flat map's whole-allocation pass: the kernels are offset- and
+        // length-agnostic, so `[0 .. used_key)` needs no special casing.
         let used = self.used();
-        classify_slice(&mut self.coverage[..used]);
+        kernels::active().classify(&mut self.coverage[..used]);
     }
 
     fn compare(&mut self, virgin: &mut VirginState) -> NewCoverage {
         assert_eq!(virgin.map_size(), self.size, "virgin map size mismatch");
         let used = self.used();
-        compare_region(&self.coverage[..used], &mut virgin.as_mut_slice()[..used])
+        kernels::active().compare(&self.coverage[..used], &mut virgin.as_mut_slice()[..used])
     }
 
     fn classify_and_compare(&mut self, virgin: &mut VirginState) -> NewCoverage {
         assert_eq!(virgin.map_size(), self.size, "virgin map size mismatch");
         let used = self.used();
-        classify_and_compare_region(
+        kernels::active().classify_and_compare(
             &mut self.coverage[..used],
             &mut virgin.as_mut_slice()[..used],
         )

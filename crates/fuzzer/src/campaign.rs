@@ -312,6 +312,10 @@ impl<'p> Campaign<'p> {
     /// on counts its events and attributes its wall time into `telemetry`,
     /// and [`CampaignStats::telemetry`] carries the final snapshot.
     pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        // Record which map-op kernel table this campaign will dispatch
+        // through — one selection event plus the per-kernel op counters
+        // keyed off the same `KernelKind` on the exec path below.
+        telemetry.incr(TelemetryEvent::KernelSelect);
         self.telemetry = Some(telemetry);
     }
 
@@ -551,8 +555,16 @@ impl<'p> Campaign<'p> {
                 tel.incr(TelemetryEvent::Exec);
                 tel.incr(TelemetryEvent::MapReset);
                 tel.incr(TelemetryEvent::VirginCompare);
+                // Attribute the map ops to whichever kernel the process
+                // dispatcher selected: the merged pipeline is one fused
+                // kernel call, the split pipeline is two (classify +
+                // compare).
+                let kernel_op = TelemetryEvent::for_kernel(bigmap_core::kernels::active().kind);
                 if split_pipeline {
                     tel.incr(TelemetryEvent::ClassifyPass);
+                    tel.add(kernel_op, 2);
+                } else {
+                    tel.incr(kernel_op);
                 }
                 tel.add(TelemetryEvent::MapUpdate, execution.map_updates);
                 tel.add_stage(Stage::TargetExec, execution.exec_time);
@@ -1240,6 +1252,21 @@ mod tests {
         // No sync traffic in a plain single-instance run.
         assert_eq!(snap.get(TelemetryEvent::SyncImport), 0);
         assert_eq!(snap.get(TelemetryEvent::ImportRejection), 0);
+        // Kernel dispatch: selection recorded once, and with the merged
+        // pipeline every exec is one fused kernel op attributed to the
+        // kernel the process dispatcher actually picked.
+        assert_eq!(snap.get(TelemetryEvent::KernelSelect), 1);
+        let active = TelemetryEvent::for_kernel(bigmap_core::kernels::active().kind);
+        assert_eq!(snap.get(active), stats.execs);
+        let kernel_total: u64 = [
+            TelemetryEvent::KernelScalarOp,
+            TelemetryEvent::KernelSse2Op,
+            TelemetryEvent::KernelAvx2Op,
+        ]
+        .iter()
+        .map(|&e| snap.get(e))
+        .sum();
+        assert_eq!(kernel_total, stats.execs, "only the active kernel counts");
     }
 
     #[test]
@@ -1263,6 +1290,10 @@ mod tests {
         let snap = stats.telemetry.as_ref().unwrap();
         assert_eq!(snap.get(TelemetryEvent::ClassifyPass), stats.execs);
         assert_eq!(snap.get(TelemetryEvent::VirginCompare), stats.execs);
+        // Split pipeline: classify and compare each dispatch through the
+        // kernel table, so the per-kernel op counter sees two per exec.
+        let active = TelemetryEvent::for_kernel(bigmap_core::kernels::active().kind);
+        assert_eq!(snap.get(active), 2 * stats.execs);
     }
 
     #[test]

@@ -88,11 +88,22 @@ pub enum TelemetryEvent {
     HangBudgetExceeded,
     /// Campaign checkpoints written to the output directory.
     Checkpoint,
+    /// Kernel-dispatch resolutions: counted once per campaign when the
+    /// instance observes which map-op kernel table
+    /// (`bigmap_core::kernels::active()`) the process selected.
+    KernelSelect,
+    /// Map operations (classify/compare/fused) dispatched to the scalar
+    /// word-wise kernel.
+    KernelScalarOp,
+    /// Map operations dispatched to the SSE2 kernel.
+    KernelSse2Op,
+    /// Map operations dispatched to the AVX2 kernel.
+    KernelAvx2Op,
 }
 
 impl TelemetryEvent {
     /// Every event, in serialization order.
-    pub const ALL: [TelemetryEvent; 14] = [
+    pub const ALL: [TelemetryEvent; 18] = [
         TelemetryEvent::MapReset,
         TelemetryEvent::ClassifyPass,
         TelemetryEvent::VirginCompare,
@@ -107,6 +118,10 @@ impl TelemetryEvent {
         TelemetryEvent::Hang,
         TelemetryEvent::HangBudgetExceeded,
         TelemetryEvent::Checkpoint,
+        TelemetryEvent::KernelSelect,
+        TelemetryEvent::KernelScalarOp,
+        TelemetryEvent::KernelSse2Op,
+        TelemetryEvent::KernelAvx2Op,
     ];
 
     #[inline]
@@ -126,6 +141,10 @@ impl TelemetryEvent {
             TelemetryEvent::Hang => 11,
             TelemetryEvent::HangBudgetExceeded => 12,
             TelemetryEvent::Checkpoint => 13,
+            TelemetryEvent::KernelSelect => 14,
+            TelemetryEvent::KernelScalarOp => 15,
+            TelemetryEvent::KernelSse2Op => 16,
+            TelemetryEvent::KernelAvx2Op => 17,
         }
     }
 
@@ -146,6 +165,20 @@ impl TelemetryEvent {
             TelemetryEvent::Hang => "hangs",
             TelemetryEvent::HangBudgetExceeded => "hang_budget_exceeded",
             TelemetryEvent::Checkpoint => "checkpoints",
+            TelemetryEvent::KernelSelect => "kernel_selections",
+            TelemetryEvent::KernelScalarOp => "kernel_scalar_ops",
+            TelemetryEvent::KernelSse2Op => "kernel_sse2_ops",
+            TelemetryEvent::KernelAvx2Op => "kernel_avx2_ops",
+        }
+    }
+
+    /// The per-op counter for map operations dispatched through `kind`'s
+    /// kernel table.
+    pub fn for_kernel(kind: bigmap_core::KernelKind) -> TelemetryEvent {
+        match kind {
+            bigmap_core::KernelKind::Scalar => TelemetryEvent::KernelScalarOp,
+            bigmap_core::KernelKind::Sse2 => TelemetryEvent::KernelSse2Op,
+            bigmap_core::KernelKind::Avx2 => TelemetryEvent::KernelAvx2Op,
         }
     }
 }
@@ -208,7 +241,7 @@ impl Stage {
 pub struct Telemetry {
     instance: usize,
     started: Instant,
-    events: [EventCounter; 14],
+    events: [EventCounter; 18],
     stages: [StageNanos; 4],
 }
 
@@ -277,7 +310,7 @@ pub struct TelemetrySnapshot {
     /// Wall-clock nanoseconds since the instance's telemetry was created.
     pub wall_nanos: u64,
     /// Event counters, indexed in [`TelemetryEvent::ALL`] order.
-    pub events: [u64; 14],
+    pub events: [u64; 18],
     /// Stage accumulators (nanoseconds), indexed in [`Stage::ALL`] order.
     pub stage_nanos: [u64; 4],
 }
@@ -581,6 +614,38 @@ mod tests {
         let line = snap.to_json();
         let back = TelemetrySnapshot::from_json(&line).expect("roundtrip");
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn kernel_events_map_one_to_one() {
+        use bigmap_core::KernelKind;
+        assert_eq!(
+            TelemetryEvent::for_kernel(KernelKind::Scalar),
+            TelemetryEvent::KernelScalarOp
+        );
+        assert_eq!(
+            TelemetryEvent::for_kernel(KernelKind::Sse2),
+            TelemetryEvent::KernelSse2Op
+        );
+        assert_eq!(
+            TelemetryEvent::for_kernel(KernelKind::Avx2),
+            TelemetryEvent::KernelAvx2Op
+        );
+        // Every kernel counter has a distinct slot and JSON key.
+        let keys: std::collections::HashSet<_> =
+            TelemetryEvent::ALL.iter().map(|e| e.key()).collect();
+        assert_eq!(keys.len(), TelemetryEvent::ALL.len());
+    }
+
+    #[test]
+    fn pre_kernel_snapshot_lines_still_parse() {
+        // Snapshots written before the kernel counters existed lack the
+        // four kernel_* fields; they must parse with those counters at 0.
+        let legacy = "{\"instance\":2,\"wall_nanos\":99,\"execs\":12}";
+        let snap = TelemetrySnapshot::from_json(legacy).expect("legacy line parses");
+        assert_eq!(snap.get(TelemetryEvent::Exec), 12);
+        assert_eq!(snap.get(TelemetryEvent::KernelSelect), 0);
+        assert_eq!(snap.get(TelemetryEvent::KernelAvx2Op), 0);
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! Kernel-independence of coverage trajectories: a campaign's coverage
+//! decisions must not depend on which map-op kernel the dispatcher picked.
+//!
+//! Two layers of evidence:
+//!
+//! 1. Exec-budgeted campaigns are bit-deterministic run-to-run in one
+//!    process (same seeds, same timeline, same discovered coverage) — so
+//!    any cross-kernel divergence WOULD show up as a trajectory change.
+//! 2. Replaying real target coverage maps through every kernel the host
+//!    supports produces identical verdict sequences and identical virgin
+//!    state — the per-exec decision is kernel-invariant on real data, not
+//!    just on the random regions the property suite generates.
+//!
+//! (CI additionally runs the whole suite under `BIGMAP_KERNEL=scalar`,
+//! which pins the process dispatcher itself to the oracle path.)
+
+use bigmap::core::kernels::{available, table_for};
+use bigmap::prelude::*;
+
+fn run_once(seed: u64) -> CampaignStats {
+    let spec = BenchmarkSpec::by_name("libpng").unwrap();
+    let program = spec.build(0.05);
+    let seeds = spec.build_seeds(&program, 8);
+    let instrumentation =
+        Instrumentation::assign(program.block_count(), program.call_sites, MapSize::M2, 9);
+    let interpreter = Interpreter::new(&program);
+    let mut campaign = Campaign::new(
+        CampaignConfig {
+            scheme: MapScheme::TwoLevel,
+            map_size: MapSize::M2,
+            budget: Budget::Execs(4_000),
+            seed,
+            ..Default::default()
+        },
+        &interpreter,
+        &instrumentation,
+    );
+    campaign.add_seeds(seeds);
+    campaign.run()
+}
+
+#[test]
+fn exec_budgeted_campaigns_are_bit_deterministic() {
+    let a = run_once(11);
+    let b = run_once(11);
+    assert_eq!(a.execs, b.execs);
+    assert_eq!(a.queue_len, b.queue_len);
+    assert_eq!(a.used_len, b.used_len);
+    assert_eq!(
+        a.timeline.points(),
+        b.timeline.points(),
+        "coverage trajectory must be bit-identical run-to-run"
+    );
+}
+
+#[test]
+fn real_coverage_replay_is_kernel_invariant() {
+    // Drive the executor over a deterministic input stream, capturing the
+    // raw (unclassified) coverage map of every execution; then push each
+    // captured map through every available kernel's fused pipeline against
+    // that kernel's own virgin map.
+    let spec = BenchmarkSpec::by_name("sqlite3").unwrap();
+    let program = spec.build(0.05);
+    let seeds = spec.build_seeds(&program, 16);
+    let instrumentation =
+        Instrumentation::assign(program.block_count(), program.call_sites, MapSize::M2, 9);
+    let interpreter = Interpreter::new(&program);
+    let mut executor = Executor::new(
+        &interpreter,
+        &instrumentation,
+        Box::new(EdgeHitCount::new()),
+    );
+
+    let map_bytes = MapSize::M2.bytes();
+    let mut raw_maps: Vec<Vec<u8>> = Vec::new();
+    let mut map = FlatBitmap::new(MapSize::M2).unwrap();
+    for (i, seed) in seeds.iter().enumerate() {
+        // A cheap variant per seed to diversify the hit patterns.
+        let mut input = seed.clone();
+        if !input.is_empty() {
+            input[0] = input[0].wrapping_add(i as u8);
+        }
+        map.reset();
+        executor.run(&input, &mut map);
+        raw_maps.push(map.as_slice().to_vec());
+    }
+    assert!(!raw_maps.is_empty());
+
+    let kernels = available();
+    assert!(!kernels.is_empty());
+
+    // Per-kernel pipeline state.
+    let mut virgins: Vec<Vec<u8>> = kernels.iter().map(|_| vec![0xFFu8; map_bytes]).collect();
+    for raw in &raw_maps {
+        let mut outcomes = Vec::new();
+        for (k, &kind) in kernels.iter().enumerate() {
+            let table = table_for(kind).expect("available kernel has a table");
+            let mut cur = raw.clone();
+            let verdict = table.classify_and_compare(&mut cur, &mut virgins[k]);
+            outcomes.push((kind, verdict, cur));
+        }
+        let (_, first_verdict, first_cur) = &outcomes[0];
+        for (kind, verdict, cur) in &outcomes[1..] {
+            assert_eq!(verdict, first_verdict, "{kind}: verdict diverged");
+            assert_eq!(cur, first_cur, "{kind}: classified map diverged");
+        }
+    }
+    let (first_virgin, rest_virgins) = virgins.split_first().unwrap();
+    for (kind, virgin) in kernels.iter().skip(1).zip(rest_virgins) {
+        assert_eq!(
+            virgin, first_virgin,
+            "{kind}: virgin map diverged after the full replay"
+        );
+    }
+}
