@@ -4,7 +4,10 @@
 //! Sweeps every kernel the host supports (`scalar`, `sse2`, `avx2`) over
 //! {classify, compare, fused classify+compare} at each region size, plus a
 //! reset-strategy sweep ({cached `fill(0)`, non-temporal streaming stores})
-//! that locates the crossover justifying the `BIGMAP_NT_THRESHOLD` default.
+//! that locates the crossover justifying the `BIGMAP_NT_THRESHOLD` default,
+//! plus a coverage-density sweep ({sparse journal walk, dense kernel,
+//! adaptive dispatch} × {clustered, uniform} slot layouts) that locates the
+//! sparse/dense crossover behind `DENSITY_CROSSOVER_DIVISOR`.
 //! Results print as a table and land in `BENCH_mapops.json`.
 //!
 //! Usage:
@@ -30,8 +33,10 @@ use std::time::Instant;
 use bigmap_bench::{report_header, Effort};
 use bigmap_core::alloc::MapBuffer;
 use bigmap_core::classify::classify_slice;
-use bigmap_core::kernels::{available, table_for, KernelKind};
+use bigmap_core::journal::{runs_from_slots, SlotRun};
+use bigmap_core::kernels::{active, available, table_for, KernelKind};
 use bigmap_core::simd::{nt_threshold, stream_zero};
+use bigmap_core::sparse::{classify_and_compare_runs, select_path, OpPath, SparseMode};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -47,6 +52,18 @@ struct Sample {
     iters: u64,
     ns_per_op: f64,
     gib_per_s: f64,
+}
+
+/// One measured cell of the coverage-density sweep.
+struct DensitySample {
+    density: f64,
+    /// `clustered` (runs of 64 consecutive slots) or `uniform` scatter.
+    layout: &'static str,
+    /// `dense` (widest kernel), `sparse` (journal walk), or `adaptive`.
+    variant: &'static str,
+    touched: usize,
+    iters: u64,
+    ns_per_op: f64,
 }
 
 fn main() {
@@ -195,7 +212,159 @@ fn main() {
         );
     }
 
-    let json = render_json(effort, &kernels, &samples, &speedups);
+    // --- density sweep: journal-driven sparse ops vs the dense kernel vs
+    //     the adaptive dispatcher (the satellite that pins
+    //     DENSITY_CROSSOVER_DIVISOR), fused op on a 1 MiB used prefix ---
+    println!("\ndensity sweep (fused, 1 MiB used prefix):");
+    println!(
+        "{:<9} {:<10} {:<9} {:>9} {:>9} {:>12}",
+        "density", "layout", "variant", "touched", "iters", "ns/op"
+    );
+    let densities: &[f64] = match effort {
+        Effort::Quick => &[0.002, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5],
+        Effort::Standard | Effort::Full => &[0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5],
+    };
+    let sweep_size = MIB;
+    let dense_table = active();
+    let mut density_samples: Vec<DensitySample> = Vec::new();
+    for &density in densities {
+        for layout in ["clustered", "uniform"] {
+            let (cur, virgin, slots) =
+                prepare_density_region(sweep_size, density, layout == "clustered");
+            // The journal coalesces consecutive touches as they happen; the
+            // bench reproduces its encoding offline, outside the timed loop.
+            let runs = runs_from_slots(&slots);
+            for variant in ["dense", "sparse", "adaptive"] {
+                // Scale iterations by the bytes each variant actually
+                // touches, so the very fast low-density sparse cells still
+                // accumulate measurable wall time.
+                let eff_bytes = match variant {
+                    "dense" => sweep_size,
+                    "sparse" => slots.len().max(1),
+                    _ => match select_path(
+                        SparseMode::Auto,
+                        true,
+                        slots.len(),
+                        runs.len(),
+                        sweep_size,
+                    ) {
+                        OpPath::Sparse => slots.len().max(1),
+                        OpPath::Dense => sweep_size,
+                    },
+                };
+                let iters = (target_bytes / eff_bytes).clamp(8, 1 << 17) as u64;
+                let mut cur_buf = clone_map(&cur);
+                let mut virgin_buf = clone_map(&virgin);
+                let cur_s = cur_buf.as_mut_slice();
+                let virgin_s = virgin_buf.as_mut_slice();
+                run_density_op(variant, dense_table, cur_s, virgin_s, &runs, slots.len());
+                run_density_op(variant, dense_table, cur_s, virgin_s, &runs, slots.len());
+                let t = Instant::now();
+                for _ in 0..iters {
+                    run_density_op(variant, dense_table, cur_s, virgin_s, &runs, slots.len());
+                }
+                let elapsed = t.elapsed();
+                let sample = DensitySample {
+                    density,
+                    layout,
+                    variant,
+                    touched: slots.len(),
+                    iters,
+                    ns_per_op: elapsed.as_nanos() as f64 / iters as f64,
+                };
+                println!(
+                    "{:<9} {:<10} {:<9} {:>9} {:>9} {:>12.0}",
+                    format!("{:.1}%", density * 100.0),
+                    sample.layout,
+                    sample.variant,
+                    sample.touched,
+                    sample.iters,
+                    sample.ns_per_op
+                );
+                density_samples.push(sample);
+            }
+        }
+    }
+
+    // Crossover: where the sparse walk stops beating the dense kernel,
+    // taken from the conservative uniform layout (clustered coverage keeps
+    // sparse cheaper for longer) and linearly interpolated between the last
+    // winning and first losing grid densities.
+    let mut crossover: Option<f64> = None;
+    let mut prev: Option<(f64, f64, f64)> = None;
+    for &d in densities {
+        if let (Some(sp), Some(de)) = (
+            find_density_ns(&density_samples, d, "uniform", "sparse"),
+            find_density_ns(&density_samples, d, "uniform", "dense"),
+        ) {
+            if sp >= de {
+                crossover = Some(match prev {
+                    // Zero crossing of (sparse - dense) between the grid
+                    // points straddling the break-even.
+                    Some((pd, psp, pde)) => {
+                        let f0 = psp - pde;
+                        let f1 = sp - de;
+                        pd + (d - pd) * (-f0) / (f1 - f0).max(1e-9)
+                    }
+                    None => d,
+                });
+                break;
+            }
+            prev = Some((d, sp, de));
+        }
+    }
+    match crossover {
+        Some(d) => println!(
+            "\nsparse/dense crossover (uniform layout, interpolated): \
+             ~{:.1}% density (divisor ~= {:.0}; configured run divisor {})",
+            d * 100.0,
+            1.0 / d,
+            bigmap_core::sparse::RUN_CROSSOVER_DIVISOR
+        ),
+        None => println!("\nsparse/dense crossover: not reached in sweep range"),
+    }
+
+    let speedup_2pct = match (
+        find_density_ns(&density_samples, 0.02, "clustered", "dense"),
+        find_density_ns(&density_samples, 0.02, "clustered", "sparse"),
+    ) {
+        (Some(de), Some(sp)) => de / sp,
+        _ => 0.0,
+    };
+    println!(
+        "sparse speedup at 2% density (clustered): {speedup_2pct:.2}x \
+         — acceptance (>= 5x): {}",
+        if speedup_2pct >= 5.0 { "PASS" } else { "FAIL" }
+    );
+
+    let adaptive_overhead = ["clustered", "uniform"]
+        .iter()
+        .filter_map(|layout| {
+            let ad = find_density_ns(&density_samples, 0.5, layout, "adaptive")?;
+            let de = find_density_ns(&density_samples, 0.5, layout, "dense")?;
+            Some(ad / de - 1.0)
+        })
+        .fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "adaptive vs dense at 50% density: {:+.1}% — acceptance (<= 3%): {}",
+        adaptive_overhead * 100.0,
+        if adaptive_overhead <= 0.03 {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    );
+
+    let json = render_json(
+        effort,
+        &kernels,
+        &samples,
+        &speedups,
+        &density_samples,
+        crossover,
+        speedup_2pct,
+        adaptive_overhead,
+    );
     std::fs::write(&out_path, json).expect("write BENCH_mapops.json");
     println!("\nwrote {out_path}");
 }
@@ -239,6 +408,102 @@ fn prepare_region(size: usize) -> (MapBuffer<u8>, MapBuffer<u8>) {
     let mut virgin = MapBuffer::<u8>::filled(size, 0xFF);
     let _ = bigmap_core::diff::compare_region(cur.as_slice(), virgin.as_mut_slice());
     (cur, virgin)
+}
+
+/// Builds a steady-state (cur, virgin, journal slots) triple at the given
+/// nonzero density for the density sweep.
+///
+/// `clustered` places coverage as runs of 64 consecutive condensed slots in
+/// shuffled run order — condensation assigns slots in discovery order, so
+/// edges exercised together land adjacently, which is what real campaigns
+/// produce. The uniform layout scatters single bytes and is the worst case
+/// for the journal walk (every touch is a fresh cache line), so the
+/// crossover is taken from it.
+fn prepare_density_region(
+    size: usize,
+    density: f64,
+    clustered: bool,
+) -> (MapBuffer<u8>, MapBuffer<u8>, Vec<u32>) {
+    let mut rng = SmallRng::seed_from_u64(
+        0xD3_7517 ^ size as u64 ^ ((density * 1e6) as u64) ^ ((clustered as u64) << 40),
+    );
+    let mut cur = MapBuffer::<u8>::zeroed(size);
+    let mut slots: Vec<u32> = Vec::new();
+    {
+        let slice = cur.as_mut_slice();
+        if clustered {
+            const RUN: usize = 64;
+            let n_blocks = size / RUN;
+            let want = (((size as f64 * density) as usize) / RUN).clamp(1, n_blocks);
+            // Fisher–Yates prefix: `want` distinct blocks in random order,
+            // mimicking the journal's first-touch ordering across runs.
+            let mut blocks: Vec<u32> = (0..n_blocks as u32).collect();
+            for i in 0..want {
+                let j = rng.gen_range(i..n_blocks);
+                blocks.swap(i, j);
+                let base = blocks[i] as usize * RUN;
+                for (s, byte) in slice.iter_mut().enumerate().skip(base).take(RUN) {
+                    *byte = rng.gen_range(1u8..=255);
+                    slots.push(s as u32);
+                }
+            }
+        } else {
+            for (i, byte) in slice.iter_mut().enumerate() {
+                if rng.gen_bool(density) {
+                    *byte = rng.gen_range(1u8..=255);
+                    slots.push(i as u32);
+                }
+            }
+        }
+        // Same fixed-point trick as `prepare_region`.
+        classify_slice(slice);
+        classify_slice(slice);
+    }
+    let mut virgin = MapBuffer::<u8>::filled(size, 0xFF);
+    let _ = bigmap_core::diff::compare_region(cur.as_slice(), virgin.as_mut_slice());
+    (cur, virgin, slots)
+}
+
+#[inline]
+fn run_density_op(
+    variant: &str,
+    table: &bigmap_core::KernelTable,
+    cur: &mut [u8],
+    virgin: &mut [u8],
+    runs: &[SlotRun],
+    touched: usize,
+) {
+    match variant {
+        "dense" => {
+            let _ = table.classify_and_compare(cur, virgin);
+        }
+        "sparse" => {
+            let _ = classify_and_compare_runs(cur, virgin, runs, table);
+        }
+        // The adaptive cell pays the real per-exec dispatch cost: a
+        // `select_path` call in front of whichever path it picks.
+        "adaptive" => match select_path(SparseMode::Auto, true, touched, runs.len(), cur.len()) {
+            OpPath::Sparse => {
+                let _ = classify_and_compare_runs(cur, virgin, runs, table);
+            }
+            OpPath::Dense => {
+                let _ = table.classify_and_compare(cur, virgin);
+            }
+        },
+        _ => unreachable!("unknown density variant {variant}"),
+    }
+}
+
+fn find_density_ns(
+    samples: &[DensitySample],
+    density: f64,
+    layout: &str,
+    variant: &str,
+) -> Option<f64> {
+    samples
+        .iter()
+        .find(|s| (s.density - density).abs() < 1e-9 && s.layout == layout && s.variant == variant)
+        .map(|s| s.ns_per_op)
 }
 
 fn clone_map(src: &MapBuffer<u8>) -> MapBuffer<u8> {
@@ -286,11 +551,16 @@ fn size_label(size: usize) -> String {
 }
 
 /// Hand-rolled JSON (the workspace deliberately carries no serde).
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     effort: Effort,
     kernels: &[KernelKind],
     samples: &[Sample],
     speedups: &[(usize, f64)],
+    density_samples: &[DensitySample],
+    crossover: Option<f64>,
+    speedup_2pct: f64,
+    adaptive_overhead: f64,
 ) -> String {
     let mut out = String::with_capacity(16 * 1024);
     out.push_str("{\n");
@@ -314,6 +584,37 @@ fn render_json(
         out.push_str(if i + 1 < samples.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ],\n");
+    out.push_str("  \"density_results\": [\n");
+    for (i, s) in density_samples.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"density\": {}, \"layout\": \"{}\", \"variant\": \"{}\", \
+             \"touched\": {}, \"iters\": {}, \"ns_per_op\": {:.1}}}",
+            s.density, s.layout, s.variant, s.touched, s.iters, s.ns_per_op
+        );
+        out.push_str(if i + 1 < density_samples.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ],\n");
+    match crossover {
+        Some(d) => {
+            let _ = writeln!(out, "  \"sparse_crossover_density\": {d},");
+        }
+        None => {
+            let _ = writeln!(out, "  \"sparse_crossover_density\": null,");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  \"sparse_speedup_at_2pct_clustered\": {speedup_2pct:.2},"
+    );
+    let _ = writeln!(
+        out,
+        "  \"adaptive_overhead_at_50pct\": {adaptive_overhead:.4},"
+    );
     out.push_str("  \"fused_avx2_speedup_vs_scalar\": {");
     let entries = speedups
         .iter()

@@ -291,6 +291,7 @@ impl PreparedBenchmark {
             seed,
             exec: Default::default(),
             hang_budget: None,
+            sparse: None,
         }
     }
 

@@ -47,18 +47,20 @@ unsafe impl<T: MapElement> Sync for MapBuffer<T> {}
 mod private {
     pub trait Sealed {}
     impl Sealed for u8 {}
+    impl Sealed for u16 {}
     impl Sealed for u32 {}
     impl Sealed for u64 {}
 }
 
 /// Element types allowed in a [`MapBuffer`].
 ///
-/// This trait is sealed: it is implemented for `u8`, `u32` and `u64` and
-/// cannot be implemented outside this crate. All implementors are plain
+/// This trait is sealed: it is implemented for `u8`, `u16`, `u32` and `u64`
+/// and cannot be implemented outside this crate. All implementors are plain
 /// integers whose all-zeroes bit pattern is a valid value.
 pub trait MapElement: private::Sealed + Copy + 'static {}
 
 impl MapElement for u8 {}
+impl MapElement for u16 {}
 impl MapElement for u32 {}
 impl MapElement for u64 {}
 

@@ -33,7 +33,7 @@ use std::sync::OnceLock;
 /// assert_eq!(bucket_of(255), 128);
 /// ```
 #[inline]
-pub fn bucket_of(count: u8) -> u8 {
+pub const fn bucket_of(count: u8) -> u8 {
     match count {
         0 => 0,
         1 => 1,
@@ -49,6 +49,48 @@ pub fn bucket_of(count: u8) -> u8 {
 
 /// The eight bucket bytes in ascending order (excluding the zero bucket).
 pub const BUCKET_BYTES: [u8; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
+
+/// [`bucket_of`] as a 256-entry table.
+///
+/// The sparse (journal-driven) classify path buckets one touched slot at a
+/// time; a branchless table load beats the range match when the access
+/// pattern gives the branch predictor nothing to work with.
+pub static BUCKET_LUT: [u8; 256] = {
+    let mut lut = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        lut[i] = bucket_of(i as u8);
+        i += 1;
+    }
+    lut
+};
+
+/// Classifies exactly the listed condensed slots of `counts` in place.
+///
+/// This is the journal-driven counterpart of [`classify_slice`]: cost is
+/// `O(slots.len())` instead of `O(counts.len())`. For dense-equivalent
+/// behaviour the slot list must be **unique** (classification is not
+/// idempotent — see the module docs) and must cover every nonzero byte of
+/// `counts`; unlisted zero bytes are fine because `bucket_of(0) == 0`. The
+/// BigMap touch journal guarantees both by construction.
+///
+/// # Panics
+///
+/// Panics if any slot index is out of bounds for `counts`.
+pub fn classify_slots(counts: &mut [u8], slots: &[u32]) {
+    let len = counts.len();
+    assert!(
+        slots.iter().all(|&s| (s as usize) < len),
+        "slot index out of bounds"
+    );
+    for &s in slots {
+        // SAFETY: every slot was bounds-checked above.
+        unsafe {
+            let b = counts.get_unchecked_mut(s as usize);
+            *b = BUCKET_LUT[*b as usize];
+        }
+    }
+}
 
 fn lut16() -> &'static [u16; 65536] {
     static LUT: OnceLock<Box<[u16; 65536]>> = OnceLock::new();
@@ -180,7 +222,47 @@ mod tests {
         assert!(!is_classified(255));
     }
 
+    #[test]
+    fn bucket_lut_matches_bucket_of() {
+        for i in 0..=255u8 {
+            assert_eq!(BUCKET_LUT[i as usize], bucket_of(i), "count {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "slot index out of bounds")]
+    fn classify_slots_rejects_out_of_bounds() {
+        let mut buf = [1u8; 8];
+        classify_slots(&mut buf, &[8]);
+    }
+
     proptest! {
+        #[test]
+        fn classify_slots_equals_slice_on_covering_unique_slots(
+            data in prop::collection::vec(any::<u8>(), 1..512),
+            extra in prop::collection::vec(any::<usize>(), 0..32),
+        ) {
+            // Slots = every nonzero position (the journal guarantee) plus
+            // some arbitrary zero positions, deduped.
+            let mut slots: Vec<u32> = data
+                .iter()
+                .enumerate()
+                .filter(|(_, &b)| b != 0)
+                .map(|(i, _)| i as u32)
+                .collect();
+            for idx in &extra {
+                let i = idx % data.len();
+                if data[i] == 0 && !slots.contains(&(i as u32)) {
+                    slots.push(i as u32);
+                }
+            }
+            let mut dense = data.clone();
+            classify_slice(&mut dense);
+            let mut sparse = data;
+            classify_slots(&mut sparse, &slots);
+            prop_assert_eq!(sparse, dense);
+        }
+
         #[test]
         fn word_equals_bytewise(bytes in prop::array::uniform8(any::<u8>())) {
             let word = u64::from_le_bytes(bytes);

@@ -158,6 +158,27 @@ impl KernelTable {
         INVOCATIONS[self.kind.slot()].incr();
         (self.fused_fn)(cur, virgin)
     }
+
+    // Uncounted entry points for the sparse run dispatcher
+    // (`crate::sparse`): a sparse pass may make one kernel call per long
+    // run, and counting each would make `invocations` useless as a
+    // "how many dense passes ran" telemetry signal. Sparse work is
+    // accounted through `crate::sparse::dispatches` instead.
+
+    #[inline]
+    pub(crate) fn classify_uncounted(&self, counts: &mut [u8]) {
+        (self.classify_fn)(counts)
+    }
+
+    #[inline]
+    pub(crate) fn compare_uncounted(&self, cur: &[u8], virgin: &mut [u8]) -> NewCoverage {
+        (self.compare_fn)(cur, virgin)
+    }
+
+    #[inline]
+    pub(crate) fn fused_uncounted(&self, cur: &mut [u8], virgin: &mut [u8]) -> NewCoverage {
+        (self.fused_fn)(cur, virgin)
+    }
 }
 
 /// Global per-kernel invocation totals, indexed by [`KernelKind::slot`].

@@ -26,6 +26,9 @@
 //!   ([`simd`]) and huge-page-backed allocation ([`alloc`]),
 //! * [`kernels`] — SSE2/AVX2 vector kernels for classify, compare and the
 //!   merged pass, selected once at startup into a dispatch table,
+//! * [`journal`] / [`sparse`] — the per-exec touched-slot journal and the
+//!   adaptive sparse/dense dispatcher that shrink the per-exec map ops
+//!   from `O(used_key)` to `O(touched)` at low densities,
 //! * [`hash`] — CRC32 with the paper's hash-up-to-last-non-zero rule,
 //! * [`timing`] — per-operation runtime accounting used to regenerate the
 //!   paper's Figure 3,
@@ -66,9 +69,11 @@ pub mod counters;
 pub mod diff;
 pub mod flat;
 pub mod hash;
+pub mod journal;
 pub mod kernels;
 pub mod map_size;
 pub mod simd;
+pub mod sparse;
 pub mod timing;
 pub mod traits;
 pub mod two_level;
@@ -77,8 +82,10 @@ pub mod virgin;
 pub use counters::{EventCounter, StageNanos};
 pub use flat::FlatBitmap;
 pub use hash::Crc32;
+pub use journal::{SlotRun, TouchJournal};
 pub use kernels::{KernelKind, KernelTable};
 pub use map_size::{MapSize, MapSizeError};
+pub use sparse::{OpPath, SparseMode};
 pub use timing::{OpKind, OpStats};
 pub use traits::{CoverageMap, MapScheme, NewCoverage};
 pub use two_level::BigMap;

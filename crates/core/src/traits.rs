@@ -8,6 +8,7 @@
 use std::fmt;
 
 use crate::map_size::MapSize;
+use crate::sparse::{OpPath, SparseMode};
 use crate::virgin::VirginState;
 
 /// Which map data structure a campaign uses.
@@ -140,6 +141,36 @@ pub trait CoverageMap: Send {
     /// The current classified/raw value stored for a *logical* coverage key
     /// (after folding). Returns 0 for keys never recorded.
     fn value_of_key(&self, key: u32) -> u8;
+
+    /// Overrides the process-wide `BIGMAP_SPARSE` dispatch policy for this
+    /// map instance; `None` restores the process default.
+    ///
+    /// Exists so one process can run sparse and dense pipelines side by
+    /// side (equivalence tests, benchmark arms) despite the env policy
+    /// being resolved once. Maps without a sparse pipeline (the flat
+    /// scheme) ignore the override — the default implementation is a no-op.
+    fn set_sparse_override(&mut self, _mode: Option<SparseMode>) {}
+
+    /// Which path the most recent classify/compare/merged op dispatched
+    /// to. Maps without a sparse pipeline always report [`OpPath::Dense`].
+    fn last_op_path(&self) -> OpPath {
+        OpPath::Dense
+    }
+
+    /// Number of distinct condensed slots first-touched since the last
+    /// reset, when the map keeps a complete touch journal. `None` when the
+    /// map has no journal (flat scheme) or the journal overflowed this
+    /// exec.
+    fn touched_len(&self) -> Option<usize> {
+        None
+    }
+
+    /// Whether the touch journal overflowed its capacity this exec,
+    /// forcing the dense fallback. Always `false` for maps without a
+    /// journal.
+    fn journal_overflowed(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

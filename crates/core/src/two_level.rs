@@ -18,8 +18,10 @@
 
 use crate::alloc::MapBuffer;
 use crate::hash::hash_to_last_nonzero;
+use crate::journal::{TouchJournal, DEFAULT_JOURNAL_CAPACITY};
 use crate::kernels;
 use crate::map_size::{MapSize, MapSizeError};
+use crate::sparse::{self, OpPath, SparseMode};
 use crate::traits::{CoverageMap, MapScheme, NewCoverage};
 use crate::virgin::VirginState;
 
@@ -62,6 +64,13 @@ pub struct BigMap {
     used_key: u32,
     size: MapSize,
     mask: u32,
+    /// Condensed slots first-touched this exec, epoch-deduped; drives the
+    /// sparse pipeline when complete.
+    journal: TouchJournal,
+    /// Per-instance `BIGMAP_SPARSE` override (`None` = process default).
+    sparse_override: Option<SparseMode>,
+    /// Path the most recent classify/compare/merged op dispatched to.
+    last_path: OpPath,
 }
 
 impl BigMap {
@@ -76,12 +85,32 @@ impl BigMap {
     /// Infallible for validated [`MapSize`] values; the `Result` mirrors the
     /// construction-from-bytes path used by callers that parse sizes.
     pub fn new(size: MapSize) -> Result<Self, MapSizeError> {
+        Self::with_journal_capacity(size, DEFAULT_JOURNAL_CAPACITY)
+    }
+
+    /// Creates a two-level bitmap with an explicit touch-journal bound.
+    ///
+    /// Mostly for tests and benchmarks: a tiny capacity forces journal
+    /// overflow (and thus the dense fallback) cheaply; the default
+    /// ([`DEFAULT_JOURNAL_CAPACITY`]) is far above realistic per-exec touch
+    /// counts.
+    ///
+    /// # Errors
+    ///
+    /// Infallible for validated [`MapSize`] values, like [`BigMap::new`].
+    pub fn with_journal_capacity(
+        size: MapSize,
+        journal_capacity: usize,
+    ) -> Result<Self, MapSizeError> {
         Ok(BigMap {
             index: MapBuffer::filled(size.bytes(), UNASSIGNED),
             coverage: MapBuffer::zeroed(size.bytes()),
             used_key: 0,
             size,
             mask: size.mask(),
+            journal: TouchJournal::with_capacity(size.bytes(), journal_capacity),
+            sparse_override: None,
+            last_path: OpPath::Dense,
         })
     }
 
@@ -110,6 +139,11 @@ impl BigMap {
         self.coverage.as_slice()
     }
 
+    /// The touch journal of the current exec (tests, benchmarks).
+    pub fn journal(&self) -> &TouchJournal {
+        &self.journal
+    }
+
     #[inline]
     fn fold(&self, key: u32) -> usize {
         (key & self.mask) as usize
@@ -118,6 +152,28 @@ impl BigMap {
     #[inline]
     fn used(&self) -> usize {
         self.used_key as usize
+    }
+
+    /// The dispatch policy in force for this instance.
+    #[inline]
+    fn sparse_mode(&self) -> SparseMode {
+        self.sparse_override.unwrap_or_else(sparse::sparse_mode)
+    }
+
+    /// One dispatch decision per exec, shared by every per-exec op: the
+    /// journal does not change between classify, compare and the merged
+    /// pass (and `reset` consumes the same journal at the start of the
+    /// next exec), so recomputing the pure policy gives the same answer
+    /// each time.
+    #[inline]
+    fn dispatch_path(&self) -> OpPath {
+        sparse::select_path(
+            self.sparse_mode(),
+            self.journal.is_complete(),
+            self.journal.len(),
+            self.journal.runs().len(),
+            self.used(),
+        )
     }
 }
 
@@ -143,6 +199,7 @@ impl CoverageMap for BigMap {
             self.index[e] = k;
             self.used_key += 1;
         }
+        self.journal.touch(k);
         let v = &mut self.coverage[k as usize];
         *v = v.saturating_add(1);
     }
@@ -150,36 +207,88 @@ impl CoverageMap for BigMap {
     fn reset(&mut self) {
         // Only the used prefix — the whole point. The index bitmap is NOT
         // touched: slot assignments persist for the campaign (§IV-B).
+        //
+        // The journal of the exec being discarded lists every slot written
+        // since the previous reset (when complete), so the sparse path can
+        // clear exactly those slots instead of memsetting the prefix. The
+        // journal then advances: the next exec starts with an empty journal
+        // over an all-zero prefix, which re-establishes the completeness
+        // invariant inductively.
         let used = self.used();
-        self.coverage[..used].fill(0);
+        match self.dispatch_path() {
+            OpPath::Sparse => sparse::reset_runs(&mut self.coverage[..used], self.journal.runs()),
+            OpPath::Dense => self.coverage[..used].fill(0),
+        }
+        if self.journal.overflowed() {
+            sparse::note_overflow();
+        }
+        self.journal.advance();
     }
 
     fn classify(&mut self) {
-        // The condensed prefix goes through the same dispatch table as the
-        // flat map's whole-allocation pass: the kernels are offset- and
-        // length-agnostic, so `[0 .. used_key)` needs no special casing.
+        // Dense: the condensed prefix goes through the same dispatch table
+        // as the flat map's whole-allocation pass — the kernels are offset-
+        // and length-agnostic, so `[0 .. used_key)` needs no special
+        // casing. Sparse: bucket only this exec's journaled runs, handing
+        // long runs back to the same kernels as sub-slices.
         let used = self.used();
-        kernels::active().classify(&mut self.coverage[..used]);
+        let path = self.dispatch_path();
+        sparse::note_dispatch(path);
+        self.last_path = path;
+        match path {
+            OpPath::Sparse => sparse::classify_runs(
+                &mut self.coverage[..used],
+                self.journal.runs(),
+                kernels::active(),
+            ),
+            OpPath::Dense => kernels::active().classify(&mut self.coverage[..used]),
+        }
     }
 
     fn compare(&mut self, virgin: &mut VirginState) -> NewCoverage {
         assert_eq!(virgin.map_size(), self.size, "virgin map size mismatch");
         let used = self.used();
-        kernels::active().compare(&self.coverage[..used], &mut virgin.as_mut_slice()[..used])
+        let path = self.dispatch_path();
+        sparse::note_dispatch(path);
+        self.last_path = path;
+        match path {
+            OpPath::Sparse => sparse::compare_runs(
+                &self.coverage[..used],
+                &mut virgin.as_mut_slice()[..used],
+                self.journal.runs(),
+                kernels::active(),
+            ),
+            OpPath::Dense => kernels::active()
+                .compare(&self.coverage[..used], &mut virgin.as_mut_slice()[..used]),
+        }
     }
 
     fn classify_and_compare(&mut self, virgin: &mut VirginState) -> NewCoverage {
         assert_eq!(virgin.map_size(), self.size, "virgin map size mismatch");
         let used = self.used();
-        kernels::active().classify_and_compare(
-            &mut self.coverage[..used],
-            &mut virgin.as_mut_slice()[..used],
-        )
+        let path = self.dispatch_path();
+        sparse::note_dispatch(path);
+        self.last_path = path;
+        match path {
+            OpPath::Sparse => sparse::classify_and_compare_runs(
+                &mut self.coverage[..used],
+                &mut virgin.as_mut_slice()[..used],
+                self.journal.runs(),
+                kernels::active(),
+            ),
+            OpPath::Dense => kernels::active().classify_and_compare(
+                &mut self.coverage[..used],
+                &mut virgin.as_mut_slice()[..used],
+            ),
+        }
     }
 
     fn hash(&self) -> u32 {
         // §IV-D: hash up to the last non-zero byte, so the hash is a pure
         // function of the path and not of how far used_key has grown.
+        // Deliberately dense regardless of the journal: the CRC runs over
+        // the prefix in slot order, which a first-touch-ordered journal
+        // walk cannot reproduce.
         hash_to_last_nonzero(&self.coverage[..self.used()])
     }
 
@@ -211,6 +320,26 @@ impl CoverageMap for BigMap {
             Some(slot) => self.coverage[slot as usize],
             None => 0,
         }
+    }
+
+    fn set_sparse_override(&mut self, mode: Option<SparseMode>) {
+        self.sparse_override = mode;
+    }
+
+    fn last_op_path(&self) -> OpPath {
+        self.last_path
+    }
+
+    fn touched_len(&self) -> Option<usize> {
+        if self.journal.is_complete() {
+            Some(self.journal.len())
+        } else {
+            None
+        }
+    }
+
+    fn journal_overflowed(&self) -> bool {
+        self.journal.overflowed()
     }
 }
 
@@ -369,6 +498,107 @@ mod tests {
         let mut map = small();
         let mut virgin = VirginState::new(MapSize::M2);
         map.compare(&mut virgin);
+    }
+
+    #[test]
+    fn journal_lists_first_touched_slots_and_resets() {
+        use crate::journal::SlotRun;
+        let mut map = small();
+        map.record(7);
+        map.record(9);
+        map.record(7);
+        // Slots 0 and 1 are assigned in discovery order and touched
+        // back-to-back, so they coalesce into one journal run.
+        assert_eq!(map.journal().runs(), &[SlotRun { base: 0, len: 2 }]);
+        assert_eq!(map.journal().iter_slots().collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(map.touched_len(), Some(2));
+        map.reset();
+        assert!(map.journal().is_empty());
+        map.record(9); // existing slot 1, first touch of this exec
+        assert_eq!(map.journal().runs(), &[SlotRun { base: 1, len: 1 }]);
+    }
+
+    #[test]
+    fn forced_sparse_matches_forced_dense_pipeline() {
+        let mut sparse_map = small();
+        sparse_map.set_sparse_override(Some(SparseMode::On));
+        let mut dense_map = small();
+        dense_map.set_sparse_override(Some(SparseMode::Off));
+        let mut sparse_virgin = VirginState::new(MapSize::K64);
+        let mut dense_virgin = VirginState::new(MapSize::K64);
+
+        let execs: &[&[u32]] = &[
+            &[1, 2, 3, 2, 2],
+            &[1, 2],
+            &[9, 9, 9, 9, 9, 9, 9, 9, 9],
+            &[1, 2, 3, 9, 40],
+            &[],
+        ];
+        for keys in execs {
+            for map in [&mut sparse_map, &mut dense_map] {
+                map.reset();
+                for &k in *keys {
+                    map.record(k);
+                }
+            }
+            let sv = sparse_map.classify_and_compare(&mut sparse_virgin);
+            let dv = dense_map.classify_and_compare(&mut dense_virgin);
+            assert_eq!(sv, dv, "verdict diverged on {keys:?}");
+            assert_eq!(sparse_map.last_op_path(), OpPath::Sparse);
+            assert_eq!(dense_map.last_op_path(), OpPath::Dense);
+            assert_eq!(sparse_map.hash(), dense_map.hash());
+            assert_eq!(sparse_map.active_region(), dense_map.active_region());
+            assert_eq!(
+                sparse_virgin.as_slice(),
+                dense_virgin.as_slice(),
+                "virgin state diverged on {keys:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn journal_overflow_falls_back_dense_and_stays_correct() {
+        let mut map = BigMap::with_journal_capacity(MapSize::K64, 2).unwrap();
+        map.set_sparse_override(Some(SparseMode::On));
+        let mut virgin = VirginState::new(MapSize::K64);
+        let mut reference = small();
+        reference.set_sparse_override(Some(SparseMode::Off));
+        let mut ref_virgin = VirginState::new(MapSize::K64);
+
+        // Fresh keys get consecutive slots and coalesce into one run, so
+        // the first exec fits capacity 2 however many keys it records.
+        // Overflow needs ≥ 3 *scattered* runs: re-touching alternating
+        // established slots does exactly that.
+        let execs: &[(&[u32], bool)] = &[
+            (&[1, 2, 3, 4, 5, 6], false), // slots 0..6: one run
+            (&[1, 3], false),             // slots 0, 2: two runs
+            (&[1, 3, 5], true),           // slots 0, 2, 4: third run dropped
+            (&[2, 3, 4], false),          // slots 1..4: one run again
+        ];
+        for &(keys, expect_overflow) in execs {
+            map.reset();
+            reference.reset();
+            for &k in keys {
+                map.record(k);
+                reference.record(k);
+            }
+            let overflowed = map.journal_overflowed();
+            assert_eq!(overflowed, expect_overflow, "keys {keys:?}");
+            assert_eq!(map.touched_len().is_none(), overflowed);
+            let got = map.classify_and_compare(&mut virgin);
+            let want = reference.classify_and_compare(&mut ref_virgin);
+            assert_eq!(got, want);
+            if overflowed {
+                assert_eq!(map.last_op_path(), OpPath::Dense);
+            } else {
+                assert_eq!(map.last_op_path(), OpPath::Sparse);
+            }
+            assert_eq!(map.hash(), reference.hash());
+        }
+        assert_eq!(
+            &virgin.as_slice()[..map.used_len()],
+            &ref_virgin.as_slice()[..reference.used_len()]
+        );
     }
 
     proptest! {

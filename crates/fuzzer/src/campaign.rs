@@ -15,7 +15,8 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use bigmap_core::{
-    build_map, CoverageMap, MapScheme, MapSize, NewCoverage, OpKind, OpStats, VirginState,
+    build_map, CoverageMap, MapScheme, MapSize, NewCoverage, OpKind, OpPath, OpStats, SparseMode,
+    VirginState,
 };
 use bigmap_coverage::{
     BlockCoverage, ContextSensitive, CoverageMetric, EdgeHitCount, Instrumentation, MetricKind,
@@ -113,6 +114,11 @@ pub struct CampaignConfig {
     /// keeps the configured `exec.max_steps` (the paper's fixed-budget
     /// setup).
     pub hang_budget: Option<HangBudget>,
+    /// Per-campaign override of the sparse/dense map-op dispatch policy
+    /// (`bigmap_core::sparse`). `None` follows the process-wide
+    /// `BIGMAP_SPARSE` setting (default: adaptive). Only meaningful for
+    /// the two-level scheme; the flat map is always dense.
+    pub sparse: Option<SparseMode>,
 }
 
 impl Default for CampaignConfig {
@@ -130,6 +136,7 @@ impl Default for CampaignConfig {
             seed: 0,
             exec: ExecConfig::default(),
             hang_budget: None,
+            sparse: None,
         }
     }
 }
@@ -274,7 +281,8 @@ impl<'p> Campaign<'p> {
             config.map_size,
             "instrumentation was compiled for a different map size"
         );
-        let map = build_map(config.scheme, config.map_size);
+        let mut map = build_map(config.scheme, config.map_size);
+        map.set_sparse_override(config.sparse);
         let metric = build_metric(config.metric);
         Campaign {
             executor: Executor::new(interpreter, instrumentation, metric),
@@ -555,16 +563,26 @@ impl<'p> Campaign<'p> {
                 tel.incr(TelemetryEvent::Exec);
                 tel.incr(TelemetryEvent::MapReset);
                 tel.incr(TelemetryEvent::VirginCompare);
-                // Attribute the map ops to whichever kernel the process
-                // dispatcher selected: the merged pipeline is one fused
-                // kernel call, the split pipeline is two (classify +
-                // compare).
-                let kernel_op = TelemetryEvent::for_kernel(bigmap_core::kernels::active().kind);
+                // Attribute the map ops by dispatch path. Dense ops go
+                // through whichever kernel the process dispatcher selected
+                // (the merged pipeline is one fused kernel call, the split
+                // pipeline is two); sparse ops are journal walks that never
+                // enter the kernel table, so they count as sparse
+                // dispatches instead.
                 if split_pipeline {
                     tel.incr(TelemetryEvent::ClassifyPass);
-                    tel.add(kernel_op, 2);
-                } else {
-                    tel.incr(kernel_op);
+                }
+                match self.map.last_op_path() {
+                    OpPath::Dense => {
+                        tel.incr(TelemetryEvent::DenseDispatch);
+                        let kernel_op =
+                            TelemetryEvent::for_kernel(bigmap_core::kernels::active().kind);
+                        tel.add(kernel_op, if split_pipeline { 2 } else { 1 });
+                    }
+                    OpPath::Sparse => tel.incr(TelemetryEvent::SparseDispatch),
+                }
+                if self.map.journal_overflowed() {
+                    tel.incr(TelemetryEvent::JournalOverflow);
                 }
                 tel.add(TelemetryEvent::MapUpdate, execution.map_updates);
                 tel.add_stage(Stage::TargetExec, execution.exec_time);
@@ -1252,12 +1270,22 @@ mod tests {
         // No sync traffic in a plain single-instance run.
         assert_eq!(snap.get(TelemetryEvent::SyncImport), 0);
         assert_eq!(snap.get(TelemetryEvent::ImportRejection), 0);
-        // Kernel dispatch: selection recorded once, and with the merged
-        // pipeline every exec is one fused kernel op attributed to the
-        // kernel the process dispatcher actually picked.
+        // Kernel dispatch: selection recorded once. Every exec dispatches
+        // its post-exec ops exactly once — to the dense kernel path or to
+        // the sparse journal walk — so the two dispatch counters partition
+        // the execs, and with the merged pipeline each dense exec is one
+        // fused kernel op attributed to the kernel the process dispatcher
+        // actually picked.
         assert_eq!(snap.get(TelemetryEvent::KernelSelect), 1);
+        let sparse = snap.get(TelemetryEvent::SparseDispatch);
+        let dense = snap.get(TelemetryEvent::DenseDispatch);
+        assert_eq!(
+            sparse + dense,
+            stats.execs,
+            "dispatch counters partition execs"
+        );
         let active = TelemetryEvent::for_kernel(bigmap_core::kernels::active().kind);
-        assert_eq!(snap.get(active), stats.execs);
+        assert_eq!(snap.get(active), dense);
         let kernel_total: u64 = [
             TelemetryEvent::KernelScalarOp,
             TelemetryEvent::KernelSse2Op,
@@ -1266,7 +1294,10 @@ mod tests {
         .iter()
         .map(|&e| snap.get(e))
         .sum();
-        assert_eq!(kernel_total, stats.execs, "only the active kernel counts");
+        assert_eq!(kernel_total, dense, "only the active kernel counts");
+        // The default journal capacity is far above anything these
+        // simulated targets touch per exec.
+        assert_eq!(snap.get(TelemetryEvent::JournalOverflow), 0);
     }
 
     #[test]
@@ -1290,10 +1321,56 @@ mod tests {
         let snap = stats.telemetry.as_ref().unwrap();
         assert_eq!(snap.get(TelemetryEvent::ClassifyPass), stats.execs);
         assert_eq!(snap.get(TelemetryEvent::VirginCompare), stats.execs);
-        // Split pipeline: classify and compare each dispatch through the
-        // kernel table, so the per-kernel op counter sees two per exec.
+        // Split pipeline: a dense-dispatched exec runs classify and
+        // compare through the kernel table, so the per-kernel op counter
+        // sees two per dense exec (sparse execs are journal walks).
+        let dense = snap.get(TelemetryEvent::DenseDispatch);
+        assert_eq!(
+            dense + snap.get(TelemetryEvent::SparseDispatch),
+            stats.execs
+        );
         let active = TelemetryEvent::for_kernel(bigmap_core::kernels::active().kind);
-        assert_eq!(snap.get(active), 2 * stats.execs);
+        assert_eq!(snap.get(active), 2 * dense);
+    }
+
+    #[test]
+    fn sparse_override_forces_journal_dispatch_and_matches_dense() {
+        use crate::telemetry::{Telemetry, TelemetryEvent};
+
+        let program = GeneratorConfig::default().generate();
+        let inst = instrument(&program, MapSize::K64);
+        let interp = Interpreter::new(&program);
+        let run = |mode: Option<SparseMode>| {
+            let mut campaign = Campaign::new(
+                CampaignConfig {
+                    sparse: mode,
+                    ..quick_config(MapScheme::TwoLevel, 600)
+                },
+                &interp,
+                &inst,
+            );
+            let tel = Arc::new(Telemetry::new(0));
+            campaign.set_telemetry(Arc::clone(&tel));
+            campaign.add_seeds(vec![vec![5u8; 24]]);
+            (campaign.run(), tel)
+        };
+        let (on, on_tel) = run(Some(SparseMode::On));
+        let (off, off_tel) = run(Some(SparseMode::Off));
+        // Forced modes dispatch every exec to their path (the default
+        // journal capacity never overflows on these targets)...
+        assert_eq!(on_tel.get(TelemetryEvent::SparseDispatch), on.execs);
+        assert_eq!(on_tel.get(TelemetryEvent::DenseDispatch), 0);
+        assert_eq!(off_tel.get(TelemetryEvent::DenseDispatch), off.execs);
+        assert_eq!(off_tel.get(TelemetryEvent::SparseDispatch), 0);
+        // ...and the campaign trajectory must be bit-identical either way.
+        assert_eq!(on.execs, off.execs);
+        assert_eq!(on.queue_len, off.queue_len);
+        assert_eq!(on.used_len, off.used_len);
+        assert_eq!(
+            on.timeline.points(),
+            off.timeline.points(),
+            "sparse pipeline changed the coverage trajectory"
+        );
     }
 
     #[test]

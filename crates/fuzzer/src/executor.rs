@@ -89,6 +89,11 @@ pub struct Execution {
     /// site fired, `false` when ordinary execution exhausted the step
     /// budget (the case a calibrated budget is responsible for).
     pub planted_hang: bool,
+    /// Distinct condensed map slots this execution touched, when the map
+    /// keeps a complete touch journal (`None` for the flat scheme or when
+    /// the journal overflowed). The numerator of the per-exec density the
+    /// sparse/dense dispatcher decides on.
+    pub touched_slots: Option<usize>,
 }
 
 /// Executes test cases against one instrumented target.
@@ -180,12 +185,14 @@ impl<'p> Executor<'p> {
             .unwrap_or(self.interpreter.config().max_steps);
         let run = self.interpreter.run_bounded(input, &mut sink, budget);
         let map_updates = sink.updates;
+        let touched_slots = sink.map.touched_len();
         Execution {
             outcome: run.outcome,
             exec_time: start.elapsed(),
             map_updates,
             steps: run.steps,
             planted_hang: run.planted_hang,
+            touched_slots,
         }
     }
 
@@ -262,6 +269,24 @@ mod tests {
         flat_counts.sort_unstable();
         big_counts.sort_unstable();
         assert_eq!(flat_counts, big_counts);
+    }
+
+    #[test]
+    fn touched_slots_reported_for_journaled_maps_only() {
+        let (program, inst) = setup();
+        let interp = Interpreter::new(&program);
+        let mut executor = Executor::new(&interp, &inst, Box::new(EdgeHitCount::new()));
+
+        let mut big = BigMap::new(MapSize::K64).unwrap();
+        let execution = executor.run(b"journal", &mut big);
+        let touched = execution.touched_slots.expect("BigMap keeps a journal");
+        // Every distinct nonzero slot of this exec was journaled.
+        assert_eq!(touched, big.count_nonzero());
+        assert!(touched > 0);
+
+        let mut flat = FlatBitmap::new(MapSize::K64).unwrap();
+        let execution = executor.run(b"journal", &mut flat);
+        assert_eq!(execution.touched_slots, None, "flat maps have no journal");
     }
 
     #[test]

@@ -99,11 +99,19 @@ pub enum TelemetryEvent {
     KernelSse2Op,
     /// Map operations dispatched to the AVX2 kernel.
     KernelAvx2Op,
+    /// Executions whose post-exec map ops took the journal-driven sparse
+    /// path (`BIGMAP_SPARSE`, see `bigmap_core::sparse`).
+    SparseDispatch,
+    /// Executions whose post-exec map ops took the dense kernel path.
+    DenseDispatch,
+    /// Executions whose touch journal overflowed its capacity, forcing
+    /// the dense fallback regardless of the dispatch policy.
+    JournalOverflow,
 }
 
 impl TelemetryEvent {
     /// Every event, in serialization order.
-    pub const ALL: [TelemetryEvent; 18] = [
+    pub const ALL: [TelemetryEvent; 21] = [
         TelemetryEvent::MapReset,
         TelemetryEvent::ClassifyPass,
         TelemetryEvent::VirginCompare,
@@ -122,6 +130,9 @@ impl TelemetryEvent {
         TelemetryEvent::KernelScalarOp,
         TelemetryEvent::KernelSse2Op,
         TelemetryEvent::KernelAvx2Op,
+        TelemetryEvent::SparseDispatch,
+        TelemetryEvent::DenseDispatch,
+        TelemetryEvent::JournalOverflow,
     ];
 
     #[inline]
@@ -145,6 +156,9 @@ impl TelemetryEvent {
             TelemetryEvent::KernelScalarOp => 15,
             TelemetryEvent::KernelSse2Op => 16,
             TelemetryEvent::KernelAvx2Op => 17,
+            TelemetryEvent::SparseDispatch => 18,
+            TelemetryEvent::DenseDispatch => 19,
+            TelemetryEvent::JournalOverflow => 20,
         }
     }
 
@@ -169,6 +183,9 @@ impl TelemetryEvent {
             TelemetryEvent::KernelScalarOp => "kernel_scalar_ops",
             TelemetryEvent::KernelSse2Op => "kernel_sse2_ops",
             TelemetryEvent::KernelAvx2Op => "kernel_avx2_ops",
+            TelemetryEvent::SparseDispatch => "sparse_dispatches",
+            TelemetryEvent::DenseDispatch => "dense_dispatches",
+            TelemetryEvent::JournalOverflow => "journal_overflows",
         }
     }
 
@@ -241,7 +258,7 @@ impl Stage {
 pub struct Telemetry {
     instance: usize,
     started: Instant,
-    events: [EventCounter; 18],
+    events: [EventCounter; 21],
     stages: [StageNanos; 4],
 }
 
@@ -310,7 +327,7 @@ pub struct TelemetrySnapshot {
     /// Wall-clock nanoseconds since the instance's telemetry was created.
     pub wall_nanos: u64,
     /// Event counters, indexed in [`TelemetryEvent::ALL`] order.
-    pub events: [u64; 18],
+    pub events: [u64; 21],
     /// Stage accumulators (nanoseconds), indexed in [`Stage::ALL`] order.
     pub stage_nanos: [u64; 4],
 }
@@ -646,6 +663,21 @@ mod tests {
         assert_eq!(snap.get(TelemetryEvent::Exec), 12);
         assert_eq!(snap.get(TelemetryEvent::KernelSelect), 0);
         assert_eq!(snap.get(TelemetryEvent::KernelAvx2Op), 0);
+    }
+
+    #[test]
+    fn pre_sparse_snapshot_lines_still_parse() {
+        // Snapshots written in the 18-slot era (kernel counters present,
+        // sparse-dispatch counters absent) must parse with the three
+        // sparse_* fields at 0.
+        let legacy = "{\"instance\":1,\"wall_nanos\":42,\"execs\":700,\
+                      \"kernel_selections\":1,\"kernel_avx2_ops\":700}";
+        let snap = TelemetrySnapshot::from_json(legacy).expect("legacy line parses");
+        assert_eq!(snap.get(TelemetryEvent::Exec), 700);
+        assert_eq!(snap.get(TelemetryEvent::KernelAvx2Op), 700);
+        assert_eq!(snap.get(TelemetryEvent::SparseDispatch), 0);
+        assert_eq!(snap.get(TelemetryEvent::DenseDispatch), 0);
+        assert_eq!(snap.get(TelemetryEvent::JournalOverflow), 0);
     }
 
     #[test]

@@ -76,8 +76,8 @@ pub mod prelude {
     pub use bigmap_analytics::{collision_rate, geometric_mean, TextTable};
     pub use bigmap_cache::{CacheHierarchy, TraceWorkload};
     pub use bigmap_core::{
-        BigMap, CoverageMap, FlatBitmap, MapScheme, MapSize, NewCoverage, OpKind, OpStats,
-        VirginState,
+        BigMap, CoverageMap, FlatBitmap, MapScheme, MapSize, NewCoverage, OpKind, OpPath, OpStats,
+        SparseMode, VirginState,
     };
     pub use bigmap_coverage::{
         CoverageMetric, EdgeHitCount, Instrumentation, MetricKind, MetricStack, NGram, TraceEvent,

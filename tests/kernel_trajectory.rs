@@ -17,7 +17,7 @@
 use bigmap::core::kernels::{available, table_for};
 use bigmap::prelude::*;
 
-fn run_once(seed: u64) -> CampaignStats {
+fn run_once(seed: u64, sparse: Option<SparseMode>) -> CampaignStats {
     let spec = BenchmarkSpec::by_name("libpng").unwrap();
     let program = spec.build(0.05);
     let seeds = spec.build_seeds(&program, 8);
@@ -30,6 +30,7 @@ fn run_once(seed: u64) -> CampaignStats {
             map_size: MapSize::M2,
             budget: Budget::Execs(4_000),
             seed,
+            sparse,
             ..Default::default()
         },
         &interpreter,
@@ -41,8 +42,8 @@ fn run_once(seed: u64) -> CampaignStats {
 
 #[test]
 fn exec_budgeted_campaigns_are_bit_deterministic() {
-    let a = run_once(11);
-    let b = run_once(11);
+    let a = run_once(11, None);
+    let b = run_once(11, None);
     assert_eq!(a.execs, b.execs);
     assert_eq!(a.queue_len, b.queue_len);
     assert_eq!(a.used_len, b.used_len);
@@ -51,6 +52,28 @@ fn exec_budgeted_campaigns_are_bit_deterministic() {
         b.timeline.points(),
         "coverage trajectory must be bit-identical run-to-run"
     );
+}
+
+#[test]
+fn campaign_trajectory_is_sparse_mode_invariant() {
+    // The sparse journal walk and the dense kernel pass are alternative
+    // implementations of the same map ops — forcing either one (or leaving
+    // the adaptive policy to flip between them per exec) must not move a
+    // single point on the coverage timeline. CI also runs this whole file
+    // under BIGMAP_SPARSE=off and BIGMAP_SPARSE=on, pinning the
+    // process-wide default both ways.
+    let baseline = run_once(23, None);
+    for mode in [SparseMode::Off, SparseMode::On, SparseMode::Auto] {
+        let forced = run_once(23, Some(mode));
+        assert_eq!(baseline.execs, forced.execs, "{mode:?}: exec count");
+        assert_eq!(baseline.queue_len, forced.queue_len, "{mode:?}: queue");
+        assert_eq!(baseline.used_len, forced.used_len, "{mode:?}: used prefix");
+        assert_eq!(
+            baseline.timeline.points(),
+            forced.timeline.points(),
+            "{mode:?}: sparse dispatch changed the coverage trajectory"
+        );
+    }
 }
 
 #[test]

@@ -98,6 +98,70 @@ fn hash_is_a_pure_function_of_the_recorded_multiset() {
     }
 }
 
+#[test]
+fn sparse_path_preserves_hash_semantics_across_all_virgin_maps() {
+    // Regression test for the sparse journal pipeline: the campaign routes
+    // each exec's classified map to one of THREE virgin maps by outcome
+    // (Ok → coverage, Crash → crash, Hang → hang) and hashes interesting
+    // maps with the hash-up-to-last-nonzero rule. Forcing the sparse path
+    // must leave every verdict, every hash, and all three virgin states
+    // bit-identical to the dense path — including re-compares against
+    // partially-warmed virgin maps, where a stale byte left behind by an
+    // incorrect sparse reset would flip a verdict or move the hash's
+    // last-nonzero boundary.
+    use bigmap::core::SparseMode;
+
+    // Deterministic exec stream cycling through the three outcome classes,
+    // with overlapping key sets so later execs hit both virgin and
+    // already-seen slots.
+    let execs: Vec<(Vec<u32>, usize)> = (0..24)
+        .map(|i| {
+            let keys: Vec<u32> = (0..20 + (i as u32) * 7)
+                .map(|j| (i as u32 / 3).wrapping_mul(2654435761).wrapping_add(j * 31))
+                .collect();
+            (keys, i % 3)
+        })
+        .collect();
+
+    let run = |mode: SparseMode| {
+        let mut map = build_map(MapScheme::TwoLevel, MapSize::K64);
+        map.set_sparse_override(Some(mode));
+        let mut virgins = [MapSize::K64, MapSize::K64, MapSize::K64].map(VirginState::new);
+        let mut log = Vec::new();
+        for (keys, class) in &execs {
+            map.reset();
+            for &k in keys {
+                map.record(k);
+            }
+            let verdict = map.classify_and_compare(&mut virgins[*class]);
+            log.push((verdict, map.hash()));
+        }
+        (log, virgins.map(|v| v.as_slice().to_vec()))
+    };
+
+    let (dense_log, dense_virgins) = run(SparseMode::Off);
+    let (sparse_log, sparse_virgins) = run(SparseMode::On);
+
+    // The stream must actually exercise all three maps with new coverage.
+    for class in 0..3 {
+        assert!(
+            execs
+                .iter()
+                .zip(&dense_log)
+                .any(|((_, c), (v, _))| *c == class && *v == NewCoverage::NewEdge),
+            "class {class} never saw new coverage — test stream is too weak"
+        );
+    }
+
+    for (i, (dense, sparse)) in dense_log.iter().zip(&sparse_log).enumerate() {
+        assert_eq!(dense.0, sparse.0, "exec {i}: verdict diverged");
+        assert_eq!(dense.1, sparse.1, "exec {i}: hash_to_last_nonzero diverged");
+    }
+    for (class, (d, s)) in dense_virgins.iter().zip(&sparse_virgins).enumerate() {
+        assert_eq!(d, s, "virgin map {class} diverged after the full stream");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
