@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 
 use bigmap_core::{MapScheme, MapSize};
 use bigmap_coverage::{Instrumentation, MetricKind};
-use bigmap_fuzzer::{Budget, Campaign, CampaignConfig};
+use bigmap_fuzzer::{Campaign, CampaignConfig};
 use bigmap_target::{BenchmarkSpec, Interpreter};
 
 fn bench_campaign(c: &mut Criterion) {
@@ -32,13 +32,12 @@ fn bench_campaign(c: &mut Criterion) {
                     b.iter(|| {
                         let interpreter = Interpreter::new(&program);
                         let mut campaign = Campaign::new(
-                            CampaignConfig {
-                                scheme,
-                                map_size: size,
-                                metric: MetricKind::Edge,
-                                budget: Budget::Execs(EXECS),
-                                ..Default::default()
-                            },
+                            CampaignConfig::builder()
+                                .scheme(scheme)
+                                .map_size(size)
+                                .metric(MetricKind::Edge)
+                                .budget_execs(EXECS)
+                                .build(),
                             &interpreter,
                             &instrumentation,
                         );

@@ -34,14 +34,13 @@ fn run(program: &Program, dictionary: Vec<Vec<u8>>, budget: Budget, seed: u64) -
         Instrumentation::assign(program.block_count(), program.call_sites, MapSize::M2, seed);
     let interpreter = Interpreter::new(program);
     let mut campaign = Campaign::new(
-        CampaignConfig {
-            scheme: MapScheme::TwoLevel,
-            map_size: MapSize::M2,
-            budget,
-            dictionary,
-            seed,
-            ..Default::default()
-        },
+        CampaignConfig::builder()
+            .scheme(MapScheme::TwoLevel)
+            .map_size(MapSize::M2)
+            .budget(budget)
+            .dictionary(dictionary)
+            .seed(seed)
+            .build(),
         &interpreter,
         &instrumentation,
     );

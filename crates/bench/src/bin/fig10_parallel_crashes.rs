@@ -56,13 +56,12 @@ fn main() {
                 .to_string(),
             ];
             for (i, &instances) in instance_counts.iter().enumerate() {
-                let config = CampaignConfig {
-                    scheme,
-                    map_size: MapSize::M2,
-                    budget: Budget::Time(effort.crash_arm_budget()),
-                    deterministic: true,
-                    ..Default::default()
-                };
+                let config = CampaignConfig::builder()
+                    .scheme(scheme)
+                    .map_size(MapSize::M2)
+                    .budget(Budget::Time(effort.crash_arm_budget()))
+                    .deterministic(true)
+                    .build();
                 let stats = run_parallel(
                     &prepared.program,
                     &prepared.instrumentation,

@@ -80,13 +80,12 @@ fn main() {
         for scheme in [MapScheme::TwoLevel, MapScheme::Flat] {
             let mut per_count = Vec::new();
             for &instances in instance_counts {
-                let config = CampaignConfig {
-                    scheme,
-                    map_size: MapSize::M2,
-                    budget: Budget::Time(effort.arm_budget()),
-                    deterministic: true, // master runs deterministic stages
-                    ..Default::default()
-                };
+                let config = CampaignConfig::builder()
+                    .scheme(scheme)
+                    .map_size(MapSize::M2)
+                    .budget(Budget::Time(effort.arm_budget()))
+                    .deterministic(true) // master runs deterministic stages
+                    .build();
                 let before = registry.as_ref().map(|r| r.fleet_totals());
                 let stats = match &checkpoint {
                     Some(args) => {

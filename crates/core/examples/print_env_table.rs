@@ -1,0 +1,13 @@
+//! Prints the generated environment-knob table
+//! (`bigmap_core::env::markdown_table()`).
+//!
+//! The README's "Environment knobs" table is pasted from this output, and
+//! a facade test asserts they stay in sync:
+//!
+//! ```bash
+//! cargo run -p bigmap-core --example print_env_table
+//! ```
+
+fn main() {
+    print!("{}", bigmap_core::env::markdown_table());
+}

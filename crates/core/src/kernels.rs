@@ -243,22 +243,18 @@ pub fn available() -> Vec<KernelKind> {
         .collect()
 }
 
-/// Resolves the selection policy for a given `BIGMAP_KERNEL` value
-/// (`None` = unset). Pure so tests can cover the policy without touching
-/// process environment.
-fn select(env_override: Option<&str>) -> &'static KernelTable {
-    if let Some(requested) = env_override {
-        match KernelKind::from_label(requested.trim()) {
-            Some(kind) => match table_for(kind) {
-                Some(table) => return table,
-                None => eprintln!(
-                    "BIGMAP_KERNEL={requested}: kernel not supported by this CPU, \
-                     falling back to auto-detection"
-                ),
-            },
+/// Resolves the selection policy for a requested kind (`None` = unset or
+/// unparseable): honour a CPU-supported request, warn and fall back to
+/// auto-detection otherwise. Pure so tests can cover the policy without
+/// touching process environment.
+fn select_kind(request: Option<KernelKind>) -> &'static KernelTable {
+    if let Some(kind) = request {
+        match table_for(kind) {
+            Some(table) => return table,
             None => eprintln!(
-                "BIGMAP_KERNEL={requested}: unknown kernel (expected scalar|sse2|avx2), \
-                 falling back to auto-detection"
+                "BIGMAP_KERNEL={}: kernel not supported by this CPU, \
+                 falling back to auto-detection",
+                kind.label()
             ),
         }
     }
@@ -267,14 +263,22 @@ fn select(env_override: Option<&str>) -> &'static KernelTable {
         .unwrap_or(&SCALAR_TABLE)
 }
 
+/// Resolves the selection policy for a given `BIGMAP_KERNEL` value
+/// (`None` = unset), parsing through the shared [`crate::env`] policy.
+#[cfg(test)]
+fn select(env_override: Option<&str>) -> &'static KernelTable {
+    select_kind(crate::env::parse_kernel(env_override))
+}
+
 /// The process-wide active kernel table.
 ///
-/// Resolved once, at first call, from `BIGMAP_KERNEL` and runtime feature
-/// detection; every later call is a single atomic load. Both map schemes
-/// route their classify/compare/fused operations through this table.
+/// Resolved once, at first call, from `BIGMAP_KERNEL` (via
+/// [`crate::env::kernel_request`]) and runtime feature detection; every
+/// later call is a single atomic load. Both map schemes route their
+/// classify/compare/fused operations through this table.
 pub fn active() -> &'static KernelTable {
     static ACTIVE: OnceLock<&'static KernelTable> = OnceLock::new();
-    ACTIVE.get_or_init(|| select(std::env::var("BIGMAP_KERNEL").ok().as_deref()))
+    ACTIVE.get_or_init(|| select_kind(crate::env::kernel_request()))
 }
 
 #[cfg(target_arch = "x86_64")]

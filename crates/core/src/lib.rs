@@ -33,7 +33,11 @@
 //! * [`timing`] — per-operation runtime accounting used to regenerate the
 //!   paper's Figure 3,
 //! * [`counters`] — lock-free event counters and wall-time accumulators,
-//!   the substrate of the fuzzer's live telemetry layer.
+//!   the substrate of the fuzzer's live telemetry layer,
+//! * [`env`] — the documented registry of every `BIGMAP_*` environment
+//!   knob with typed parse-and-validate accessors,
+//! * [`wire`] — the versioned, checksummed binary framing the process
+//!   fleet uses to move corpus sync batches across process boundaries.
 //!
 //! ## Example
 //!
@@ -67,6 +71,7 @@ pub mod alloc;
 pub mod classify;
 pub mod counters;
 pub mod diff;
+pub mod env;
 pub mod flat;
 pub mod hash;
 pub mod journal;
@@ -78,8 +83,10 @@ pub mod timing;
 pub mod traits;
 pub mod two_level;
 pub mod virgin;
+pub mod wire;
 
 pub use counters::{EventCounter, StageNanos};
+pub use env::Knob;
 pub use flat::FlatBitmap;
 pub use hash::Crc32;
 pub use journal::{SlotRun, TouchJournal};
@@ -90,6 +97,7 @@ pub use timing::{OpKind, OpStats};
 pub use traits::{CoverageMap, MapScheme, NewCoverage};
 pub use two_level::BigMap;
 pub use virgin::VirginState;
+pub use wire::{SyncBatch, WireError};
 
 /// Builds a boxed coverage map of the given scheme and size.
 ///

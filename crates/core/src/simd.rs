@@ -27,23 +27,12 @@ use std::sync::OnceLock;
 pub const NT_THRESHOLD_DEFAULT: usize = 256 * 1024;
 
 /// The streaming-store cutoff in bytes, resolved once per process:
-/// `BIGMAP_NT_THRESHOLD` (bytes, decimal) if set and parseable, else
+/// `BIGMAP_NT_THRESHOLD` (bytes, decimal, via
+/// [`crate::env::nt_threshold_request`]) if set and parseable, else
 /// [`NT_THRESHOLD_DEFAULT`].
 pub fn nt_threshold() -> usize {
     static THRESHOLD: OnceLock<usize> = OnceLock::new();
-    *THRESHOLD.get_or_init(|| match std::env::var("BIGMAP_NT_THRESHOLD") {
-        Ok(raw) => match raw.trim().parse() {
-            Ok(bytes) => bytes,
-            Err(_) => {
-                eprintln!(
-                    "BIGMAP_NT_THRESHOLD={raw}: not a byte count, \
-                         using default {NT_THRESHOLD_DEFAULT}"
-                );
-                NT_THRESHOLD_DEFAULT
-            }
-        },
-        Err(_) => NT_THRESHOLD_DEFAULT,
-    })
+    *THRESHOLD.get_or_init(|| crate::env::nt_threshold_request().unwrap_or(NT_THRESHOLD_DEFAULT))
 }
 
 /// Zeroes `buf`, choosing the reset strategy by size: a plain cached

@@ -154,10 +154,10 @@ pub fn select_mode(env_override: Option<&str>) -> SparseMode {
 }
 
 /// The process-wide default dispatch mode, resolved once from
-/// `BIGMAP_SPARSE` on first use.
+/// `BIGMAP_SPARSE` (via [`crate::env::sparse_request`]) on first use.
 pub fn sparse_mode() -> SparseMode {
     static MODE: OnceLock<SparseMode> = OnceLock::new();
-    *MODE.get_or_init(|| select_mode(std::env::var("BIGMAP_SPARSE").ok().as_deref()))
+    *MODE.get_or_init(crate::env::sparse_request)
 }
 
 /// Per-path dispatch counters (indexed by `OpPath::slot`), mirroring the

@@ -1,0 +1,514 @@
+//! Versioned binary wire format for crossing process boundaries.
+//!
+//! The in-memory sync hub hands `Arc<[u8]>` payloads between threads for
+//! free; a process-level fleet has to serialize them. This module defines
+//! the compact framing the fabric speaks and the batch codec for corpus
+//! sync entries. Everything here is **fuzz-resistant by construction**:
+//! decoding arbitrary bytes returns a typed [`WireError`], never panics,
+//! and never allocates more than the declared (and capped) sizes.
+//!
+//! # Framing
+//!
+//! ```text
+//! +------+---------+------+----------------------+-------------+----------+
+//! | 0xB6 | version | kind | payload_len (varint) |   payload   | crc32 LE |
+//! +------+---------+------+----------------------+-------------+----------+
+//!   1 B      1 B     1 B        1–5 B              payload_len      4 B
+//! ```
+//!
+//! * `0xB6` is the frame magic ("B6" ≈ BigMap). A stream that does not
+//!   start with it is rejected immediately ([`WireError::BadMagic`]).
+//! * `version` is [`WIRE_VERSION`]. Readers reject newer versions
+//!   ([`WireError::BadVersion`]) rather than guessing at semantics;
+//!   bumping the version is the upgrade path for incompatible layouts.
+//! * `kind` tags the payload so one duplex pipe can carry the whole
+//!   fabric protocol. Kinds are defined by the transport layer; the
+//!   framing does not interpret them.
+//! * `payload_len` is an unsigned LEB128 varint, capped at
+//!   [`MAX_FRAME_PAYLOAD`] so a corrupt length byte cannot OOM the reader.
+//! * `crc32` (little-endian, zlib polynomial — the crate's [`Crc32`])
+//!   covers `kind` and `payload`, catching corruption the length field
+//!   lets through.
+//!
+//! # Sync batches
+//!
+//! [`encode_sync_batch`] / [`decode_sync_batch`] serialize a cursor plus
+//! a list of `(publisher, input)` corpus entries:
+//!
+//! ```text
+//! varint cursor | varint count | count × (varint publisher | varint len | bytes)
+//! ```
+//!
+//! Cursors are `u64` on the wire regardless of the host's pointer width,
+//! so a 32-bit worker and a 64-bit parent agree on corpus positions.
+//!
+//! # Examples
+//!
+//! ```rust
+//! use bigmap_core::wire;
+//!
+//! let payload = wire::encode_sync_batch(7, &[(0, b"seed"), (2, b"find")]);
+//! let frame = wire::encode_frame(3, &payload);
+//! let (kind, decoded, used) = wire::decode_frame(&frame).unwrap();
+//! assert_eq!((kind, used), (3, frame.len()));
+//! let batch = wire::decode_sync_batch(&decoded).unwrap();
+//! assert_eq!(batch.cursor, 7);
+//! assert_eq!(batch.entries[1], (2, b"find".to_vec()));
+//!
+//! // Corruption is detected, never trusted.
+//! let mut bad = frame.clone();
+//! *bad.last_mut().unwrap() ^= 0xFF;
+//! assert_eq!(wire::decode_frame(&bad), Err(wire::WireError::BadChecksum));
+//! ```
+
+use std::io::{self, Read, Write};
+
+use crate::hash::Crc32;
+
+/// Current wire format version. Readers reject frames with any other
+/// version; incompatible layout changes must bump this.
+pub const WIRE_VERSION: u8 = 1;
+
+/// First byte of every frame.
+pub const FRAME_MAGIC: u8 = 0xB6;
+
+/// Upper bound on a frame payload (32 MiB). A declared length above this
+/// is rejected before any allocation, so corrupt or hostile length fields
+/// cannot exhaust memory.
+pub const MAX_FRAME_PAYLOAD: usize = 32 << 20;
+
+/// Decode failure. Every variant is a rejection — decoding never panics
+/// on malformed input and never partially applies a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer or stream ended cleanly before a frame started.
+    Eof,
+    /// The first byte was not [`FRAME_MAGIC`].
+    BadMagic(u8),
+    /// The frame declared a version this reader does not speak.
+    BadVersion(u8),
+    /// The checksum did not match the received `kind` + payload.
+    BadChecksum,
+    /// The declared payload length exceeds [`MAX_FRAME_PAYLOAD`].
+    Oversize(u64),
+    /// A varint ran past 10 bytes (more than 64 bits of payload).
+    VarintOverflow,
+    /// The frame or batch ended mid-field.
+    Truncated,
+    /// A batch payload decoded cleanly but left unconsumed bytes behind.
+    TrailingBytes,
+    /// The underlying stream failed with this I/O error kind.
+    Io(io::ErrorKind),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Eof => write!(f, "end of stream before a frame"),
+            WireError::BadMagic(byte) => {
+                write!(
+                    f,
+                    "bad frame magic {byte:#04x} (expected {FRAME_MAGIC:#04x})"
+                )
+            }
+            WireError::BadVersion(v) => {
+                write!(
+                    f,
+                    "unsupported wire version {v} (this reader speaks {WIRE_VERSION})"
+                )
+            }
+            WireError::BadChecksum => write!(f, "frame checksum mismatch"),
+            WireError::Oversize(len) => write!(
+                f,
+                "declared payload of {len} bytes exceeds the {MAX_FRAME_PAYLOAD}-byte cap"
+            ),
+            WireError::VarintOverflow => write!(f, "varint longer than 64 bits"),
+            WireError::Truncated => write!(f, "frame truncated mid-field"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after a complete batch"),
+            WireError::Io(kind) => write!(f, "stream error: {kind}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(err: io::Error) -> WireError {
+        if err.kind() == io::ErrorKind::UnexpectedEof {
+            WireError::Truncated
+        } else {
+            WireError::Io(err.kind())
+        }
+    }
+}
+
+/// Appends `value` to `out` as an unsigned LEB128 varint (1–10 bytes).
+pub fn put_varint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads an unsigned LEB128 varint from the front of `buf`, returning the
+/// value and the bytes consumed.
+pub fn get_varint(buf: &[u8]) -> Result<(u64, usize), WireError> {
+    let mut value = 0u64;
+    for (i, &byte) in buf.iter().enumerate().take(10) {
+        let chunk = u64::from(byte & 0x7F);
+        // The 10th byte may only carry the top bit of a u64.
+        if i == 9 && byte > 0x01 {
+            return Err(WireError::VarintOverflow);
+        }
+        value |= chunk << (7 * i);
+        if byte & 0x80 == 0 {
+            return Ok((value, i + 1));
+        }
+    }
+    if buf.len() >= 10 {
+        Err(WireError::VarintOverflow)
+    } else {
+        Err(WireError::Truncated)
+    }
+}
+
+/// Encodes one frame: magic, version, `kind`, varint length, payload,
+/// CRC32 over `kind` + payload.
+///
+/// # Panics
+///
+/// Panics if `payload` exceeds [`MAX_FRAME_PAYLOAD`] — encoding an
+/// oversize frame is a caller bug (decoders would reject it anyway).
+pub fn encode_frame(kind: u8, payload: &[u8]) -> Vec<u8> {
+    assert!(
+        payload.len() <= MAX_FRAME_PAYLOAD,
+        "frame payload of {} bytes exceeds the {MAX_FRAME_PAYLOAD}-byte cap",
+        payload.len()
+    );
+    let mut out = Vec::with_capacity(payload.len() + 16);
+    out.push(FRAME_MAGIC);
+    out.push(WIRE_VERSION);
+    out.push(kind);
+    put_varint(&mut out, payload.len() as u64);
+    out.extend_from_slice(payload);
+    let mut crc = Crc32::new();
+    crc.update(&[kind]);
+    crc.update(payload);
+    out.extend_from_slice(&crc.finalize().to_le_bytes());
+    out
+}
+
+/// Decodes one frame from the front of `buf`, returning `(kind, payload,
+/// bytes_consumed)`. Bytes after the frame are left for the caller —
+/// streams concatenate frames back to back.
+pub fn decode_frame(buf: &[u8]) -> Result<(u8, Vec<u8>, usize), WireError> {
+    if buf.is_empty() {
+        return Err(WireError::Eof);
+    }
+    if buf[0] != FRAME_MAGIC {
+        return Err(WireError::BadMagic(buf[0]));
+    }
+    if buf.len() < 3 {
+        return Err(WireError::Truncated);
+    }
+    if buf[1] != WIRE_VERSION {
+        return Err(WireError::BadVersion(buf[1]));
+    }
+    let kind = buf[2];
+    let (declared, len_bytes) = get_varint(&buf[3..])?;
+    if declared > MAX_FRAME_PAYLOAD as u64 {
+        return Err(WireError::Oversize(declared));
+    }
+    let payload_at = 3 + len_bytes;
+    let crc_at = payload_at + declared as usize;
+    if buf.len() < crc_at + 4 {
+        return Err(WireError::Truncated);
+    }
+    let payload = &buf[payload_at..crc_at];
+    let mut crc = Crc32::new();
+    crc.update(&[kind]);
+    crc.update(payload);
+    let received = u32::from_le_bytes(buf[crc_at..crc_at + 4].try_into().unwrap());
+    if crc.finalize() != received {
+        return Err(WireError::BadChecksum);
+    }
+    Ok((kind, payload.to_vec(), crc_at + 4))
+}
+
+/// Writes one frame to a stream. Blocking writes on a full pipe are the
+/// fabric's backpressure mechanism — this function does not buffer.
+pub fn write_frame(writer: &mut impl Write, kind: u8, payload: &[u8]) -> io::Result<()> {
+    writer.write_all(&encode_frame(kind, payload))?;
+    writer.flush()
+}
+
+/// Reads one frame from a stream, returning `(kind, payload)`.
+///
+/// A clean EOF *before* the magic byte returns [`WireError::Eof`] (the
+/// peer closed between frames); EOF anywhere later is
+/// [`WireError::Truncated`]. Validation mirrors [`decode_frame`].
+pub fn read_frame(reader: &mut impl Read) -> Result<(u8, Vec<u8>), WireError> {
+    let mut header = [0u8; 3];
+    match reader.read(&mut header[..1]) {
+        Ok(0) => return Err(WireError::Eof),
+        Ok(_) => {}
+        Err(err) => return Err(err.into()),
+    }
+    if header[0] != FRAME_MAGIC {
+        return Err(WireError::BadMagic(header[0]));
+    }
+    reader.read_exact(&mut header[1..])?;
+    if header[1] != WIRE_VERSION {
+        return Err(WireError::BadVersion(header[1]));
+    }
+    let kind = header[2];
+
+    // Varint length, one byte at a time off the stream.
+    let mut len_bytes = Vec::with_capacity(5);
+    let declared = loop {
+        let mut byte = [0u8; 1];
+        reader.read_exact(&mut byte)?;
+        len_bytes.push(byte[0]);
+        if byte[0] & 0x80 == 0 {
+            break get_varint(&len_bytes)?.0;
+        }
+        if len_bytes.len() == 10 {
+            return Err(WireError::VarintOverflow);
+        }
+    };
+    if declared > MAX_FRAME_PAYLOAD as u64 {
+        return Err(WireError::Oversize(declared));
+    }
+
+    let mut payload = vec![0u8; declared as usize];
+    reader.read_exact(&mut payload)?;
+    let mut crc_buf = [0u8; 4];
+    reader.read_exact(&mut crc_buf)?;
+    let mut crc = Crc32::new();
+    crc.update(&[kind]);
+    crc.update(&payload);
+    if crc.finalize() != u32::from_le_bytes(crc_buf) {
+        return Err(WireError::BadChecksum);
+    }
+    Ok((kind, payload))
+}
+
+/// A decoded corpus sync batch: the hub cursor the batch brings the
+/// reader up to, plus `(publisher, input)` entries in publish order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyncBatch {
+    /// Hub cursor after applying this batch.
+    pub cursor: u64,
+    /// Corpus entries as `(publisher id, input bytes)`.
+    pub entries: Vec<(u64, Vec<u8>)>,
+}
+
+/// Serializes a sync batch payload (framing is separate — see
+/// [`encode_frame`]).
+pub fn encode_sync_batch(cursor: u64, entries: &[(u64, &[u8])]) -> Vec<u8> {
+    let body: usize = entries.iter().map(|(_, input)| input.len() + 12).sum();
+    let mut out = Vec::with_capacity(body + 12);
+    put_varint(&mut out, cursor);
+    put_varint(&mut out, entries.len() as u64);
+    for (publisher, input) in entries {
+        put_varint(&mut out, *publisher);
+        put_varint(&mut out, input.len() as u64);
+        out.extend_from_slice(input);
+    }
+    out
+}
+
+/// Deserializes a sync batch payload. The payload must be exactly one
+/// batch: unconsumed bytes are [`WireError::TrailingBytes`], counts and
+/// lengths that overrun the buffer are [`WireError::Truncated`] — checked
+/// against the real buffer size before allocating, so a hostile count
+/// cannot reserve unbounded memory.
+pub fn decode_sync_batch(payload: &[u8]) -> Result<SyncBatch, WireError> {
+    let (cursor, mut at) = get_varint(payload)?;
+    let (count, used) = get_varint(&payload[at..])?;
+    at += used;
+    // Each entry costs at least 2 bytes (publisher varint + length varint),
+    // so a count beyond the remaining bytes / 2 is corrupt regardless of
+    // content — reject before reserving.
+    if count > ((payload.len() - at) / 2 + 1) as u64 {
+        return Err(WireError::Truncated);
+    }
+    let mut entries = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let (publisher, used) = get_varint(&payload[at..])?;
+        at += used;
+        let (len, used) = get_varint(&payload[at..])?;
+        at += used;
+        let end = at
+            .checked_add(len as usize)
+            .filter(|&end| end <= payload.len())
+            .ok_or(WireError::Truncated)?;
+        entries.push((publisher, payload[at..end].to_vec()));
+        at = end;
+    }
+    if at != payload.len() {
+        return Err(WireError::TrailingBytes);
+    }
+    Ok(SyncBatch { cursor, entries })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trips_boundaries() {
+        for value in [0, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, value);
+            assert_eq!(get_varint(&buf), Ok((value, buf.len())), "value {value}");
+        }
+    }
+
+    #[test]
+    fn varint_rejects_overflow_and_truncation() {
+        // 10 continuation bytes: more than 64 bits.
+        assert_eq!(get_varint(&[0x80; 10]), Err(WireError::VarintOverflow));
+        // 10th byte carries more than the top bit of a u64.
+        let mut buf = vec![0x80; 9];
+        buf.push(0x02);
+        assert_eq!(get_varint(&buf), Err(WireError::VarintOverflow));
+        // Continuation bit set but stream ends.
+        assert_eq!(get_varint(&[0x80]), Err(WireError::Truncated));
+        assert_eq!(get_varint(&[]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn frame_round_trips_through_buffer_and_stream() {
+        let frame = encode_frame(5, b"hello fabric");
+        let (kind, payload, used) = decode_frame(&frame).unwrap();
+        assert_eq!(
+            (kind, payload.as_slice(), used),
+            (5, &b"hello fabric"[..], frame.len())
+        );
+
+        let mut stream = io::Cursor::new(&frame);
+        assert_eq!(
+            read_frame(&mut stream).unwrap(),
+            (5, b"hello fabric".to_vec())
+        );
+        assert_eq!(read_frame(&mut stream), Err(WireError::Eof));
+    }
+
+    #[test]
+    fn concatenated_frames_decode_in_order() {
+        let mut stream = encode_frame(1, b"a");
+        stream.extend(encode_frame(2, b"bb"));
+        let (k1, p1, used) = decode_frame(&stream).unwrap();
+        let (k2, p2, _) = decode_frame(&stream[used..]).unwrap();
+        assert_eq!((k1, p1), (1, b"a".to_vec()));
+        assert_eq!((k2, p2), (2, b"bb".to_vec()));
+    }
+
+    #[test]
+    fn frame_rejects_each_corruption_class() {
+        let good = encode_frame(3, b"payload");
+        assert_eq!(decode_frame(&[]), Err(WireError::Eof));
+        assert_eq!(decode_frame(&[0x00]), Err(WireError::BadMagic(0x00)));
+
+        let mut wrong_version = good.clone();
+        wrong_version[1] = WIRE_VERSION + 1;
+        assert_eq!(
+            decode_frame(&wrong_version),
+            Err(WireError::BadVersion(WIRE_VERSION + 1))
+        );
+
+        let mut bit_flip = good.clone();
+        bit_flip[4] ^= 0x01; // payload byte
+        assert_eq!(decode_frame(&bit_flip), Err(WireError::BadChecksum));
+
+        let mut kind_flip = good.clone();
+        kind_flip[2] ^= 0x01; // kind is covered by the checksum too
+        assert_eq!(decode_frame(&kind_flip), Err(WireError::BadChecksum));
+
+        for cut in 1..good.len() {
+            let err = decode_frame(&good[..cut]).unwrap_err();
+            assert!(
+                matches!(err, WireError::Truncated | WireError::BadChecksum),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversize_length_rejected_before_allocation() {
+        // Hand-build a header declaring a 1 TiB payload.
+        let mut frame = vec![FRAME_MAGIC, WIRE_VERSION, 0];
+        put_varint(&mut frame, 1 << 40);
+        assert_eq!(decode_frame(&frame), Err(WireError::Oversize(1 << 40)));
+        let mut stream = io::Cursor::new(&frame);
+        assert_eq!(read_frame(&mut stream), Err(WireError::Oversize(1 << 40)));
+    }
+
+    #[test]
+    fn sync_batch_round_trips() {
+        let entries: Vec<(u64, &[u8])> = vec![(0, b"alpha"), (3, b""), (u64::MAX, b"\x00\xFF\x80")];
+        let payload = encode_sync_batch(42, &entries);
+        let batch = decode_sync_batch(&payload).unwrap();
+        assert_eq!(batch.cursor, 42);
+        assert_eq!(
+            batch.entries,
+            entries
+                .iter()
+                .map(|(p, i)| (*p, i.to_vec()))
+                .collect::<Vec<_>>()
+        );
+
+        let empty = decode_sync_batch(&encode_sync_batch(0, &[])).unwrap();
+        assert_eq!(
+            empty,
+            SyncBatch {
+                cursor: 0,
+                entries: vec![]
+            }
+        );
+    }
+
+    #[test]
+    fn sync_batch_rejects_corrupt_counts_and_trailing_bytes() {
+        let mut payload = encode_sync_batch(1, &[(2, b"xy")]);
+        payload.push(0x00);
+        assert_eq!(decode_sync_batch(&payload), Err(WireError::TrailingBytes));
+
+        // A count far beyond the buffer cannot trigger a huge reserve.
+        let mut hostile = Vec::new();
+        put_varint(&mut hostile, 0); // cursor
+        put_varint(&mut hostile, u64::MAX); // count
+        assert_eq!(decode_sync_batch(&hostile), Err(WireError::Truncated));
+
+        // Entry length overruns the buffer.
+        let mut overrun = Vec::new();
+        put_varint(&mut overrun, 0); // cursor
+        put_varint(&mut overrun, 1); // count
+        put_varint(&mut overrun, 0); // publisher
+        put_varint(&mut overrun, 100); // len, but no bytes follow
+        assert_eq!(decode_sync_batch(&overrun), Err(WireError::Truncated));
+
+        // Entry length that would wrap usize.
+        let mut wrap = Vec::new();
+        put_varint(&mut wrap, 0);
+        put_varint(&mut wrap, 1);
+        put_varint(&mut wrap, 0);
+        put_varint(&mut wrap, u64::MAX);
+        assert_eq!(decode_sync_batch(&wrap), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(WireError::BadMagic(0x7F).to_string().contains("0x7f"));
+        assert!(WireError::BadVersion(9).to_string().contains('9'));
+        assert!(WireError::Io(io::ErrorKind::BrokenPipe)
+            .to_string()
+            .contains("broken pipe"));
+    }
+}

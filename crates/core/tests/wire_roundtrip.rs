@@ -1,0 +1,169 @@
+//! Property tests for the fabric wire format.
+//!
+//! The fabric feeds `decode_frame` / `decode_sync_batch` bytes that
+//! crossed a process boundary, so the decoders must (a) reproduce every
+//! encodable value bit-identically and (b) reject — never panic on, never
+//! misread — arbitrary, truncated, or bit-flipped input.
+
+use proptest::prelude::*;
+
+use bigmap_core::wire::{
+    decode_frame, decode_sync_batch, encode_frame, encode_sync_batch, get_varint, put_varint,
+    read_frame, SyncBatch, WireError, FRAME_MAGIC,
+};
+
+fn arb_entries() -> impl Strategy<Value = Vec<(u64, Vec<u8>)>> {
+    prop::collection::vec(
+        (any::<u64>(), prop::collection::vec(any::<u8>(), 0..256)),
+        0..24,
+    )
+}
+
+proptest! {
+    #[test]
+    fn varint_round_trips(value in any::<u64>()) {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, value);
+        prop_assert_eq!(get_varint(&buf), Ok((value, buf.len())));
+    }
+
+    #[test]
+    fn varint_never_panics_on_arbitrary_bytes(buf in prop::collection::vec(any::<u8>(), 0..16)) {
+        let _ = get_varint(&buf);
+    }
+
+    /// Arbitrary batches encode → frame → decode bit-identically.
+    #[test]
+    fn batch_round_trips_bit_identically(
+        cursor in any::<u64>(),
+        entries in arb_entries(),
+        kind in any::<u8>(),
+    ) {
+        let borrowed: Vec<(u64, &[u8])> =
+            entries.iter().map(|(p, i)| (*p, i.as_slice())).collect();
+        let payload = encode_sync_batch(cursor, &borrowed);
+        let frame = encode_frame(kind, &payload);
+
+        let (got_kind, got_payload, used) = decode_frame(&frame).unwrap();
+        prop_assert_eq!(got_kind, kind);
+        prop_assert_eq!(used, frame.len());
+        prop_assert_eq!(&got_payload, &payload);
+
+        let batch = decode_sync_batch(&got_payload).unwrap();
+        prop_assert_eq!(batch, SyncBatch { cursor, entries });
+    }
+
+    /// The stream reader agrees with the buffer decoder, frame after frame.
+    #[test]
+    fn stream_reader_matches_buffer_decoder(
+        frames in prop::collection::vec(
+            (any::<u8>(), prop::collection::vec(any::<u8>(), 0..128)),
+            1..8,
+        ),
+    ) {
+        let mut stream = Vec::new();
+        for (kind, payload) in &frames {
+            stream.extend(encode_frame(*kind, payload));
+        }
+        let mut reader = std::io::Cursor::new(&stream);
+        for (kind, payload) in &frames {
+            prop_assert_eq!(read_frame(&mut reader), Ok((*kind, payload.clone())));
+        }
+        prop_assert_eq!(read_frame(&mut reader), Err(WireError::Eof));
+    }
+
+    /// Every strict prefix of a valid frame is rejected, never decoded.
+    #[test]
+    fn truncated_frames_are_rejected(
+        kind in any::<u8>(),
+        payload in prop::collection::vec(any::<u8>(), 0..128),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let frame = encode_frame(kind, &payload);
+        let cut = ((frame.len() as f64) * cut_fraction) as usize;
+        prop_assume!(cut < frame.len());
+        let err = match decode_frame(&frame[..cut]) {
+            Ok(_) => panic!("decoded a truncated frame (cut at {cut})"),
+            Err(err) => err,
+        };
+        prop_assert!(matches!(
+            err,
+            WireError::Eof | WireError::Truncated | WireError::BadChecksum
+        ));
+        let mut reader = std::io::Cursor::new(&frame[..cut]);
+        prop_assert!(read_frame(&mut reader).is_err());
+    }
+
+    /// A single flipped bit anywhere in the frame is detected (by the
+    /// checksum, or earlier by magic/version/length validation). The only
+    /// byte allowed to decode "successfully" is none — every flip must
+    /// error or change nothing, and flips never change decoded content
+    /// silently.
+    #[test]
+    fn bit_flips_never_pass_silently(
+        kind in any::<u8>(),
+        payload in prop::collection::vec(any::<u8>(), 0..96),
+        flip_byte_fraction in 0.0f64..1.0,
+        flip_bit in 0u8..8,
+    ) {
+        let frame = encode_frame(kind, &payload);
+        let at = ((frame.len() as f64) * flip_byte_fraction) as usize % frame.len();
+        let mut corrupt = frame.clone();
+        corrupt[at] ^= 1 << flip_bit;
+        match decode_frame(&corrupt) {
+            // CRC32 detects every 1-bit error over frames this small.
+            Ok(_) => panic!("1-bit flip at byte {at} bit {flip_bit} decoded successfully"),
+            Err(
+                WireError::BadMagic(_)
+                | WireError::BadVersion(_)
+                | WireError::BadChecksum
+                | WireError::Oversize(_)
+                | WireError::VarintOverflow
+                | WireError::Truncated,
+            ) => {}
+            Err(other) => panic!("unexpected error class {other:?}"),
+        }
+    }
+
+    /// Arbitrary garbage never panics either decoder and never yields a
+    /// frame unless it genuinely starts with a valid one.
+    #[test]
+    fn arbitrary_bytes_never_panic(buf in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode_frame(&buf);
+        let mut reader = std::io::Cursor::new(&buf);
+        let _ = read_frame(&mut reader);
+        let _ = decode_sync_batch(&buf);
+    }
+
+    /// Garbage that happens to start with the magic byte still cannot
+    /// produce an oversize allocation or a bogus success.
+    #[test]
+    fn magic_prefixed_garbage_is_safe(tail in prop::collection::vec(any::<u8>(), 0..64)) {
+        let mut buf = vec![FRAME_MAGIC];
+        buf.extend(&tail);
+        if let Ok((_, payload, used)) = decode_frame(&buf) {
+            // If it decodes, the declared structure really was present.
+            prop_assert!(used <= buf.len());
+            prop_assert!(payload.len() <= buf.len());
+        }
+    }
+
+    /// Batch payloads with trailing junk are rejected — a frame carries
+    /// exactly one batch.
+    #[test]
+    fn batch_trailing_bytes_rejected(
+        cursor in any::<u64>(),
+        entries in arb_entries(),
+        junk in prop::collection::vec(any::<u8>(), 1..16),
+    ) {
+        let borrowed: Vec<(u64, &[u8])> =
+            entries.iter().map(|(p, i)| (*p, i.as_slice())).collect();
+        let mut payload = encode_sync_batch(cursor, &borrowed);
+        payload.extend(&junk);
+        let err = decode_sync_batch(&payload).unwrap_err();
+        prop_assert!(
+            matches!(err, WireError::TrailingBytes | WireError::Truncated | WireError::VarintOverflow),
+            "got {err:?}"
+        );
+    }
+}

@@ -141,6 +141,151 @@ impl Default for CampaignConfig {
     }
 }
 
+impl CampaignConfig {
+    /// Starts a [`CampaignConfigBuilder`] from the default configuration.
+    ///
+    /// The struct stays publicly constructible (existing struct-literal
+    /// call sites keep compiling), but the builder is the preferred
+    /// surface: setters are typed, chainable and `#[must_use]`, so a
+    /// dropped half-built config is a compile warning instead of a silent
+    /// no-op.
+    ///
+    /// ```rust
+    /// use bigmap_core::{MapScheme, MapSize};
+    /// use bigmap_fuzzer::CampaignConfig;
+    ///
+    /// let config = CampaignConfig::builder()
+    ///     .scheme(MapScheme::TwoLevel)
+    ///     .map_size(MapSize::M2)
+    ///     .budget_execs(5_000)
+    ///     .seed(42)
+    ///     .build();
+    /// assert_eq!(config.map_size, MapSize::M2);
+    /// ```
+    pub fn builder() -> CampaignConfigBuilder {
+        CampaignConfigBuilder::default()
+    }
+}
+
+/// Chainable builder for [`CampaignConfig`]; see
+/// [`CampaignConfig::builder`]. Every setter consumes and returns the
+/// builder, and unset fields keep their [`CampaignConfig::default`]
+/// values.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignConfigBuilder {
+    config: CampaignConfig,
+}
+
+impl CampaignConfigBuilder {
+    /// Map data structure (AFL flat vs BigMap two-level).
+    #[must_use]
+    pub fn scheme(mut self, scheme: MapScheme) -> Self {
+        self.config.scheme = scheme;
+        self
+    }
+
+    /// Coverage map size.
+    #[must_use]
+    pub fn map_size(mut self, map_size: MapSize) -> Self {
+        self.config.map_size = map_size;
+        self
+    }
+
+    /// Coverage metric.
+    #[must_use]
+    pub fn metric(mut self, metric: MetricKind) -> Self {
+        self.config.metric = metric;
+        self
+    }
+
+    /// Stop condition.
+    #[must_use]
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.config.budget = budget;
+        self
+    }
+
+    /// Stop after this many executions ([`Budget::Execs`] shorthand).
+    #[must_use]
+    pub fn budget_execs(self, execs: u64) -> Self {
+        self.budget(Budget::Execs(execs))
+    }
+
+    /// Stop after this much wall-clock time ([`Budget::Time`] shorthand).
+    #[must_use]
+    pub fn budget_time(self, time: Duration) -> Self {
+        self.budget(Budget::Time(time))
+    }
+
+    /// Mutations tried per scheduled seed before moving on.
+    #[must_use]
+    pub fn mutations_per_seed(mut self, mutations: usize) -> Self {
+        self.config.mutations_per_seed = mutations;
+        self
+    }
+
+    /// Run AFL's deterministic stages on each new seed first.
+    #[must_use]
+    pub fn deterministic(mut self, deterministic: bool) -> Self {
+        self.config.deterministic = deterministic;
+        self
+    }
+
+    /// Merge the classify and compare passes (§IV-E).
+    #[must_use]
+    pub fn merged_classify_compare(mut self, merged: bool) -> Self {
+        self.config.merged_classify_compare = merged;
+        self
+    }
+
+    /// Token dictionary for the havoc stage (AFL's `-x`).
+    #[must_use]
+    pub fn dictionary(mut self, dictionary: Vec<Vec<u8>>) -> Self {
+        self.config.dictionary = dictionary;
+        self
+    }
+
+    /// Trim each newly admitted queue entry (AFL's trim stage).
+    #[must_use]
+    pub fn trim_new_entries(mut self, trim: bool) -> Self {
+        self.config.trim_new_entries = trim;
+        self
+    }
+
+    /// Campaign RNG seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Interpreter limits / work scaling.
+    #[must_use]
+    pub fn exec(mut self, exec: ExecConfig) -> Self {
+        self.config.exec = exec;
+        self
+    }
+
+    /// AFL-style hang-budget calibration policy.
+    #[must_use]
+    pub fn hang_budget(mut self, policy: HangBudget) -> Self {
+        self.config.hang_budget = Some(policy);
+        self
+    }
+
+    /// Per-campaign override of the sparse/dense map-op dispatch policy.
+    #[must_use]
+    pub fn sparse(mut self, mode: SparseMode) -> Self {
+        self.config.sparse = Some(mode);
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> CampaignConfig {
+        self.config
+    }
+}
+
 /// Results of a campaign.
 ///
 /// `Default` is the all-zero record — what [`crate::ParallelStats`]

@@ -26,7 +26,7 @@
 //! ```rust
 //! use bigmap_core::MapSize;
 //! use bigmap_coverage::Instrumentation;
-//! use bigmap_fuzzer::{Budget, Campaign, CampaignConfig, CheckpointManager};
+//! use bigmap_fuzzer::{Campaign, CampaignConfig, CheckpointManager};
 //! use bigmap_target::{GeneratorConfig, Interpreter};
 //!
 //! # fn main() -> std::io::Result<()> {
@@ -36,7 +36,7 @@
 //! let interp = Interpreter::new(&program);
 //! let dir = std::env::temp_dir().join(format!("bigmap-ckpt-doc-{}", std::process::id()));
 //!
-//! let config = CampaignConfig { budget: Budget::Execs(2_000), ..Default::default() };
+//! let config = CampaignConfig::builder().budget_execs(2_000).build();
 //! let mut campaign = Campaign::new(config.clone(), &interp, &inst);
 //! campaign.add_seeds(vec![vec![0u8; 32]]);
 //! let mut manager = CheckpointManager::new(&dir, 500);

@@ -12,6 +12,13 @@
 //! per-stage wall-time attribution, snapshotted at sync boundaries into a
 //! JSONL sink.
 //!
+//! Corpus exchange is abstracted behind the [`sync::CorpusSync`] trait:
+//! the in-process [`SyncHub`], the lock-striped [`ShardedHub`], and — via
+//! the [`fabric`] module — a process-boundary transport speaking the
+//! `bigmap_core::wire` binary protocol, with supervised child-process
+//! workers and fleet-hierarchical telemetry aggregation
+//! ([`telemetry::FleetAggregator`]).
+//!
 //! The campaign is parametric over the three axes of the paper's
 //! evaluation: map scheme (AFL flat vs BigMap two-level), map size, and
 //! coverage metric.
@@ -21,7 +28,7 @@
 //! ```rust
 //! use bigmap_core::{MapScheme, MapSize};
 //! use bigmap_coverage::Instrumentation;
-//! use bigmap_fuzzer::{Budget, Campaign, CampaignConfig};
+//! use bigmap_fuzzer::{Campaign, CampaignConfig};
 //! use bigmap_target::{GeneratorConfig, Interpreter};
 //!
 //! let program = GeneratorConfig::default().generate();
@@ -29,16 +36,12 @@
 //!     Instrumentation::assign(program.block_count(), program.call_sites, MapSize::M2, 1);
 //! let interpreter = Interpreter::new(&program);
 //!
-//! let mut campaign = Campaign::new(
-//!     CampaignConfig {
-//!         scheme: MapScheme::TwoLevel,
-//!         map_size: MapSize::M2,
-//!         budget: Budget::Execs(2_000),
-//!         ..Default::default()
-//!     },
-//!     &interpreter,
-//!     &instrumentation,
-//! );
+//! let config = CampaignConfig::builder()
+//!     .scheme(MapScheme::TwoLevel)
+//!     .map_size(MapSize::M2)
+//!     .budget_execs(2_000)
+//!     .build();
+//! let mut campaign = Campaign::new(config, &interpreter, &instrumentation);
 //! campaign.add_seeds(vec![vec![0u8; 32]]);
 //! let stats = campaign.run();
 //! assert_eq!(stats.execs, 2_000);
@@ -52,6 +55,7 @@ pub mod checkpoint;
 pub mod cmin;
 pub mod crashwalk;
 pub mod executor;
+pub mod fabric;
 pub mod faults;
 pub mod mutate;
 pub mod output_dir;
@@ -59,16 +63,21 @@ pub mod parallel;
 pub mod queue;
 pub mod replay;
 pub mod supervisor;
+pub mod sync;
 pub mod telemetry;
 pub mod timeline;
 pub mod trim;
 
 pub use calibrate::HangBudget;
-pub use campaign::{build_metric, Budget, Campaign, CampaignConfig, CampaignOutput, CampaignStats};
+pub use campaign::{
+    build_metric, Budget, Campaign, CampaignConfig, CampaignConfigBuilder, CampaignOutput,
+    CampaignStats,
+};
 pub use checkpoint::{Checkpoint, CheckpointManager};
 pub use cmin::{minimize_corpus, MinimizedCorpus};
 pub use crashwalk::CrashWalk;
 pub use executor::{Execution, Executor};
+pub use fabric::{run_fleet, run_worker, FleetConfig, FleetStats, WorkerOptions, WorkerRole};
 pub use faults::{FaultPlan, FaultSite, InstanceFaults};
 pub use mutate::Mutator;
 pub use output_dir::OutputDir;
@@ -79,9 +88,10 @@ pub use parallel::{
 pub use queue::{Queue, QueueEntry};
 pub use replay::{replay_edge_coverage, ReplayCoverage};
 pub use supervisor::{run_supervised, SupervisorConfig};
+pub use sync::{CorpusSync, CursorError, ShardedHub};
 pub use telemetry::{
-    parse_jsonl, JsonlSink, SharedBuffer, Stage, Telemetry, TelemetryEvent, TelemetryRegistry,
-    TelemetrySnapshot,
+    parse_jsonl, FleetAggregator, JsonlSink, SharedBuffer, Stage, Telemetry, TelemetryEvent,
+    TelemetryRegistry, TelemetrySnapshot,
 };
 pub use timeline::{CoverageTimeline, TimelinePoint};
 pub use trim::{trim_input, TrimResult};

@@ -131,12 +131,15 @@ fn run_instance_attempt(
     }
 
     // Cursor restarts at zero on every attempt — see the module docs.
-    let mut cursor = 0usize;
+    let mut cursor = 0u64;
     let hub_for_hook = Arc::clone(hub);
     let tel_for_hook = telemetry.cloned();
 
     campaign.run_with_hook(sync_every, move |c| {
-        for input in hub_for_hook.fetch_since(&mut cursor, instance) {
+        let fetched = hub_for_hook
+            .fetch_since(&mut cursor, instance)
+            .expect("local sync cursor cannot overrun");
+        for input in fetched {
             c.import(&input);
         }
         let finds = c.take_fresh_finds();

@@ -311,6 +311,7 @@ impl Telemetry {
     pub fn snapshot(&self) -> TelemetrySnapshot {
         TelemetrySnapshot {
             instance: self.instance,
+            node: 0,
             wall_nanos: u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX),
             events: std::array::from_fn(|i| self.events[i].get()),
             stage_nanos: std::array::from_fn(|i| self.stages[i].nanos()),
@@ -324,6 +325,11 @@ impl Telemetry {
 pub struct TelemetrySnapshot {
     /// Fleet instance index.
     pub instance: usize,
+    /// Node (worker process) index within a multi-process fleet. Zero for
+    /// thread-level fleets and for snapshot lines written before the node
+    /// dimension existed; the fabric parent stamps each worker's
+    /// snapshots with the worker index as they arrive.
+    pub node: usize,
     /// Wall-clock nanoseconds since the instance's telemetry was created.
     pub wall_nanos: u64,
     /// Event counters, indexed in [`TelemetryEvent::ALL`] order.
@@ -355,6 +361,8 @@ impl TelemetrySnapshot {
 
     /// Folds another snapshot into this one, summing every counter and
     /// stage clock and keeping the max wall time (fleet-wide totals).
+    /// `instance` and `node` keep this snapshot's values — a merged total
+    /// is no longer attributable to one source.
     pub fn merge(&mut self, other: &TelemetrySnapshot) {
         self.wall_nanos = self.wall_nanos.max(other.wall_nanos);
         for i in 0..self.events.len() {
@@ -371,6 +379,7 @@ impl TelemetrySnapshot {
         let mut out = String::with_capacity(256);
         out.push('{');
         push_field(&mut out, "instance", self.instance as u64);
+        push_field(&mut out, "node", self.node as u64);
         push_field(&mut out, "wall_nanos", self.wall_nanos);
         for event in TelemetryEvent::ALL {
             push_field(&mut out, event.key(), self.get(event));
@@ -397,6 +406,9 @@ impl TelemetrySnapshot {
         }
         let mut snap = TelemetrySnapshot {
             instance: usize::try_from(json_u64(line, "instance")?).ok()?,
+            // Lines written before the node dimension existed read as
+            // node 0 (a single-node fleet).
+            node: usize::try_from(json_u64(line, "node").unwrap_or(0)).ok()?,
             wall_nanos: json_u64(line, "wall_nanos").unwrap_or(0),
             ..TelemetrySnapshot::default()
         };
@@ -487,8 +499,19 @@ impl JsonlSink {
     ///
     /// Propagates write/flush errors from the underlying writer.
     pub fn emit(&self, snapshot: &TelemetrySnapshot) -> io::Result<()> {
+        self.emit_raw(&snapshot.to_json())
+    }
+
+    /// Appends one pre-rendered JSON line and flushes it. Used for lines
+    /// that carry extra fields beyond the snapshot schema (e.g. the fleet
+    /// aggregator's `"fleet_total":1` summary tag).
+    ///
+    /// # Errors
+    ///
+    /// Propagates write/flush errors from the underlying writer.
+    pub fn emit_raw(&self, line: &str) -> io::Result<()> {
         let mut out = self.out.lock().expect("sink mutex poisoned");
-        writeln!(out, "{}", snapshot.to_json())?;
+        writeln!(out, "{line}")?;
         out.flush()
     }
 }
@@ -588,6 +611,139 @@ impl TelemetryRegistry {
             total.merge(&snap);
         }
         total
+    }
+}
+
+/// Hierarchical telemetry aggregation: instance → node → fleet.
+///
+/// The multi-process fabric has one telemetry producer per (node,
+/// instance) pair, each streaming snapshots to its parent. The
+/// aggregator is the parent-side collector: it stamps each arriving
+/// snapshot with its node index, forwards it to one shared JSONL sink
+/// (so the whole fleet lands in a **single** merged stream), and keeps
+/// the latest snapshot per producer so node- and fleet-level totals can
+/// be rolled up at any time.
+///
+/// Totals use the latest snapshot per producer, not the sum of all
+/// arrivals — snapshots are cumulative, so summing a producer's stream
+/// would double-count.
+///
+/// # Examples
+///
+/// ```rust
+/// use bigmap_fuzzer::telemetry::{FleetAggregator, TelemetryEvent, TelemetrySnapshot};
+///
+/// let agg = FleetAggregator::new();
+/// let mut snap = TelemetrySnapshot::default();
+/// snap.events[7] = 100; // execs
+/// agg.record(0, snap.clone());
+/// snap.events[7] = 250; // a later, cumulative snapshot from the same producer
+/// agg.record(0, snap.clone());
+/// agg.record(1, snap.clone());
+/// assert_eq!(agg.fleet_totals().get(TelemetryEvent::Exec), 500);
+/// assert_eq!(agg.node_totals(1).get(TelemetryEvent::Exec), 250);
+/// ```
+#[derive(Debug, Default)]
+pub struct FleetAggregator {
+    latest: Mutex<std::collections::BTreeMap<(usize, usize), TelemetrySnapshot>>,
+    sink: Option<JsonlSink>,
+}
+
+impl FleetAggregator {
+    /// Creates an aggregator with no sink (totals are only readable
+    /// in-process).
+    pub fn new() -> Self {
+        FleetAggregator::default()
+    }
+
+    /// Creates an aggregator that forwards every recorded snapshot — and
+    /// the final fleet-total line — to `sink`.
+    pub fn with_sink(sink: JsonlSink) -> Self {
+        FleetAggregator {
+            latest: Mutex::new(std::collections::BTreeMap::new()),
+            sink: Some(sink),
+        }
+    }
+
+    /// Records a snapshot arriving from `node`, stamping its node index,
+    /// forwarding it to the sink, and replacing that producer's previous
+    /// snapshot in the rollup state.
+    pub fn record(&self, node: usize, mut snapshot: TelemetrySnapshot) {
+        snapshot.node = node;
+        if let Some(sink) = &self.sink {
+            if let Err(e) = sink.emit(&snapshot) {
+                eprintln!("fleet telemetry sink write failed: {e}");
+            }
+        }
+        self.latest
+            .lock()
+            .expect("aggregator mutex poisoned")
+            .insert((node, snapshot.instance), snapshot);
+    }
+
+    /// Node indices that have reported at least one snapshot, ascending.
+    pub fn nodes(&self) -> Vec<usize> {
+        let mut nodes: Vec<usize> = self
+            .latest
+            .lock()
+            .expect("aggregator mutex poisoned")
+            .keys()
+            .map(|(node, _)| *node)
+            .collect();
+        nodes.dedup();
+        nodes
+    }
+
+    /// Totals for one node: the latest snapshot of each of its instances,
+    /// merged. The result carries the node's index.
+    pub fn node_totals(&self, node: usize) -> TelemetrySnapshot {
+        let mut total = TelemetrySnapshot {
+            node,
+            ..TelemetrySnapshot::default()
+        };
+        for snap in self
+            .latest
+            .lock()
+            .expect("aggregator mutex poisoned")
+            .values()
+        {
+            if snap.node == node {
+                total.merge(snap);
+            }
+        }
+        total
+    }
+
+    /// Fleet-wide totals: the latest snapshot of every (node, instance)
+    /// producer, merged.
+    pub fn fleet_totals(&self) -> TelemetrySnapshot {
+        let mut total = TelemetrySnapshot::default();
+        for snap in self
+            .latest
+            .lock()
+            .expect("aggregator mutex poisoned")
+            .values()
+        {
+            total.merge(snap);
+        }
+        total
+    }
+
+    /// Computes the fleet totals and appends them to the sink as a final
+    /// summary line tagged `"fleet_total":1` (parsers that don't know the
+    /// tag ignore it; consumers that do can split per-producer lines from
+    /// the rollup). Returns the totals either way.
+    pub fn finish(&self) -> TelemetrySnapshot {
+        let totals = self.fleet_totals();
+        if let Some(sink) = &self.sink {
+            let mut line = totals.to_json();
+            line.truncate(line.len() - 1); // drop the closing brace
+            line.push_str(",\"fleet_total\":1}");
+            if let Err(e) = sink.emit_raw(&line) {
+                eprintln!("fleet telemetry summary write failed: {e}");
+            }
+        }
+        totals
     }
 }
 
@@ -766,6 +922,80 @@ mod tests {
         let registry = TelemetryRegistry::new();
         let t = registry.register(0);
         registry.emit(&t); // must not panic
+    }
+
+    #[test]
+    fn node_field_round_trips_and_defaults_to_zero() {
+        let mut snap = TelemetrySnapshot {
+            instance: 3,
+            node: 2,
+            wall_nanos: 5,
+            ..Default::default()
+        };
+        snap.events[TelemetryEvent::Exec.slot()] = 9;
+        let back = TelemetrySnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.node, 2);
+
+        // Lines from before the node dimension read as node 0.
+        let legacy = "{\"instance\":1,\"wall_nanos\":42,\"execs\":7}";
+        let old = TelemetrySnapshot::from_json(legacy).unwrap();
+        assert_eq!(old.node, 0);
+        assert_eq!(old.get(TelemetryEvent::Exec), 7);
+    }
+
+    #[test]
+    fn aggregator_rolls_up_latest_per_producer() {
+        let agg = FleetAggregator::new();
+        let snap = |instance: usize, execs: u64| {
+            let mut s = TelemetrySnapshot {
+                instance,
+                ..Default::default()
+            };
+            s.events[TelemetryEvent::Exec.slot()] = execs;
+            s
+        };
+        // Cumulative snapshots from the same producer replace, not add.
+        agg.record(0, snap(0, 100));
+        agg.record(0, snap(0, 300));
+        agg.record(0, snap(1, 50));
+        agg.record(1, snap(0, 40));
+        assert_eq!(agg.nodes(), vec![0, 1]);
+        assert_eq!(agg.node_totals(0).get(TelemetryEvent::Exec), 350);
+        assert_eq!(agg.node_totals(1).get(TelemetryEvent::Exec), 40);
+        assert_eq!(agg.fleet_totals().get(TelemetryEvent::Exec), 390);
+        assert_eq!(agg.node_totals(1).node, 1);
+    }
+
+    #[test]
+    fn aggregator_writes_one_merged_stream_with_summary_line() {
+        let buffer = SharedBuffer::new();
+        let agg = FleetAggregator::with_sink(JsonlSink::new(Box::new(buffer.clone())));
+        let mut snap = TelemetrySnapshot::default();
+        snap.events[TelemetryEvent::Exec.slot()] = 10;
+        agg.record(0, snap.clone());
+        agg.record(1, snap.clone());
+        let totals = agg.finish();
+        assert_eq!(totals.get(TelemetryEvent::Exec), 20);
+
+        let text = buffer.contents();
+        // Every line in the single stream parses — including the tagged
+        // summary line, whose extra field is ignored by the parser.
+        let parsed = parse_jsonl(&text).expect("merged stream parses");
+        assert_eq!(parsed.len(), 3);
+        let nodes: Vec<usize> = parsed.iter().map(|s| s.node).collect();
+        assert_eq!(&nodes[..2], &[0, 1]);
+        let summary_lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.contains("\"fleet_total\":1"))
+            .collect();
+        assert_eq!(summary_lines.len(), 1);
+        assert_eq!(
+            TelemetrySnapshot::from_json(summary_lines[0])
+                .unwrap()
+                .get(TelemetryEvent::Exec),
+            20
+        );
     }
 
     #[test]

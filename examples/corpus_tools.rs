@@ -24,12 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Fuzz briefly to grow a corpus.
     let interpreter = Interpreter::new(&program);
     let mut campaign = Campaign::new(
-        CampaignConfig {
-            scheme: MapScheme::TwoLevel,
-            map_size,
-            budget: Budget::Execs(20_000),
-            ..Default::default()
-        },
+        CampaignConfig::builder()
+            .scheme(MapScheme::TwoLevel)
+            .map_size(map_size)
+            .budget_execs(20_000)
+            .build(),
         &interpreter,
         &instrumentation,
     );

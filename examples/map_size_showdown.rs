@@ -36,12 +36,11 @@ fn main() {
         {
             let interpreter = Interpreter::new(&program);
             let mut campaign = Campaign::new(
-                CampaignConfig {
-                    scheme,
-                    map_size,
-                    budget: Budget::Time(budget),
-                    ..Default::default()
-                },
+                CampaignConfig::builder()
+                    .scheme(scheme)
+                    .map_size(map_size)
+                    .budget_time(budget)
+                    .build(),
                 &interpreter,
                 &instrumentation,
             );

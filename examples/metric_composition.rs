@@ -24,13 +24,12 @@ fn campaign(
         Instrumentation::assign(program.block_count(), program.call_sites, map_size, 7);
     let interpreter = Interpreter::new(program);
     let mut campaign = Campaign::new(
-        CampaignConfig {
-            scheme: MapScheme::TwoLevel,
-            map_size,
-            metric,
-            budget: Budget::Time(Duration::from_secs(2)),
-            ..Default::default()
-        },
+        CampaignConfig::builder()
+            .scheme(MapScheme::TwoLevel)
+            .map_size(map_size)
+            .metric(metric)
+            .budget_time(Duration::from_secs(2))
+            .build(),
         &interpreter,
         &instrumentation,
     );

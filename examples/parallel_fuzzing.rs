@@ -37,13 +37,12 @@ fn main() {
     for scheme in [MapScheme::TwoLevel, MapScheme::Flat] {
         let mut base_execs = 0f64;
         for instances in [1usize, 2, 4] {
-            let config = CampaignConfig {
-                scheme,
-                map_size,
-                budget: Budget::Time(Duration::from_secs(2)),
-                deterministic: true, // the master runs deterministic stages
-                ..Default::default()
-            };
+            let config = CampaignConfig::builder()
+                .scheme(scheme)
+                .map_size(map_size)
+                .budget_time(Duration::from_secs(2))
+                .deterministic(true) // the master runs deterministic stages
+                .build();
             let stats = run_parallel(
                 &program,
                 &instrumentation,

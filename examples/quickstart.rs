@@ -45,12 +45,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Run the campaign.
     let interpreter = Interpreter::new(&program);
     let mut campaign = Campaign::new(
-        CampaignConfig {
-            scheme: MapScheme::TwoLevel,
-            map_size,
-            budget: Budget::Execs(1_500_000),
-            ..Default::default()
-        },
+        CampaignConfig::builder()
+            .scheme(MapScheme::TwoLevel)
+            .map_size(map_size)
+            .budget_execs(1_500_000)
+            .build(),
         &interpreter,
         &instrumentation,
     );

@@ -1,0 +1,119 @@
+//! Fleet worker binary for the distributed campaign fabric.
+//!
+//! Spawned by `bigmap::fuzzer::fabric::run_fleet` (see the fabric fleet
+//! integration tests and the `fig9_fleet` bench): reconstructs the same
+//! benchmark target from its CLI arguments, reads its fleet role from the
+//! `BIGMAP_FABRIC_WORKER` handshake, and hands its stdin/stdout to
+//! [`run_worker`] to speak the fabric protocol.
+//!
+//! Arguments (all `--flag value`, all optional):
+//!
+//! * `--benchmark <name>` — Table II benchmark to fuzz (default `gvn`)
+//! * `--execs <n>` — per-worker execution budget (default 20000)
+//! * `--sync-every <n>` — sync cadence in executions (default 500)
+//! * `--map-size <k64|m2|m8>` — coverage map size (default `m2`)
+//! * `--checkpoint-dir <dir>` — resume/checkpoint directory
+//! * `--panic-once <sentinel>` — inject one worker panic at the third
+//!   sync boundary, but only if `sentinel` does not exist yet (the file
+//!   is created first, so the supervised respawn runs clean — this is
+//!   how the node-loss recovery test kills exactly one process exactly
+//!   once)
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use bigmap::fuzzer::faults::{FaultPlan, FaultSite, InstanceFaults};
+use bigmap::fuzzer::{run_worker, WorkerOptions, WorkerRole};
+use bigmap::prelude::*;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("fabric_worker: {msg}");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let Some(role) = WorkerRole::from_env() else {
+        fail("BIGMAP_FABRIC_WORKER is not set; this binary is spawned by run_fleet");
+    };
+
+    let mut benchmark = String::from("gvn");
+    let mut execs = 20_000u64;
+    let mut sync_every = 500u64;
+    let mut map_size = MapSize::M2;
+    let mut checkpoint_dir: Option<PathBuf> = None;
+    let mut panic_once: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--benchmark" => benchmark = value("--benchmark"),
+            "--execs" => {
+                execs = value("--execs")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--execs: not a number"));
+            }
+            "--sync-every" => {
+                sync_every = value("--sync-every")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--sync-every: not a number"));
+            }
+            "--map-size" => {
+                map_size = match value("--map-size").as_str() {
+                    "k64" => MapSize::K64,
+                    "m2" => MapSize::M2,
+                    "m8" => MapSize::M8,
+                    other => fail(&format!("--map-size: unknown size {other}")),
+                };
+            }
+            "--checkpoint-dir" => checkpoint_dir = Some(PathBuf::from(value("--checkpoint-dir"))),
+            "--panic-once" => panic_once = Some(PathBuf::from(value("--panic-once"))),
+            other => fail(&format!("unknown flag {other}")),
+        }
+    }
+
+    let spec = BenchmarkSpec::by_name(&benchmark)
+        .unwrap_or_else(|| fail(&format!("unknown benchmark {benchmark}")));
+    let program = spec.build(0.05);
+    let seeds = spec.build_seeds(&program, 4);
+    let instrumentation =
+        Instrumentation::assign(program.block_count(), program.call_sites, map_size, 7);
+
+    let config = CampaignConfig::builder()
+        .scheme(MapScheme::TwoLevel)
+        .map_size(map_size)
+        .budget_execs(execs)
+        .mutations_per_seed(32)
+        .build();
+
+    // Single-shot panic injection: the sentinel file is created *before*
+    // the fault is armed, so after the parent respawns this worker the
+    // sentinel exists and the replacement runs fault-free.
+    let faults = match &panic_once {
+        Some(sentinel) if !sentinel.exists() => {
+            if let Err(e) = std::fs::write(sentinel, b"armed") {
+                fail(&format!("cannot create panic sentinel: {e}"));
+            }
+            let plan = Arc::new(FaultPlan::new().inject(FaultSite::WorkerPanic, role.index, 2));
+            Some(Arc::new(InstanceFaults::new(plan, role.index)))
+        }
+        _ => None,
+    };
+
+    let options = WorkerOptions {
+        sync_every,
+        checkpoint_dir,
+        faults,
+    };
+    match run_worker(role, &program, &instrumentation, &config, &seeds, &options) {
+        Ok(_) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fabric_worker {}: {e}", role.index);
+            ExitCode::FAILURE
+        }
+    }
+}

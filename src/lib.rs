@@ -25,8 +25,12 @@
 //! * [`bigmap_fuzzer`] (as `fuzzer`) — the AFL-style campaign loop, parallel
 //!   master–secondary fuzzing, Crashwalk dedup, replay coverage, plus the
 //!   fault-tolerant runtime: campaign checkpoint/resume, the supervised
-//!   fleet with bounded restarts, and the deterministic fault-injection
-//!   layer that tests both,
+//!   fleet with bounded restarts, the deterministic fault-injection
+//!   layer that tests both, and the distributed campaign fabric —
+//!   process-level workers behind the
+//!   [`CorpusSync`](bigmap_fuzzer::CorpusSync) trait, speaking the
+//!   `bigmap_core::wire` binary protocol, with fleet-hierarchical
+//!   telemetry aggregation,
 //! * [`bigmap_cache`] (as `cache`) — the cache-hierarchy simulator behind the
 //!   Table I analysis,
 //! * [`bigmap_analytics`] (as `analytics`) — collision-rate math (Equation 1)
@@ -47,16 +51,12 @@
 //!
 //! // 3. Fuzz it with the two-level map: large map, no throughput penalty.
 //! let interp = Interpreter::new(&program);
-//! let mut campaign = Campaign::new(
-//!     CampaignConfig {
-//!         scheme: MapScheme::TwoLevel,
-//!         map_size: MapSize::M8,
-//!         budget: Budget::Execs(5_000),
-//!         ..Default::default()
-//!     },
-//!     &interp,
-//!     &inst,
-//! );
+//! let config = CampaignConfig::builder()
+//!     .scheme(MapScheme::TwoLevel)
+//!     .map_size(MapSize::M8)
+//!     .budget_execs(5_000)
+//!     .build();
+//! let mut campaign = Campaign::new(config, &interp, &inst);
 //! campaign.add_seeds(vec![vec![0u8; 32]]);
 //! let stats = campaign.run();
 //! assert_eq!(stats.execs, 5_000);
@@ -83,11 +83,13 @@ pub mod prelude {
         CoverageMetric, EdgeHitCount, Instrumentation, MetricKind, MetricStack, NGram, TraceEvent,
     };
     pub use bigmap_fuzzer::{
-        replay_edge_coverage, run_parallel, run_parallel_with_faults, run_parallel_with_telemetry,
-        run_supervised, Budget, Campaign, CampaignConfig, CampaignStats, Checkpoint,
-        CheckpointManager, CrashWalk, Executor, FaultPlan, FaultSite, HangBudget, InstanceFaults,
-        InstanceHealth, JsonlSink, Mutator, ParallelStats, Stage, SupervisorConfig, Telemetry,
-        TelemetryEvent, TelemetryRegistry, TelemetrySnapshot,
+        replay_edge_coverage, run_fleet, run_parallel, run_parallel_with_faults,
+        run_parallel_with_telemetry, run_supervised, run_worker, Budget, Campaign, CampaignConfig,
+        CampaignConfigBuilder, CampaignStats, Checkpoint, CheckpointManager, CorpusSync, CrashWalk,
+        CursorError, Executor, FaultPlan, FaultSite, FleetAggregator, FleetConfig, FleetStats,
+        HangBudget, InstanceFaults, InstanceHealth, JsonlSink, Mutator, ParallelStats, ShardedHub,
+        Stage, SupervisorConfig, SyncHub, Telemetry, TelemetryEvent, TelemetryRegistry,
+        TelemetrySnapshot, WorkerOptions, WorkerRole,
     };
     pub use bigmap_target::{
         apply_laf_intel, generate_seeds, BenchmarkSpec, ExecConfig, ExecOutcome, GeneratorConfig,

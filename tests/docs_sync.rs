@@ -1,0 +1,34 @@
+//! Keeps generated documentation in sync with the code that defines it.
+
+/// The README's "Environment knobs" table is pasted from
+/// `bigmap_core::env::markdown_table()` (via the `print_env_table`
+/// example). If a knob is added, removed or reworded, regenerate the
+/// README block:
+///
+/// ```bash
+/// cargo run -p bigmap-core --example print_env_table
+/// ```
+#[test]
+fn readme_env_table_matches_declarations() {
+    let readme = include_str!("../README.md");
+    let table = bigmap::core::env::markdown_table();
+    assert!(
+        readme.contains(table.trim_end()),
+        "README env table is out of date; regenerate with \
+         `cargo run -p bigmap-core --example print_env_table`"
+    );
+}
+
+/// Every declared knob appears in the README at least once outside the
+/// table too (prose or examples), so renames can't leave dangling docs.
+#[test]
+fn readme_mentions_every_knob() {
+    let readme = include_str!("../README.md");
+    for knob in bigmap::core::env::KNOBS {
+        assert!(
+            readme.contains(knob.name),
+            "README never mentions {}",
+            knob.name
+        );
+    }
+}

@@ -94,12 +94,12 @@ fn two_instance_fleet_syncs_and_snapshots_parse() {
 #[test]
 fn hub_cursors_are_monotone_and_exactly_once() {
     let hub = SyncHub::new();
-    let mut cursor = 0usize;
+    let mut cursor = 0u64;
     let mut seen = Vec::new();
     for round in 0u8..5 {
         hub.publish(1, vec![vec![round], vec![round, round]]);
         let before = cursor;
-        let fetched = hub.fetch_since(&mut cursor, 0);
+        let fetched = hub.fetch_since(&mut cursor, 0).expect("valid cursor");
         assert!(cursor >= before, "cursor moved backwards");
         assert_eq!(cursor, hub.published_count());
         seen.extend(fetched.iter().map(|a| a.to_vec()));
@@ -108,7 +108,10 @@ fn hub_cursors_are_monotone_and_exactly_once() {
     let expected: Vec<Vec<u8>> = (0u8..5).flat_map(|r| [vec![r], vec![r, r]]).collect();
     assert_eq!(seen, expected);
     // Nothing new → nothing fetched, cursor stays put.
-    assert!(hub.fetch_since(&mut cursor, 0).is_empty());
+    assert!(hub
+        .fetch_since(&mut cursor, 0)
+        .expect("valid cursor")
+        .is_empty());
     assert_eq!(cursor, hub.published_count());
 }
 
@@ -127,18 +130,18 @@ fn hub_stress_readers_see_others_exactly_once_and_self_never() {
             let hub = Arc::clone(&hub);
             let all_published = Arc::clone(&all_published);
             readers.push(scope.spawn(move || {
-                let mut cursor = 0usize;
+                let mut cursor = 0u64;
                 let mut seen: Vec<Vec<u8>> = Vec::new();
                 // Interleave publishing our own tagged inputs with fetching.
                 for i in 0..PER_WRITER {
                     hub.publish(me, vec![vec![me as u8, i as u8]]);
-                    for input in hub.fetch_since(&mut cursor, me) {
+                    for input in hub.fetch_since(&mut cursor, me).expect("valid cursor") {
                         seen.push(input.to_vec());
                     }
                 }
                 // Wait for every writer to finish, then drain the rest.
                 all_published.wait();
-                for input in hub.fetch_since(&mut cursor, me) {
+                for input in hub.fetch_since(&mut cursor, me).expect("valid cursor") {
                     seen.push(input.to_vec());
                 }
                 (me, seen)
@@ -167,9 +170,9 @@ fn hub_stress_readers_see_others_exactly_once_and_self_never() {
 fn hub_fetches_share_payload_allocations() {
     let hub = SyncHub::new();
     hub.publish(9, vec![vec![0xAB; 4096]]);
-    let (mut c0, mut c1) = (0usize, 0usize);
-    let a = hub.fetch_since(&mut c0, 0);
-    let b = hub.fetch_since(&mut c1, 1);
+    let (mut c0, mut c1) = (0u64, 0u64);
+    let a = hub.fetch_since(&mut c0, 0).expect("valid cursor");
+    let b = hub.fetch_since(&mut c1, 1).expect("valid cursor");
     assert!(
         Arc::ptr_eq(&a[0], &b[0]),
         "readers received distinct copies of the same published input"

@@ -3,8 +3,8 @@
 //! The registry is unreachable in this build environment, so this crate
 //! reimplements the subset of the proptest API the workspace uses: the
 //! [`proptest!`] macro, `prop_assert*` macros, [`Strategy`] with
-//! `prop_map`, [`Just`], [`prop_oneof!`], [`any`], range strategies, and
-//! `prop::collection::vec` / `prop::array::uniform8`.
+//! `prop_map`, [`Just`], [`prop_oneof!`], [`any`], range and tuple
+//! strategies, and `prop::collection::vec` / `prop::array::uniform8`.
 //!
 //! Semantics: each property runs `ProptestConfig::cases` times with inputs
 //! drawn from a generator seeded deterministically from the test function
@@ -161,6 +161,20 @@ macro_rules! impl_range_strategy {
     )*};
 }
 impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident.$idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
 
 /// Uniform choice between boxed alternative strategies; construct via
 /// [`prop_oneof!`].
