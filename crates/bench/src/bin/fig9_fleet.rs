@@ -20,7 +20,9 @@ use std::process::Command;
 use std::time::{Duration, Instant};
 
 use bigmap_analytics::TextTable;
-use bigmap_bench::{report_header, Effort, PreparedBenchmark};
+use bigmap_bench::{
+    effective_cores, parallel_efficiency, report_header, Effort, PreparedBenchmark,
+};
 use bigmap_core::MapSize;
 use bigmap_fuzzer::{
     parse_jsonl, run_fleet, run_worker, FleetConfig, TelemetryEvent, WorkerOptions, WorkerRole,
@@ -100,7 +102,7 @@ fn main() {
     } else {
         &[1, 2, 4, 8]
     };
-    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let cores = effective_cores(std::thread::available_parallelism());
     let exe = std::env::current_exe().expect("own path");
 
     let mut table = TextTable::new(vec![
@@ -143,10 +145,7 @@ fn main() {
             base_rate = rate;
         }
         let scaling = rate / base_rate.max(1e-9);
-        // On a host with fewer cores than workers, perfect scheduling
-        // still caps aggregate throughput at `cores` single-worker rates.
-        let ideal = workers.min(cores) as f64;
-        let efficiency = scaling / ideal;
+        let efficiency = parallel_efficiency(scaling, workers, cores);
         if workers == 4 {
             four_worker_efficiency = Some(efficiency);
         }

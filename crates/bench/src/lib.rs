@@ -292,6 +292,7 @@ impl PreparedBenchmark {
             exec: Default::default(),
             hang_budget: None,
             sparse: None,
+            trace: None,
         }
     }
 
@@ -552,6 +553,34 @@ pub fn evaluated_sizes() -> [MapSize; 4] {
     MapSize::EVALUATED
 }
 
+/// Cores available to a fleet experiment, from the result of
+/// [`std::thread::available_parallelism`]. Always at least 1: an `Err`
+/// (the platform cannot answer — containers without cgroup info,
+/// exotic targets) and a nonsensical zero both fall back to a single
+/// core, the honest lower bound for normalization.
+pub fn effective_cores(parallelism: Result<std::num::NonZeroUsize, std::io::Error>) -> usize {
+    parallelism.map_or(1, usize::from).max(1)
+}
+
+/// Parallel efficiency of an `N`-worker arm: measured scaling over the
+/// ideal scaling `min(N, cores)`. On a host with fewer cores than
+/// workers, perfect scheduling still caps aggregate throughput at
+/// `cores` single-worker rates, so the ideal is `min(N, cores)`, not
+/// `N`.
+///
+/// # Panics
+///
+/// Panics if `workers` or `cores` is zero — a zero ideal would divide
+/// efficiency by zero and report `inf`/NaN as a verdict. Callers get
+/// `cores` from [`effective_cores`], which never returns zero.
+pub fn parallel_efficiency(scaling: f64, workers: usize, cores: usize) -> f64 {
+    assert!(
+        workers > 0 && cores > 0,
+        "efficiency denominator must be nonzero (workers {workers}, cores {cores})"
+    );
+    scaling / workers.min(cores) as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -562,6 +591,35 @@ mod tests {
         assert!(Effort::Standard.scale() < Effort::Full.scale());
         assert!(Effort::Quick.arm_budget() < Effort::Full.arm_budget());
         assert_eq!(Effort::Quick.label(), "quick");
+    }
+
+    #[test]
+    fn effective_cores_never_zero() {
+        assert_eq!(
+            effective_cores(Err(std::io::Error::other("no cgroup info"))),
+            1,
+            "an unanswerable host must normalize against one core"
+        );
+        let four = std::num::NonZeroUsize::new(4).unwrap();
+        assert_eq!(effective_cores(Ok(four)), 4);
+        // Whatever this host answers, the denominator is usable.
+        assert!(effective_cores(std::thread::available_parallelism()) >= 1);
+    }
+
+    #[test]
+    fn efficiency_normalizes_to_min_workers_cores() {
+        // 4 workers on a 1-core host: ideal is 1× the single-worker rate,
+        // so a 1.0 scaling is perfect efficiency, not 0.25.
+        assert_eq!(parallel_efficiency(1.0, 4, 1), 1.0);
+        // 4 workers on an 8-core host: ideal is 4×.
+        assert_eq!(parallel_efficiency(4.0, 4, 8), 1.0);
+        assert_eq!(parallel_efficiency(2.0, 4, 8), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn efficiency_rejects_zero_denominator() {
+        let _ = parallel_efficiency(1.0, 4, 0);
     }
 
     #[test]

@@ -3,8 +3,8 @@
 //! Every runtime tunable the workspace reads from the environment is
 //! declared here as a [`Knob`]: its name, accepted values, default and
 //! one-line description. The typed accessors ([`kernel_request`],
-//! [`sparse_request`], [`nt_threshold_request`], [`sync_batch`],
-//! [`fabric_worker`]) parse and validate in one pass and are the only
+//! [`sparse_request`], [`trace_request`], [`nt_threshold_request`],
+//! [`sync_batch`], [`fabric_worker`]) parse and validate in one pass and are the only
 //! code in the workspace that calls `std::env::var` for a `BIGMAP_*`
 //! name, so the registry cannot drift from the behaviour.
 //!
@@ -33,6 +33,7 @@ use std::sync::OnceLock;
 
 use crate::kernels::KernelKind;
 use crate::sparse::SparseMode;
+use crate::trace::TraceMode;
 
 /// One documented environment knob.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,6 +64,15 @@ pub const KNOBS: &[Knob] = &[
         description: "Sparse touched-slot pipeline: `on` forces the journal walk whenever the \
                       journal is complete, `off` forces the dense prefix kernels, `auto` picks \
                       per exec by the measured run/touched crossover.",
+    },
+    Knob {
+        name: "BIGMAP_TRACE_MODE",
+        values: "`always` \\| `selective` \\| `auto`",
+        default: "`always`",
+        description: "Two-speed execution: `always` traces every exec into the coverage map, \
+                      `selective` runs untraced fast execs and re-traces only novelty-oracle \
+                      flagged ones, `auto` adds a fallback to direct tracing in re-trace-heavy \
+                      windows. All modes produce bit-identical campaign trajectories.",
     },
     Knob {
         name: "BIGMAP_NT_THRESHOLD",
@@ -169,6 +179,14 @@ pub fn parse_kernel(raw: Option<&str>) -> Option<KernelKind> {
 /// parse policy itself lives in [`crate::sparse::select_mode`].
 pub fn sparse_request() -> SparseMode {
     crate::sparse::select_mode(raw("BIGMAP_SPARSE").as_deref())
+}
+
+/// `BIGMAP_TRACE_MODE`: the requested two-speed execution mode.
+///
+/// Unknown values warn on stderr and read as [`TraceMode::Always`]; the
+/// parse policy itself lives in [`crate::trace::select_trace_mode`].
+pub fn trace_request() -> TraceMode {
+    crate::trace::select_trace_mode(raw("BIGMAP_TRACE_MODE").as_deref())
 }
 
 /// `BIGMAP_NT_THRESHOLD`: the requested non-temporal-store cutoff in
@@ -281,6 +299,9 @@ mod tests {
         }
         if std::env::var_os("BIGMAP_FABRIC_WORKER").is_none() {
             assert_eq!(fabric_worker(), None);
+        }
+        if std::env::var_os("BIGMAP_TRACE_MODE").is_none() {
+            assert_eq!(trace_request(), TraceMode::Always);
         }
     }
 

@@ -80,6 +80,7 @@ pub mod map_size;
 pub mod simd;
 pub mod sparse;
 pub mod timing;
+pub mod trace;
 pub mod traits;
 pub mod two_level;
 pub mod virgin;
@@ -94,6 +95,7 @@ pub use kernels::{KernelKind, KernelTable};
 pub use map_size::{MapSize, MapSizeError};
 pub use sparse::{OpPath, SparseMode};
 pub use timing::{OpKind, OpStats};
+pub use trace::TraceMode;
 pub use traits::{CoverageMap, MapScheme, NewCoverage};
 pub use two_level::BigMap;
 pub use virgin::VirginState;

@@ -9,7 +9,7 @@ use proptest::prelude::*;
 
 use bigmap_core::wire::{
     decode_frame, decode_sync_batch, encode_frame, encode_sync_batch, get_varint, put_varint,
-    read_frame, SyncBatch, WireError, FRAME_MAGIC,
+    read_frame, SyncBatch, WireError, FRAME_MAGIC, MAX_FRAME_PAYLOAD, WIRE_VERSION,
 };
 
 fn arb_entries() -> impl Strategy<Value = Vec<(u64, Vec<u8>)>> {
@@ -148,6 +148,20 @@ proptest! {
         }
     }
 
+    /// One byte under the cap behaves like any other size (proptest-sized
+    /// sanity companion to the exact-cap unit tests below).
+    #[test]
+    fn near_cap_declarations_without_payload_are_truncated_not_oversize(
+        kind in any::<u8>(),
+        under in 1u64..4096,
+    ) {
+        // A declared length at or under the cap with a missing payload is
+        // a *truncation*, never an oversize rejection.
+        let mut buf = vec![FRAME_MAGIC, WIRE_VERSION, kind];
+        put_varint(&mut buf, MAX_FRAME_PAYLOAD as u64 - under);
+        prop_assert_eq!(decode_frame(&buf), Err(WireError::Truncated));
+    }
+
     /// Batch payloads with trailing junk are rejected — a frame carries
     /// exactly one batch.
     #[test]
@@ -165,5 +179,69 @@ proptest! {
             matches!(err, WireError::TrailingBytes | WireError::Truncated | WireError::VarintOverflow),
             "got {err:?}"
         );
+    }
+}
+
+/// Deterministic boundary tests at the frame-payload cap. The cap exists
+/// so a corrupt or hostile length field cannot drive an allocation; these
+/// pin the exact fence-post behaviour on both sides of it.
+mod payload_cap_boundaries {
+    use super::*;
+
+    /// `[magic, version, kind, varint(declared)]` — a frame header that
+    /// declares a payload the buffer does not carry.
+    fn header_declaring(kind: u8, declared: u64) -> Vec<u8> {
+        let mut buf = vec![FRAME_MAGIC, WIRE_VERSION, kind];
+        put_varint(&mut buf, declared);
+        buf
+    }
+
+    #[test]
+    fn exactly_cap_sized_payload_round_trips() {
+        let payload = vec![0xA5u8; MAX_FRAME_PAYLOAD];
+        let frame = encode_frame(7, &payload);
+        let (kind, decoded, used) = decode_frame(&frame).expect("cap-sized frame must decode");
+        assert_eq!((kind, used), (7, frame.len()));
+        assert_eq!(decoded, payload);
+        let mut reader = std::io::Cursor::new(&frame);
+        let (kind, decoded) = read_frame(&mut reader).expect("stream reader too");
+        assert_eq!(kind, 7);
+        assert_eq!(decoded.len(), MAX_FRAME_PAYLOAD);
+    }
+
+    #[test]
+    fn cap_plus_one_is_rejected_before_the_payload_is_read() {
+        // The header alone, with no payload bytes behind it: if the
+        // decoder validated the declared length only after sizing or
+        // reading the payload, this would surface as `Truncated` (or an
+        // allocation attempt). `Oversize` proves the cap check runs
+        // first.
+        let over = MAX_FRAME_PAYLOAD as u64 + 1;
+        let header = header_declaring(0, over);
+        assert_eq!(decode_frame(&header), Err(WireError::Oversize(over)));
+        let mut reader = std::io::Cursor::new(&header);
+        assert_eq!(read_frame(&mut reader), Err(WireError::Oversize(over)));
+
+        // A hostile length field: 16 EiB declared in 5 header bytes must
+        // still be rejected without touching payload machinery.
+        let hostile = header_declaring(0, u64::MAX);
+        assert_eq!(decode_frame(&hostile), Err(WireError::Oversize(u64::MAX)));
+    }
+
+    #[test]
+    fn truncation_inside_the_length_prefix_is_detected() {
+        // The stream ends on a continuation byte of the length varint:
+        // the declared length never completes, so the decoder must report
+        // truncation (not misread a short length).
+        let cut = vec![FRAME_MAGIC, WIRE_VERSION, 0, 0x80];
+        assert_eq!(decode_frame(&cut), Err(WireError::Truncated));
+        let mut reader = std::io::Cursor::new(&cut);
+        assert_eq!(read_frame(&mut reader), Err(WireError::Truncated));
+
+        // Fence-post on the other side: the same frame with the varint
+        // completed decodes as declaring 128 payload bytes (which are
+        // then missing → still truncated, but *after* the length parsed).
+        let complete = header_declaring(0, 128);
+        assert_eq!(decode_frame(&complete), Err(WireError::Truncated));
     }
 }

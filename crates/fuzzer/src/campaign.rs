@@ -16,13 +16,13 @@ use rand::{Rng, SeedableRng};
 
 use bigmap_core::{
     build_map, CoverageMap, MapScheme, MapSize, NewCoverage, OpKind, OpPath, OpStats, SparseMode,
-    VirginState,
+    TraceMode, VirginState,
 };
 use bigmap_coverage::{
     BlockCoverage, ContextSensitive, CoverageMetric, EdgeHitCount, Instrumentation, MetricKind,
     NGram,
 };
-use bigmap_target::{ExecConfig, ExecOutcome, Interpreter};
+use bigmap_target::{ExecConfig, ExecOutcome, Interpreter, NoveltyOracle};
 
 use crate::calibrate::HangBudget;
 use crate::checkpoint::{Checkpoint, CheckpointQueueEntry};
@@ -119,6 +119,12 @@ pub struct CampaignConfig {
     /// `BIGMAP_SPARSE` setting (default: adaptive). Only meaningful for
     /// the two-level scheme; the flat map is always dense.
     pub sparse: Option<SparseMode>,
+    /// Per-campaign override of the two-speed execution mode
+    /// (`bigmap_core::trace`). `None` follows the process-wide
+    /// `BIGMAP_TRACE_MODE` setting (default: always trace). Selective
+    /// tracing is coverage-preserving: every mode produces a
+    /// bit-identical campaign trajectory.
+    pub trace: Option<TraceMode>,
 }
 
 impl Default for CampaignConfig {
@@ -137,6 +143,7 @@ impl Default for CampaignConfig {
             exec: ExecConfig::default(),
             hang_budget: None,
             sparse: None,
+            trace: None,
         }
     }
 }
@@ -280,6 +287,13 @@ impl CampaignConfigBuilder {
         self
     }
 
+    /// Per-campaign override of the two-speed execution mode.
+    #[must_use]
+    pub fn trace_mode(mut self, mode: TraceMode) -> Self {
+        self.config.trace = Some(mode);
+        self
+    }
+
     /// Finishes the build.
     pub fn build(self) -> CampaignConfig {
         self.config
@@ -382,7 +396,7 @@ pub struct Campaign<'p> {
     /// hang-virgin-map coverage — AFL's hangs/ dedup policy).
     hang_inputs: Vec<Vec<u8>>,
     /// Step counts observed while dry-running the initial seeds — the
-    /// sample hang-budget calibration averages.
+    /// sample hang-budget calibration takes its p99 over.
     seed_steps: Vec<u64>,
     /// Wall time a resumed checkpoint had already accumulated; added to
     /// the live clock for time budgets and final stats.
@@ -394,7 +408,32 @@ pub struct Campaign<'p> {
     /// suppresses trimming, re-admission side effects, telemetry counts
     /// and seed-step sampling (the replay is reconstruction, not work).
     restoring: bool,
+    /// The resolved two-speed execution mode (config override or the
+    /// process-wide `BIGMAP_TRACE_MODE`).
+    trace_mode: TraceMode,
+    /// The novelty oracle behind selective tracing; `Some` whenever
+    /// `trace_mode` is not [`TraceMode::Always`].
+    oracle: Option<NoveltyOracle>,
+    /// Auto-mode window state: fast-pass decisions and re-traces observed
+    /// in the current window. Deliberately *not* checkpointed — skip
+    /// decisions are trajectory-neutral, so resetting the window on
+    /// resume changes throughput, never results.
+    auto_tries: u32,
+    auto_retraces: u32,
+    /// Auto-mode fallback: remaining test cases to run traced-direct
+    /// (no fast pass) after a re-trace-heavy window.
+    auto_direct_left: u32,
 }
+
+/// Auto-mode window length (fast-pass decisions per assessment).
+const AUTO_WINDOW: u32 = 128;
+/// Auto-mode fallback trigger: re-traces ≥ 3/4 of a window means the fast
+/// pass is mostly overhead right now.
+const AUTO_RETRACE_NUM: u32 = 3;
+const AUTO_RETRACE_DEN: u32 = 4;
+/// Auto-mode fallback length: traced-direct test cases before the fast
+/// pass is retried.
+const AUTO_DIRECT_RUN: u32 = 512;
 
 impl std::fmt::Debug for Campaign<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -429,6 +468,9 @@ impl<'p> Campaign<'p> {
         let mut map = build_map(config.scheme, config.map_size);
         map.set_sparse_override(config.sparse);
         let metric = build_metric(config.metric);
+        let trace_mode = config.trace.unwrap_or_else(bigmap_core::env::trace_request);
+        let oracle = (trace_mode != TraceMode::Always)
+            .then(|| NoveltyOracle::new(interpreter.program().block_count()));
         Campaign {
             executor: Executor::new(interpreter, instrumentation, metric),
             map,
@@ -457,8 +499,18 @@ impl<'p> Campaign<'p> {
             prior_wall: Duration::ZERO,
             loop_started: None,
             restoring: false,
+            trace_mode,
+            oracle,
+            auto_tries: 0,
+            auto_retraces: 0,
+            auto_direct_left: 0,
             config,
         }
+    }
+
+    /// The resolved two-speed execution mode this campaign runs under.
+    pub fn trace_mode(&self) -> TraceMode {
+        self.trace_mode
     }
 
     /// Attaches a live telemetry registry: every pipeline stage from here
@@ -562,10 +614,95 @@ impl<'p> Campaign<'p> {
         &self.queue
     }
 
+    /// Whether the next test case gets an untraced fast pass. In auto
+    /// mode this also advances the traced-direct fallback window, so it
+    /// must be called exactly once per test case.
+    fn fast_pass_active(&mut self) -> bool {
+        if self.oracle.is_none() {
+            return false;
+        }
+        if self.trace_mode == TraceMode::Auto && self.auto_direct_left > 0 {
+            self.auto_direct_left -= 1;
+            return false;
+        }
+        true
+    }
+
+    /// Feeds one fast-pass decision into the auto-mode window; when a
+    /// window closes with ≥ 3/4 re-traces, the next `AUTO_DIRECT_RUN`
+    /// test cases skip the fast pass entirely. Deterministic: the window
+    /// advances on exec counts, never on wall time.
+    fn note_auto_decision(&mut self, retraced: bool) {
+        if self.trace_mode != TraceMode::Auto {
+            return;
+        }
+        self.auto_tries += 1;
+        if retraced {
+            self.auto_retraces += 1;
+        }
+        if self.auto_tries >= AUTO_WINDOW {
+            if self.auto_retraces * AUTO_RETRACE_DEN >= self.auto_tries * AUTO_RETRACE_NUM {
+                self.auto_direct_left = AUTO_DIRECT_RUN;
+            }
+            self.auto_tries = 0;
+            self.auto_retraces = 0;
+        }
+    }
+
     /// Executes one input and runs the full fitness pipeline. Returns the
     /// novelty verdict. `force_admit` bypasses the interestingness check
     /// (used for the initial seeds).
+    ///
+    /// Under selective tracing the input first runs untraced with only
+    /// the novelty oracle watching; a provably-seen clean execution is
+    /// counted and dismissed as `NoNew` without ever touching the
+    /// coverage map. This is trajectory-equivalent to the always-traced
+    /// pipeline: a provably-seen path was fully traced before and its
+    /// novelty already consumed into the Ok virgin map (which only ever
+    /// shrinks), so re-tracing it would verdict `NoNew` with zero state
+    /// change.
     fn execute_and_judge(&mut self, input: &[u8], force_admit: bool) -> NewCoverage {
+        // Fault-injection ordinals are consumed exactly once per test
+        // case, *before* any execution: a selective-mode re-trace must
+        // see the same fault schedule as an always-mode single pass.
+        let (inject_crash, inject_hang) = match &self.faults {
+            Some(faults) => (
+                faults.fire(FaultSite::TargetCrash),
+                faults.fire(FaultSite::TargetHang),
+            ),
+            None => (false, false),
+        };
+
+        // Two-speed fast pass: untraced exec, oracle verdict, maybe skip.
+        let mut fast_time = Duration::ZERO;
+        let mut retraced = false;
+        if self.fast_pass_active() {
+            let oracle = self.oracle.as_mut().expect("fast pass requires an oracle");
+            let fast = self.executor.run_fast(input, oracle);
+            fast_time = fast.exec_time;
+            // The *effective* outcome decides skippability: an injected
+            // crash/hang must flow through the crash/hang pipeline even
+            // though the underlying trace is a known-clean path.
+            let effective_ok = fast.outcome.is_ok() && !inject_crash && !inject_hang;
+            let skip = effective_ok && fast.provably_seen && !force_admit && !self.restoring;
+            self.note_auto_decision(!skip);
+            if skip {
+                self.ops.add(OpKind::Execution, fast.exec_time);
+                self.stats_execs += 1;
+                if self.stats_execs.is_multiple_of(256) {
+                    self.timeline
+                        .record(self.stats_execs, self.discovered_running);
+                }
+                if let Some(tel) = &self.telemetry {
+                    tel.incr(TelemetryEvent::Exec);
+                    tel.incr(TelemetryEvent::FastPathExec);
+                    tel.add_stage(Stage::TargetExec, fast.exec_time);
+                }
+                return NewCoverage::None;
+            }
+            retraced = true;
+        }
+
         // Map reset (timed separately — the paper's "Map Reset" bar).
         let t = Instant::now();
         self.map.reset();
@@ -573,9 +710,11 @@ impl<'p> Campaign<'p> {
         self.ops.add(OpKind::Reset, reset_time);
         let mut map_ops_time = reset_time;
 
-        // Target execution, including bitmap updates.
+        // Target execution, including bitmap updates (plus the untraced
+        // fast pass that flagged this input, if one ran).
         let mut execution = self.executor.run(input, self.map.as_mut());
-        self.ops.add(OpKind::Execution, execution.exec_time);
+        self.ops
+            .add(OpKind::Execution, fast_time + execution.exec_time);
         self.stats_execs += 1;
         if force_admit && !self.restoring {
             // Seed dry run: sample the step count for hang-budget
@@ -583,19 +722,16 @@ impl<'p> Campaign<'p> {
             self.seed_steps.push(execution.steps);
         }
 
-        // Fault injection on the executor path (one predicted branch when
-        // no handle is attached). Each execution consumes one ordinal per
-        // target site, so a seeded schedule maps onto exec indices.
-        if let Some(faults) = &self.faults {
-            if faults.fire(FaultSite::TargetCrash) {
-                execution.outcome = ExecOutcome::Crash {
-                    site: INJECTED_CRASH_SITE,
-                    stack: Vec::new(),
-                };
-            }
-            if faults.fire(FaultSite::TargetHang) && execution.outcome.is_ok() {
-                execution.outcome = ExecOutcome::Hang;
-            }
+        // Apply the pre-drawn fault injections (one predicted branch when
+        // no handle is attached).
+        if inject_crash {
+            execution.outcome = ExecOutcome::Crash {
+                site: INJECTED_CRASH_SITE,
+                stack: Vec::new(),
+            };
+        }
+        if inject_hang && execution.outcome.is_ok() {
+            execution.outcome = ExecOutcome::Hang;
         }
 
         // Classify + compare. Crashes and hangs diff against their own
@@ -631,6 +767,18 @@ impl<'p> Campaign<'p> {
 
         match &execution.outcome {
             ExecOutcome::Ok => {
+                // Teach the oracle this path — only now that the traced
+                // execution ran and its novelty (if any) was consumed
+                // into the Ok virgin map. Committing a fault-injected
+                // crash/hang would be unsound: its coverage was compared
+                // against the crash/hang virgin map instead, leaving
+                // Ok-virgin novelty unabsorbed.
+                if retraced {
+                    self.oracle
+                        .as_mut()
+                        .expect("retraced exec has an oracle")
+                        .commit();
+                }
                 // During restore, only forced (checkpointed-queue) replays
                 // are admitted: crash/hang warm-up replays rebuild virgin
                 // state without minting queue entries the checkpoint never
@@ -664,6 +812,7 @@ impl<'p> Campaign<'p> {
                     self.queue.add_with_depth(
                         stored.clone(),
                         execution.exec_time,
+                        execution.steps,
                         hash,
                         &slots,
                         self.admit_depth,
@@ -729,8 +878,11 @@ impl<'p> Campaign<'p> {
                 if self.map.journal_overflowed() {
                     tel.incr(TelemetryEvent::JournalOverflow);
                 }
+                if retraced {
+                    tel.incr(TelemetryEvent::RetraceExec);
+                }
                 tel.add(TelemetryEvent::MapUpdate, execution.map_updates);
-                tel.add_stage(Stage::TargetExec, execution.exec_time);
+                tel.add_stage(Stage::TargetExec, fast_time + execution.exec_time);
                 tel.add_stage(Stage::MapOps, map_ops_time);
                 if verdict == NewCoverage::NewEdge {
                     tel.incr(TelemetryEvent::NewCoverage);
@@ -1009,6 +1161,10 @@ impl<'p> Campaign<'p> {
                 .zip(self.crash_inputs.iter().cloned())
                 .collect(),
             hang_inputs: self.hang_inputs.clone(),
+            oracle: self
+                .oracle
+                .as_ref()
+                .and_then(|o| (!o.is_empty()).then(|| o.snapshot())),
         }
     }
 
@@ -1049,6 +1205,16 @@ impl<'p> Campaign<'p> {
             .chain(checkpoint.hang_inputs.iter())
         {
             self.execute_and_judge(input, false);
+        }
+
+        // Re-arm the novelty oracle with the checkpointed committed state.
+        // The replay above already committed the queue entries' own paths;
+        // the snapshot is a superset (it also remembers traced-but-NoNew
+        // mutants), so installing it restores the full fast-path hit rate.
+        // An absent or size-mismatched snapshot leaves whatever the replay
+        // committed — sound either way, the oracle only ever under-skips.
+        if let (Some(oracle), Some(snap)) = (self.oracle.as_mut(), checkpoint.oracle.as_ref()) {
+            oracle.install(snap);
         }
 
         self.stats_execs = checkpoint.execs;
@@ -1215,14 +1381,13 @@ mod tests {
         let big = run(MapScheme::TwoLevel);
         // Identical configuration and RNG seeds. Novelty verdicts are
         // deterministic and equivalent across schemes (see the
-        // tests/equivalence.rs property suite), but queue *scores* use
-        // measured wall-clock execution times, so favored culling — and
-        // hence the exact schedule — can drift on timing noise, and the
-        // drift compounds over the run. Under a loaded test host (the
-        // suite runs many thread-spawning tests concurrently) ~30%
-        // divergence has been observed on healthy code, so the bound is
-        // generous: it exists to catch a scheme-level coverage collapse,
-        // not schedule jitter. Exact scheme equivalence is covered by the
+        // tests/equivalence.rs property suite) and queue scores are
+        // deterministic step counts, but favored culling keys on
+        // *scheme-local* slot indices, so the favored sets — and hence the
+        // exact schedule — can legitimately differ between schemes and the
+        // difference compounds over the run. The bound is generous: it
+        // exists to catch a scheme-level coverage collapse, not schedule
+        // divergence. Exact scheme equivalence is covered by the
         // deterministic tests/equivalence.rs property suite.
         assert_eq!(flat.execs, big.execs);
         let close = |a: usize, b: usize, what: &str| {
@@ -1515,6 +1680,136 @@ mod tests {
             on.timeline.points(),
             off.timeline.points(),
             "sparse pipeline changed the coverage trajectory"
+        );
+    }
+
+    #[test]
+    fn trace_modes_share_one_bit_identical_trajectory() {
+        use crate::telemetry::{Telemetry, TelemetryEvent};
+
+        let program = GeneratorConfig::default().generate();
+        let inst = instrument(&program, MapSize::K64);
+        let interp = Interpreter::new(&program);
+        let run = |mode: TraceMode| {
+            let mut campaign = Campaign::new(
+                CampaignConfig {
+                    trace: Some(mode),
+                    ..quick_config(MapScheme::TwoLevel, 3_000)
+                },
+                &interp,
+                &inst,
+            );
+            let tel = Arc::new(Telemetry::new(0));
+            campaign.set_telemetry(Arc::clone(&tel));
+            campaign.add_seeds(vec![vec![5u8; 24]]);
+            (campaign.run(), tel)
+        };
+        let (always, always_tel) = run(TraceMode::Always);
+        for mode in [TraceMode::Selective, TraceMode::Auto] {
+            let (stats, tel) = run(mode);
+            // The whole campaign trajectory must be bit-identical to the
+            // always-traced run: selective tracing may only change *how*
+            // coverage is observed, never what the campaign does with it.
+            assert_eq!(stats.execs, always.execs, "{mode:?}");
+            assert_eq!(stats.queue_len, always.queue_len, "{mode:?}");
+            assert_eq!(stats.used_len, always.used_len, "{mode:?}");
+            assert_eq!(stats.discovered_slots, always.discovered_slots, "{mode:?}");
+            assert_eq!(stats.total_crashes, always.total_crashes, "{mode:?}");
+            assert_eq!(stats.unique_crashes, always.unique_crashes, "{mode:?}");
+            assert_eq!(stats.hangs, always.hangs, "{mode:?}");
+            assert_eq!(
+                stats.timeline.points(),
+                always.timeline.points(),
+                "{mode:?} changed the coverage trajectory"
+            );
+            // The fast path must actually fire (most mutants replay known
+            // paths), and every exec is either skipped or re-traced or —
+            // in auto mode — run traced-direct.
+            let fast = tel.get(TelemetryEvent::FastPathExec);
+            let retraced = tel.get(TelemetryEvent::RetraceExec);
+            assert!(fast > 0, "{mode:?}: fast path never skipped anything");
+            if mode == TraceMode::Selective {
+                assert_eq!(fast + retraced, tel.get(TelemetryEvent::Exec));
+            } else {
+                assert!(fast + retraced <= tel.get(TelemetryEvent::Exec));
+            }
+        }
+        assert_eq!(always_tel.get(TelemetryEvent::FastPathExec), 0);
+        assert_eq!(always_tel.get(TelemetryEvent::RetraceExec), 0);
+    }
+
+    #[test]
+    fn selective_resume_restores_oracle_state() {
+        use crate::telemetry::{Telemetry, TelemetryEvent};
+
+        let program = GeneratorConfig::default().generate();
+        let inst = instrument(&program, MapSize::K64);
+        let interp = Interpreter::new(&program);
+        let config = CampaignConfig {
+            trace: Some(TraceMode::Selective),
+            ..quick_config(MapScheme::TwoLevel, 2_000)
+        };
+
+        // An always-trace campaign has no oracle to checkpoint.
+        let mut plain = Campaign::new(
+            CampaignConfig {
+                trace: Some(TraceMode::Always),
+                ..config.clone()
+            },
+            &interp,
+            &inst,
+        );
+        plain.add_seeds(vec![vec![5u8; 24]]);
+        assert_eq!(plain.checkpoint().oracle, None);
+
+        // Interrupted run: snapshot at ~1 000 execs, resume in a fresh
+        // campaign, finish the budget there.
+        let mut first = Campaign::new(config.clone(), &interp, &inst);
+        first.add_seeds(vec![vec![5u8; 24]]);
+        let mut ckpt = None;
+        first.run_with_hook(250, |c| {
+            if c.execs() >= 1_000 && ckpt.is_none() {
+                ckpt = Some(c.checkpoint());
+            }
+        });
+        let ckpt = ckpt.expect("hook must fire before the budget runs out");
+        assert!(
+            ckpt.oracle.as_ref().is_some_and(|o| !o.paths.is_empty()),
+            "a selective campaign's checkpoint must carry oracle state"
+        );
+        // The text codec round-trips it (what CheckpointManager persists).
+        let ckpt = Checkpoint::from_text(&ckpt.to_text()).unwrap();
+
+        let mut resumed = Campaign::new(config, &interp, &inst);
+        let tel = Arc::new(Telemetry::new(0));
+        resumed.set_telemetry(Arc::clone(&tel));
+        resumed.restore(&ckpt);
+
+        // Every checkpointed path hash survived the install (the restored
+        // oracle may hold more — the replay commits too, never less).
+        let reinstalled = resumed
+            .checkpoint()
+            .oracle
+            .expect("oracle state must survive restore");
+        let persisted = ckpt.oracle.as_ref().unwrap();
+        assert!(
+            persisted
+                .paths
+                .iter()
+                .all(|p| reinstalled.paths.binary_search(p).is_ok()),
+            "restore dropped committed path hashes"
+        );
+        assert_eq!(reinstalled.buckets.len(), persisted.buckets.len());
+
+        // The resumed campaign finishes its budget with the fast path hot
+        // (replay itself stays out of telemetry, so every skip counted
+        // here happened after the resume).
+        let stats = resumed.run();
+        assert_eq!(stats.execs, 2_000);
+        assert!(stats.queue_len >= ckpt.queue.len());
+        assert!(
+            tel.get(TelemetryEvent::FastPathExec) > 0,
+            "resumed campaign never skipped: oracle state was lost"
         );
     }
 

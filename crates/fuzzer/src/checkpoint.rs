@@ -15,6 +15,15 @@
 //! exchange for a checkpoint file that stays small and
 //! format-independent of the map implementation.
 //!
+//! The selective-tracing novelty oracle's committed state *is* carried
+//! (when non-empty): unlike the virgin maps it is not derivable from the
+//! queue alone — it also remembers paths of mutants that were traced and
+//! judged `NoNew` — and while dropping it would stay correct (an empty
+//! oracle just re-traces everything until re-committed), carrying it
+//! preserves the resumed campaign's fast-path hit rate. Always-trace
+//! campaigns emit no oracle lines, so their files stay byte-identical to
+//! the pre-oracle v1 format.
+//!
 //! Persistence is crash-safe by construction: the snapshot is written to
 //! `checkpoint.tmp` and atomically renamed over `checkpoint`, so a kill
 //! mid-write leaves the previous checkpoint intact. The file format is a
@@ -62,6 +71,8 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
+
+use bigmap_target::OracleSnapshot;
 
 use crate::campaign::Campaign;
 use crate::faults::FaultSite;
@@ -117,6 +128,13 @@ pub struct Checkpoint {
     pub crashes: Vec<(u32, Vec<u8>)>,
     /// Hang-triggering inputs, in first-sighting order.
     pub hang_inputs: Vec<Vec<u8>>,
+    /// Committed novelty-oracle state (selective-tracing campaigns).
+    /// `None` for always-trace campaigns and for campaigns whose oracle
+    /// has committed nothing yet — those files are byte-identical to the
+    /// pre-oracle format. A resuming campaign that finds no oracle state
+    /// starts with an empty oracle, which is the conservative fallback
+    /// (every exec re-traces until re-committed).
+    pub oracle: Option<OracleSnapshot>,
 }
 
 fn hex_encode(bytes: &[u8]) -> String {
@@ -195,6 +213,14 @@ impl Checkpoint {
         for input in &self.hang_inputs {
             let _ = writeln!(out, "hang {}", hex_encode(input));
         }
+        if let Some(snap) = &self.oracle {
+            let _ = writeln!(out, "oracle_buckets {}", hex_encode(&snap.buckets));
+            let mut path_bytes = Vec::with_capacity(snap.paths.len() * 8);
+            for path in &snap.paths {
+                path_bytes.extend_from_slice(&path.to_be_bytes());
+            }
+            let _ = writeln!(out, "oracle_paths {}", hex_encode(&path_bytes));
+        }
         let _ = writeln!(out, "end");
         out
     }
@@ -223,6 +249,7 @@ impl Checkpoint {
             queue: Vec::new(),
             crashes: Vec::new(),
             hang_inputs: Vec::new(),
+            oracle: None,
         };
         let mut ended = false;
         for (i, line) in lines.enumerate() {
@@ -299,6 +326,29 @@ impl Checkpoint {
                     let input =
                         hex_decode(&next("input")?).map_err(|e| format!("line {lineno}: {e}"))?;
                     ckpt.hang_inputs.push(input);
+                }
+                "oracle_buckets" => {
+                    let buckets =
+                        hex_decode(&next("buckets")?).map_err(|e| format!("line {lineno}: {e}"))?;
+                    ckpt.oracle
+                        .get_or_insert_with(OracleSnapshot::default)
+                        .buckets = buckets;
+                }
+                "oracle_paths" => {
+                    let bytes =
+                        hex_decode(&next("paths")?).map_err(|e| format!("line {lineno}: {e}"))?;
+                    if !bytes.len().is_multiple_of(8) {
+                        return Err(format!(
+                            "line {lineno}: oracle path payload is {} bytes (not 8-aligned)",
+                            bytes.len()
+                        ));
+                    }
+                    ckpt.oracle
+                        .get_or_insert_with(OracleSnapshot::default)
+                        .paths = bytes
+                        .chunks_exact(8)
+                        .map(|c| u64::from_be_bytes(c.try_into().unwrap()))
+                        .collect();
                 }
                 "end" => ended = true,
                 other => return Err(format!("line {lineno}: unknown key '{other}'")),
@@ -464,6 +514,7 @@ mod tests {
             ],
             crashes: vec![(0xABCD_EF01, b"boom".to_vec()), (3, Vec::new())],
             hang_inputs: vec![b"spin".to_vec()],
+            oracle: None,
         }
     }
 
@@ -472,6 +523,39 @@ mod tests {
         let ckpt = sample();
         let parsed = Checkpoint::from_text(&ckpt.to_text()).expect("round trip");
         assert_eq!(parsed, ckpt);
+    }
+
+    #[test]
+    fn oracle_state_round_trips() {
+        let ckpt = Checkpoint {
+            oracle: Some(OracleSnapshot {
+                buckets: vec![0b1000_0001, 0, 0xFF],
+                paths: vec![0, 1, u64::MAX, 0xDEAD_BEEF_CAFE_F00D],
+            }),
+            ..sample()
+        };
+        let parsed = Checkpoint::from_text(&ckpt.to_text()).expect("round trip");
+        assert_eq!(parsed, ckpt);
+    }
+
+    #[test]
+    fn always_trace_checkpoints_keep_the_pre_oracle_format() {
+        // `oracle: None` must serialize byte-identically to the v1 format
+        // that predates selective tracing, and such files must parse with
+        // no oracle state (the conservative empty-oracle resume).
+        let text = sample().to_text();
+        assert!(!text.contains("oracle"), "no oracle lines when None");
+        let parsed = Checkpoint::from_text(&text).unwrap();
+        assert_eq!(parsed.oracle, None);
+    }
+
+    #[test]
+    fn misaligned_oracle_paths_rejected() {
+        let mut text = sample().to_text();
+        text = text.replace("\nend\n", "\noracle_paths abcd\nend\n");
+        assert!(Checkpoint::from_text(&text)
+            .unwrap_err()
+            .contains("not 8-aligned"));
     }
 
     #[test]

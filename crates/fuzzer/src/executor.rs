@@ -12,7 +12,7 @@ use std::time::{Duration, Instant};
 
 use bigmap_core::CoverageMap;
 use bigmap_coverage::{CoverageMetric, Instrumentation, TraceEvent};
-use bigmap_target::{ExecOutcome, Interpreter, TraceSink};
+use bigmap_target::{ExecOutcome, Interpreter, NoveltyOracle, TraceSink};
 
 /// Adapter: structural interpreter events → instrumented IDs → metric keys
 /// → map updates.
@@ -196,10 +196,49 @@ impl<'p> Executor<'p> {
         }
     }
 
+    /// Runs `input` on the untraced fast path: no coverage metric, no map
+    /// updates — only the novelty `oracle` observes the trace. Step
+    /// budgeting mirrors [`Executor::run`] exactly (same calibrated
+    /// budget, same hang classification), so a fast exec and its traced
+    /// re-execution always agree on outcome and step count.
+    pub fn run_fast(&mut self, input: &[u8], oracle: &mut NoveltyOracle) -> FastExecution {
+        let start = Instant::now();
+        let budget = self
+            .step_budget
+            .unwrap_or(self.interpreter.config().max_steps);
+        let run = self.interpreter.run_fast_bounded(input, oracle, budget);
+        FastExecution {
+            outcome: run.outcome,
+            exec_time: start.elapsed(),
+            steps: run.steps,
+            planted_hang: run.planted_hang,
+            provably_seen: oracle.provably_seen(),
+        }
+    }
+
     /// The instrumentation tables in use.
     pub fn instrumentation(&self) -> &Instrumentation {
         self.instrumentation
     }
+}
+
+/// Result of one untraced fast-path execution ([`Executor::run_fast`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastExecution {
+    /// The target's outcome.
+    pub outcome: ExecOutcome,
+    /// Wall-clock time of the untraced execution.
+    pub exec_time: Duration,
+    /// Interpreter steps consumed — identical to what the traced path
+    /// would charge for the same input and budget.
+    pub steps: u64,
+    /// See [`Execution::planted_hang`].
+    pub planted_hang: bool,
+    /// The oracle's verdict: `true` means this execution is provably
+    /// identical in coverage effect to an already-committed traced run,
+    /// so (if it also completed `Ok`) the traced re-execution can be
+    /// skipped without changing the campaign trajectory.
+    pub provably_seen: bool,
 }
 
 #[cfg(test)]
@@ -345,6 +384,50 @@ mod tests {
         map.reset();
         let again = executor.run(b"count me", &mut map);
         assert_eq!(first.map_updates, again.map_updates);
+    }
+
+    #[test]
+    fn fast_path_agrees_with_traced_on_outcome_and_steps() {
+        let (program, inst) = setup();
+        let interp = Interpreter::new(&program);
+        let mut executor = Executor::new(&interp, &inst, Box::new(EdgeHitCount::new()));
+        let mut oracle = NoveltyOracle::new(program.block_count());
+        let mut map = BigMap::new(MapSize::K64).unwrap();
+        for input in [&b"abc"[..], &[0x11; 48], b""] {
+            let fast = executor.run_fast(input, &mut oracle);
+            map.reset();
+            let traced = executor.run(input, &mut map);
+            assert_eq!(fast.outcome, traced.outcome);
+            assert_eq!(fast.steps, traced.steps);
+            assert_eq!(fast.planted_hang, traced.planted_hang);
+        }
+    }
+
+    #[test]
+    fn fast_path_respects_calibrated_budget() {
+        let (program, inst) = setup();
+        let interp = Interpreter::new(&program);
+        let mut executor = Executor::new(&interp, &inst, Box::new(EdgeHitCount::new()));
+        let mut oracle = NoveltyOracle::new(program.block_count());
+        let full = executor.run_fast(b"budget", &mut oracle);
+        assert!(full.outcome.is_ok());
+        executor.set_step_budget(Some(full.steps - 1));
+        let cut = executor.run_fast(b"budget", &mut oracle);
+        assert!(cut.outcome.is_hang(), "calibrated budget must bind");
+        assert!(!cut.provably_seen);
+    }
+
+    #[test]
+    fn oracle_verdict_flips_after_commit() {
+        let (program, inst) = setup();
+        let interp = Interpreter::new(&program);
+        let mut executor = Executor::new(&interp, &inst, Box::new(EdgeHitCount::new()));
+        let mut oracle = NoveltyOracle::new(program.block_count());
+        let first = executor.run_fast(b"repeat", &mut oracle);
+        assert!(!first.provably_seen, "fresh path must be suspicious");
+        oracle.commit();
+        let second = executor.run_fast(b"repeat", &mut oracle);
+        assert!(second.provably_seen, "committed replay is skippable");
     }
 
     #[test]

@@ -5,6 +5,12 @@
 //! files are preferred"), and a *favored* subset is maintained by culling —
 //! for every coverage slot, the fastest/smallest entry covering it is
 //! marked favored and scheduled far more often.
+//!
+//! "Speed" is measured in deterministic interpreter *steps*, not wall
+//! time: step counts are a pure function of (program, input), so culling —
+//! and therefore the whole campaign trajectory — is identical across
+//! re-runs, hosts and execution modes. Wall time is still carried on each
+//! entry for reporting, but it never influences scheduling.
 
 use std::collections::HashMap;
 use std::time::Duration;
@@ -16,8 +22,12 @@ pub struct QueueEntry {
     pub id: usize,
     /// The test-case bytes.
     pub input: Vec<u8>,
-    /// Measured execution time of this seed.
+    /// Measured wall-clock execution time of this seed (reporting only;
+    /// scheduling uses `steps`).
     pub exec_time: Duration,
+    /// Deterministic interpreter steps (executed blocks) the seed's
+    /// admission run consumed — the speed term of [`QueueEntry::score`].
+    pub steps: u64,
     /// Hash of the classified coverage map when this entry was admitted.
     pub bitmap_hash: u32,
     /// Number of non-zero coverage slots the entry exercised.
@@ -34,9 +44,10 @@ pub struct QueueEntry {
 
 impl QueueEntry {
     /// AFL-style score: lower is better (fast + small wins slots during
-    /// culling).
+    /// culling). Computed from deterministic step counts so identical
+    /// campaigns cull identically regardless of wall-clock noise.
     pub fn score(&self) -> u128 {
-        self.exec_time.as_nanos().max(1) * self.input.len().max(1) as u128
+        u128::from(self.steps.max(1)) * self.input.len().max(1) as u128
     }
 }
 
@@ -49,7 +60,7 @@ impl QueueEntry {
 /// use std::time::Duration;
 ///
 /// let mut queue = Queue::new();
-/// let id = queue.add(b"seed".to_vec(), Duration::from_micros(50), 0xABCD, &[0, 7]);
+/// let id = queue.add(b"seed".to_vec(), Duration::from_micros(50), 120, 0xABCD, &[0, 7]);
 /// assert_eq!(queue.len(), 1);
 /// assert!(queue.entry(id).favored, "first claimant of a slot is favored");
 /// ```
@@ -99,10 +110,11 @@ impl Queue {
         &mut self,
         input: Vec<u8>,
         exec_time: Duration,
+        steps: u64,
         bitmap_hash: u32,
         covered_slots: &[usize],
     ) -> usize {
-        self.add_with_depth(input, exec_time, bitmap_hash, covered_slots, 0)
+        self.add_with_depth(input, exec_time, steps, bitmap_hash, covered_slots, 0)
     }
 
     /// [`Queue::add`] with an explicit derivation depth (0 for initial
@@ -114,6 +126,7 @@ impl Queue {
         &mut self,
         input: Vec<u8>,
         exec_time: Duration,
+        steps: u64,
         bitmap_hash: u32,
         covered_slots: &[usize],
         depth: usize,
@@ -123,6 +136,7 @@ impl Queue {
             id,
             input,
             exec_time,
+            steps,
             bitmap_hash,
             coverage_slots: covered_slots.len(),
             favored: false,
@@ -233,7 +247,7 @@ mod tests {
     #[test]
     fn first_entry_claims_all_its_slots() {
         let mut q = Queue::new();
-        let id = q.add(vec![1, 2, 3], micros(10), 0, &[5, 9, 11]);
+        let id = q.add(vec![1, 2, 3], micros(10), 10, 0, &[5, 9, 11]);
         assert!(q.entry(id).favored);
         assert_eq!(q.favored_count(), 1);
         assert_eq!(q.entry(id).coverage_slots, 3);
@@ -242,9 +256,9 @@ mod tests {
     #[test]
     fn faster_smaller_entry_steals_slots() {
         let mut q = Queue::new();
-        let slow = q.add(vec![0; 100], micros(1000), 0, &[1, 2]);
+        let slow = q.add(vec![0; 100], micros(1000), 1000, 0, &[1, 2]);
         assert!(q.entry(slow).favored);
-        let fast = q.add(vec![0; 4], micros(10), 0, &[1, 2]);
+        let fast = q.add(vec![0; 4], micros(10), 10, 0, &[1, 2]);
         assert!(q.entry(fast).favored);
         assert!(!q.entry(slow).favored, "slow entry must lose both slots");
     }
@@ -252,8 +266,8 @@ mod tests {
     #[test]
     fn incumbent_with_better_score_keeps_slot() {
         let mut q = Queue::new();
-        let fast = q.add(vec![0; 4], micros(10), 0, &[1]);
-        let slow = q.add(vec![0; 100], micros(1000), 0, &[1]);
+        let fast = q.add(vec![0; 4], micros(10), 10, 0, &[1]);
+        let slow = q.add(vec![0; 100], micros(1000), 1000, 0, &[1]);
         assert!(q.entry(fast).favored);
         assert!(!q.entry(slow).favored);
     }
@@ -261,8 +275,8 @@ mod tests {
     #[test]
     fn disjoint_coverage_keeps_both_favored() {
         let mut q = Queue::new();
-        let a = q.add(vec![0; 10], micros(100), 0, &[1]);
-        let b = q.add(vec![0; 10], micros(100), 0, &[2]);
+        let a = q.add(vec![0; 10], micros(100), 100, 0, &[1]);
+        let b = q.add(vec![0; 10], micros(100), 100, 0, &[2]);
         assert!(q.entry(a).favored && q.entry(b).favored);
         assert_eq!(q.favored_count(), 2);
     }
@@ -270,9 +284,9 @@ mod tests {
     #[test]
     fn schedule_prefers_favored() {
         let mut q = Queue::new();
-        q.add(vec![0; 4], micros(10), 0, &[1]); // favored
-        q.add(vec![0; 100], micros(9999), 0, &[1]); // not favored
-                                                    // Deterministic "always skip non-favored" coin:
+        q.add(vec![0; 4], micros(10), 10, 0, &[1]); // favored
+        q.add(vec![0; 100], micros(9999), 9999, 0, &[1]); // not favored
+                                                          // Deterministic "always skip non-favored" coin:
         let mut picks = [0usize; 2];
         for _ in 0..100 {
             let id = q.schedule(|| 0.9).unwrap();
@@ -285,8 +299,8 @@ mod tests {
     #[test]
     fn schedule_eventually_picks_non_favored() {
         let mut q = Queue::new();
-        q.add(vec![0; 4], micros(10), 0, &[1]);
-        q.add(vec![0; 100], micros(9999), 0, &[1]);
+        q.add(vec![0; 4], micros(10), 10, 0, &[1]);
+        q.add(vec![0; 100], micros(9999), 9999, 0, &[1]);
         let mut picked_second = false;
         for _ in 0..100 {
             if q.schedule(|| 0.0).unwrap() == 1 {
@@ -305,7 +319,7 @@ mod tests {
     #[test]
     fn fuzzed_rounds_increment() {
         let mut q = Queue::new();
-        let id = q.add(vec![1], micros(1), 0, &[0]);
+        let id = q.add(vec![1], micros(1), 1, 0, &[0]);
         for _ in 0..5 {
             q.schedule(|| 0.5);
         }
@@ -313,11 +327,12 @@ mod tests {
     }
 
     #[test]
-    fn score_monotone_in_time_and_len() {
+    fn score_monotone_in_steps_and_len() {
         let a = QueueEntry {
             id: 0,
             input: vec![0; 10],
             exec_time: micros(10),
+            steps: 10,
             bitmap_hash: 0,
             coverage_slots: 0,
             favored: false,
@@ -325,10 +340,14 @@ mod tests {
             depth: 0,
         };
         let mut slower = a.clone();
-        slower.exec_time = micros(100);
+        slower.steps = 100;
         let mut bigger = a.clone();
         bigger.input = vec![0; 100];
         assert!(a.score() < slower.score());
         assert!(a.score() < bigger.score());
+        // Wall time is reporting-only: it must not move the score.
+        let mut late = a.clone();
+        late.exec_time = micros(10_000);
+        assert_eq!(a.score(), late.score());
     }
 }

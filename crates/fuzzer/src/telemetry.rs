@@ -107,11 +107,19 @@ pub enum TelemetryEvent {
     /// Executions whose touch journal overflowed its capacity, forcing
     /// the dense fallback regardless of the dispatch policy.
     JournalOverflow,
+    /// Untraced fast-path executions whose novelty oracle proved them
+    /// already-seen, so the traced re-execution was skipped entirely
+    /// (`BIGMAP_TRACE_MODE=selective|auto`). Disjoint from `RetraceExec`;
+    /// together they partition the fast-pass attempts.
+    FastPathExec,
+    /// Fast-path executions the oracle flagged as suspicious (or that
+    /// crashed/hanged), forcing a full traced re-execution.
+    RetraceExec,
 }
 
 impl TelemetryEvent {
     /// Every event, in serialization order.
-    pub const ALL: [TelemetryEvent; 21] = [
+    pub const ALL: [TelemetryEvent; 23] = [
         TelemetryEvent::MapReset,
         TelemetryEvent::ClassifyPass,
         TelemetryEvent::VirginCompare,
@@ -133,6 +141,8 @@ impl TelemetryEvent {
         TelemetryEvent::SparseDispatch,
         TelemetryEvent::DenseDispatch,
         TelemetryEvent::JournalOverflow,
+        TelemetryEvent::FastPathExec,
+        TelemetryEvent::RetraceExec,
     ];
 
     #[inline]
@@ -159,6 +169,8 @@ impl TelemetryEvent {
             TelemetryEvent::SparseDispatch => 18,
             TelemetryEvent::DenseDispatch => 19,
             TelemetryEvent::JournalOverflow => 20,
+            TelemetryEvent::FastPathExec => 21,
+            TelemetryEvent::RetraceExec => 22,
         }
     }
 
@@ -186,6 +198,8 @@ impl TelemetryEvent {
             TelemetryEvent::SparseDispatch => "sparse_dispatches",
             TelemetryEvent::DenseDispatch => "dense_dispatches",
             TelemetryEvent::JournalOverflow => "journal_overflows",
+            TelemetryEvent::FastPathExec => "fast_path_execs",
+            TelemetryEvent::RetraceExec => "retrace_execs",
         }
     }
 
@@ -258,7 +272,7 @@ impl Stage {
 pub struct Telemetry {
     instance: usize,
     started: Instant,
-    events: [EventCounter; 21],
+    events: [EventCounter; 23],
     stages: [StageNanos; 4],
 }
 
@@ -333,7 +347,7 @@ pub struct TelemetrySnapshot {
     /// Wall-clock nanoseconds since the instance's telemetry was created.
     pub wall_nanos: u64,
     /// Event counters, indexed in [`TelemetryEvent::ALL`] order.
-    pub events: [u64; 21],
+    pub events: [u64; 23],
     /// Stage accumulators (nanoseconds), indexed in [`Stage::ALL`] order.
     pub stage_nanos: [u64; 4],
 }
@@ -834,6 +848,20 @@ mod tests {
         assert_eq!(snap.get(TelemetryEvent::SparseDispatch), 0);
         assert_eq!(snap.get(TelemetryEvent::DenseDispatch), 0);
         assert_eq!(snap.get(TelemetryEvent::JournalOverflow), 0);
+    }
+
+    #[test]
+    fn pre_trace_mode_snapshot_lines_still_parse() {
+        // Snapshots written in the 21-slot era (sparse counters present,
+        // two-speed counters absent) must parse with the fast-path and
+        // re-trace counters at 0.
+        let legacy = "{\"instance\":4,\"wall_nanos\":8,\"execs\":300,\
+                      \"sparse_dispatches\":250,\"dense_dispatches\":50}";
+        let snap = TelemetrySnapshot::from_json(legacy).expect("legacy line parses");
+        assert_eq!(snap.get(TelemetryEvent::Exec), 300);
+        assert_eq!(snap.get(TelemetryEvent::SparseDispatch), 250);
+        assert_eq!(snap.get(TelemetryEvent::FastPathExec), 0);
+        assert_eq!(snap.get(TelemetryEvent::RetraceExec), 0);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! keeping exec budgets exact.
 
 use crate::ir::{BlockKind, Program};
+use crate::oracle::NoveltyOracle;
 
 /// Receives the dynamic trace of one execution.
 ///
@@ -142,6 +143,31 @@ impl<'p> Interpreter<'p> {
     /// identical event sequence and outcome.
     pub fn run<S: TraceSink + ?Sized>(&self, input: &[u8], sink: &mut S) -> ExecOutcome {
         self.run_bounded(input, sink, self.config.max_steps).outcome
+    }
+
+    /// Execute `input` on the untraced fast path: no coverage-sink
+    /// callbacks, only the cheap [`NoveltyOracle`] observing the trace.
+    /// After the call, [`NoveltyOracle::provably_seen`] reports whether
+    /// this execution can be skipped or must be re-run with full tracing.
+    ///
+    /// Step accounting, hang classification and the outcome are identical
+    /// to [`Interpreter::run`] by construction — the oracle rides the
+    /// same [`TraceSink`] stream — so hang-budget calibration behaves the
+    /// same in both speeds.
+    pub fn run_fast(&self, input: &[u8], oracle: &mut NoveltyOracle) -> BoundedRun {
+        self.run_fast_bounded(input, oracle, self.config.max_steps)
+    }
+
+    /// [`Interpreter::run_fast`] with an explicit step budget, mirroring
+    /// [`Interpreter::run_bounded`].
+    pub fn run_fast_bounded(
+        &self,
+        input: &[u8],
+        oracle: &mut NoveltyOracle,
+        max_steps: u64,
+    ) -> BoundedRun {
+        oracle.begin_exec();
+        self.run_bounded(input, oracle, max_steps)
     }
 
     /// [`Interpreter::run`] with an explicit step budget overriding the

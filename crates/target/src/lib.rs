@@ -41,6 +41,7 @@ mod generator;
 mod interp;
 mod ir;
 mod lafintel;
+mod oracle;
 mod suite;
 
 pub use builder::ProgramBuilder;
@@ -49,6 +50,7 @@ pub use generator::{generate_seeds, GeneratorConfig};
 pub use interp::{BoundedRun, ExecConfig, ExecOutcome, Interpreter, NullSink, TraceSink};
 pub use ir::Program;
 pub use lafintel::{apply_laf_intel, LafIntelStats};
+pub use oracle::{NoveltyOracle, OracleSnapshot, DEFAULT_MAX_PATHS};
 pub use suite::BenchmarkSpec;
 
 #[cfg(test)]
@@ -300,6 +302,65 @@ mod tests {
             for seed in &seeds {
                 assert!(!seed.is_empty());
                 assert!(trace(&program, seed).1.is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn exact_budget_completion_is_ok_not_hang() {
+        // Regression guard for the step-budget boundary: an execution
+        // that finishes on exactly the last budgeted step must classify
+        // Ok, not Hang — an off-by-one here would misroute inputs to the
+        // hang map and poison selective-tracing re-trace decisions.
+        let programs = [
+            ProgramBuilder::new("straight")
+                .gate(0, b'A', false)
+                .gate(1, b'B', false)
+                .build()
+                .unwrap(),
+            ProgramBuilder::new("loopy")
+                .loop_gate(0, 10)
+                .build()
+                .unwrap(),
+        ];
+        for program in &programs {
+            for input in [&b""[..], b"AB", b"A?", &[7u8]] {
+                let interp = Interpreter::new(program);
+                let generous = interp.run_bounded(input, &mut NullSink, 1_000_000);
+                assert!(generous.outcome.is_ok());
+                let steps = generous.steps;
+
+                // Budget == steps actually needed: completes, Ok.
+                let exact = interp.run_bounded(input, &mut NullSink, steps);
+                assert_eq!(exact.outcome, ExecOutcome::Ok, "exact budget must be Ok");
+                assert_eq!(exact.steps, steps);
+
+                // One step short: must be Hang, with the budget drained.
+                let short = interp.run_bounded(input, &mut NullSink, steps - 1);
+                assert_eq!(short.outcome, ExecOutcome::Hang);
+                assert!(!short.planted_hang);
+                assert_eq!(short.steps, steps - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn fast_path_boundary_matches_traced_path() {
+        // run_fast must agree with run_bounded on outcome and step
+        // accounting at the exact-budget boundary (and everywhere else).
+        let program = ProgramBuilder::new("par")
+            .gate(0, b'Q', false)
+            .loop_gate(1, 6)
+            .build()
+            .unwrap();
+        let interp = Interpreter::new(&program);
+        let mut oracle = NoveltyOracle::new(program.block_count());
+        for input in [&b"Q\x05"[..], b"??", b""] {
+            let traced = interp.run_bounded(input, &mut NullSink, 1_000_000);
+            for budget in [traced.steps - 1, traced.steps, traced.steps + 1] {
+                let slow = interp.run_bounded(input, &mut NullSink, budget);
+                let fast = interp.run_fast_bounded(input, &mut oracle, budget);
+                assert_eq!(slow, fast, "speeds diverge at budget {budget}");
             }
         }
     }

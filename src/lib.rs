@@ -77,7 +77,7 @@ pub mod prelude {
     pub use bigmap_cache::{CacheHierarchy, TraceWorkload};
     pub use bigmap_core::{
         BigMap, CoverageMap, FlatBitmap, MapScheme, MapSize, NewCoverage, OpKind, OpPath, OpStats,
-        SparseMode, VirginState,
+        SparseMode, TraceMode, VirginState,
     };
     pub use bigmap_coverage::{
         CoverageMetric, EdgeHitCount, Instrumentation, MetricKind, MetricStack, NGram, TraceEvent,
@@ -93,6 +93,7 @@ pub mod prelude {
     };
     pub use bigmap_target::{
         apply_laf_intel, generate_seeds, BenchmarkSpec, ExecConfig, ExecOutcome, GeneratorConfig,
-        Interpreter, LafIntelStats, NullSink, Program, ProgramBuilder, TargetError, TraceSink,
+        Interpreter, LafIntelStats, NoveltyOracle, NullSink, OracleSnapshot, Program,
+        ProgramBuilder, TargetError, TraceSink,
     };
 }

@@ -18,6 +18,14 @@ use bigmap::core::kernels::{available, table_for};
 use bigmap::prelude::*;
 
 fn run_once(seed: u64, sparse: Option<SparseMode>) -> CampaignStats {
+    run_configured(seed, sparse, None).0
+}
+
+fn run_configured(
+    seed: u64,
+    sparse: Option<SparseMode>,
+    trace: Option<TraceMode>,
+) -> (CampaignStats, std::sync::Arc<Telemetry>) {
     let spec = BenchmarkSpec::by_name("libpng").unwrap();
     let program = spec.build(0.05);
     let seeds = spec.build_seeds(&program, 8);
@@ -31,13 +39,16 @@ fn run_once(seed: u64, sparse: Option<SparseMode>) -> CampaignStats {
             budget: Budget::Execs(4_000),
             seed,
             sparse,
+            trace,
             ..Default::default()
         },
         &interpreter,
         &instrumentation,
     );
+    let tel = std::sync::Arc::new(Telemetry::new(0));
+    campaign.set_telemetry(std::sync::Arc::clone(&tel));
     campaign.add_seeds(seeds);
-    campaign.run()
+    (campaign.run(), tel)
 }
 
 #[test]
@@ -72,6 +83,42 @@ fn campaign_trajectory_is_sparse_mode_invariant() {
             baseline.timeline.points(),
             forced.timeline.points(),
             "{mode:?}: sparse dispatch changed the coverage trajectory"
+        );
+    }
+}
+
+#[test]
+fn campaign_trajectory_is_trace_mode_invariant() {
+    // Selective tracing runs most test cases untraced and re-traces only
+    // novelty-oracle-flagged ones — an *observation* optimization that
+    // must not move a single point on the coverage timeline. CI also runs
+    // this whole file under BIGMAP_TRACE_MODE=always and =selective,
+    // pinning the process-wide default both ways.
+    let (baseline, baseline_tel) = run_configured(31, None, Some(TraceMode::Always));
+    assert_eq!(baseline_tel.get(TelemetryEvent::FastPathExec), 0);
+    for mode in [TraceMode::Selective, TraceMode::Auto] {
+        let (two_speed, tel) = run_configured(31, None, Some(mode));
+        assert_eq!(baseline.execs, two_speed.execs, "{mode:?}: exec count");
+        assert_eq!(baseline.queue_len, two_speed.queue_len, "{mode:?}: queue");
+        assert_eq!(
+            baseline.used_len, two_speed.used_len,
+            "{mode:?}: used prefix"
+        );
+        assert_eq!(
+            baseline.total_crashes, two_speed.total_crashes,
+            "{mode:?}: crashes"
+        );
+        assert_eq!(baseline.hangs, two_speed.hangs, "{mode:?}: hangs");
+        assert_eq!(
+            baseline.timeline.points(),
+            two_speed.timeline.points(),
+            "{mode:?}: selective tracing changed the coverage trajectory"
+        );
+        // The equivalence must be earned, not vacuous: the fast path has
+        // to have actually skipped executions.
+        assert!(
+            tel.get(TelemetryEvent::FastPathExec) > 0,
+            "{mode:?}: fast path never fired — the test proves nothing"
         );
     }
 }
