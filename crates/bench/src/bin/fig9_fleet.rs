@@ -127,6 +127,7 @@ fn main() {
             } else {
                 None
             },
+            liveness_deadline: None,
         };
         let started = Instant::now();
         let stats = run_fleet(&config, |_| {

@@ -4,7 +4,8 @@
 //! declared here as a [`Knob`]: its name, accepted values, default and
 //! one-line description. The typed accessors ([`kernel_request`],
 //! [`sparse_request`], [`trace_request`], [`nt_threshold_request`],
-//! [`sync_batch`], [`fabric_worker`]) parse and validate in one pass and are the only
+//! [`sync_batch`], [`fabric_worker`], [`ckpt_keep`], [`heartbeat_ms`],
+//! [`liveness_deadline_ms`]) parse and validate in one pass and are the only
 //! code in the workspace that calls `std::env::var` for a `BIGMAP_*`
 //! name, so the registry cannot drift from the behaviour.
 //!
@@ -94,6 +95,29 @@ pub const KNOBS: &[Knob] = &[
         default: "unset",
         description: "Internal handshake set by the fleet parent on its child processes; a \
                       host binary that sees it assumes the worker role. Not for manual use.",
+    },
+    Knob {
+        name: "BIGMAP_CKPT_KEEP",
+        values: "generations (integer ≥ 1)",
+        default: "`3`",
+        description: "Checkpoint generations retained per instance (`checkpoint`, \
+                      `checkpoint.1`, …); restore falls back to the newest generation whose \
+                      section checksums verify.",
+    },
+    Knob {
+        name: "BIGMAP_HEARTBEAT_MS",
+        values: "milliseconds (integer, `0` disables)",
+        default: "`500`",
+        description: "Cadence at which fleet workers emit `HEARTBEAT` frames carrying their \
+                      exec counter, so the parent can tell a hung worker from a slow one.",
+    },
+    Knob {
+        name: "BIGMAP_LIVENESS_DEADLINE_MS",
+        values: "milliseconds (integer, `0` disables)",
+        default: "`30000`",
+        description: "Max time the fleet parent tolerates a worker making no progress (no \
+                      frames, or heartbeats with a frozen exec counter) before killing and \
+                      restarting it through the supervisor path.",
     },
 ];
 
@@ -245,6 +269,60 @@ pub fn fabric_worker() -> Option<(usize, usize)> {
     parsed
 }
 
+/// Default for [`ckpt_keep`].
+pub const CKPT_KEEP_DEFAULT: usize = 3;
+
+/// `BIGMAP_CKPT_KEEP`: how many checkpoint generations to retain.
+/// Malformed or zero values warn and read as the default.
+pub fn ckpt_keep() -> usize {
+    match raw("BIGMAP_CKPT_KEEP") {
+        None => CKPT_KEEP_DEFAULT,
+        Some(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!(
+                    "BIGMAP_CKPT_KEEP={raw}: expected an integer ≥ 1, \
+                     using {CKPT_KEEP_DEFAULT}"
+                );
+                CKPT_KEEP_DEFAULT
+            }
+        },
+    }
+}
+
+/// Default for [`heartbeat_ms`].
+pub const HEARTBEAT_MS_DEFAULT: u64 = 500;
+
+/// `BIGMAP_HEARTBEAT_MS`: worker heartbeat cadence in milliseconds;
+/// `0` disables the heartbeat thread. Malformed values warn and read as
+/// the default.
+pub fn heartbeat_ms() -> u64 {
+    millis_knob("BIGMAP_HEARTBEAT_MS", HEARTBEAT_MS_DEFAULT)
+}
+
+/// Default for [`liveness_deadline_ms`].
+pub const LIVENESS_DEADLINE_MS_DEFAULT: u64 = 30_000;
+
+/// `BIGMAP_LIVENESS_DEADLINE_MS`: fleet-parent no-progress deadline in
+/// milliseconds; `0` disables liveness enforcement. Malformed values
+/// warn and read as the default.
+pub fn liveness_deadline_ms() -> u64 {
+    millis_knob("BIGMAP_LIVENESS_DEADLINE_MS", LIVENESS_DEADLINE_MS_DEFAULT)
+}
+
+fn millis_knob(name: &str, default: u64) -> u64 {
+    match raw(name) {
+        None => default,
+        Some(raw) => match raw.trim().parse::<u64>() {
+            Ok(ms) => ms,
+            Err(_) => {
+                eprintln!("{name}={raw}: expected milliseconds (integer), using {default}");
+                default
+            }
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -302,6 +380,15 @@ mod tests {
         }
         if std::env::var_os("BIGMAP_TRACE_MODE").is_none() {
             assert_eq!(trace_request(), TraceMode::Always);
+        }
+        if std::env::var_os("BIGMAP_CKPT_KEEP").is_none() {
+            assert_eq!(ckpt_keep(), CKPT_KEEP_DEFAULT);
+        }
+        if std::env::var_os("BIGMAP_HEARTBEAT_MS").is_none() {
+            assert_eq!(heartbeat_ms(), HEARTBEAT_MS_DEFAULT);
+        }
+        if std::env::var_os("BIGMAP_LIVENESS_DEADLINE_MS").is_none() {
+            assert_eq!(liveness_deadline_ms(), LIVENESS_DEADLINE_MS_DEFAULT);
         }
     }
 

@@ -958,8 +958,12 @@ impl<'p> Campaign<'p> {
         }
     }
 
-    /// Runs the campaign, invoking `on_sync` every `sync_every` executions
-    /// (parallel corpus exchange hook).
+    /// Runs the campaign, invoking `on_sync` at the first mutation-batch
+    /// boundary at or past each `sync_every` cadence mark (parallel
+    /// corpus exchange hook). Boundaries are batch-aligned so a
+    /// checkpoint taken inside the hook captures complete, resumable
+    /// state; the hook therefore fires every `sync_every` executions
+    /// only approximately, rounded up to the end of the current batch.
     pub fn run_with_hook<F: FnMut(&mut Campaign<'p>)>(
         mut self,
         sync_every: u64,
@@ -1074,14 +1078,6 @@ impl<'p> Campaign<'p> {
                         break;
                     }
                     self.execute_and_judge(&child, false);
-
-                    if self.stats_execs >= next_sync {
-                        self.sync_boundary_faults();
-                        if let Some(h) = hook.as_mut() {
-                            (h.f)(self);
-                            next_sync = self.stats_execs + h.every;
-                        }
-                    }
                 }
                 self.mutation_stage = Stage::Havoc;
             }
@@ -1118,13 +1114,21 @@ impl<'p> Campaign<'p> {
                 }
 
                 self.execute_and_judge(&child, false);
+            }
 
-                if self.stats_execs >= next_sync {
-                    self.sync_boundary_faults();
-                    if let Some(h) = hook.as_mut() {
-                        (h.f)(self);
-                        next_sync = self.stats_execs + h.every;
-                    }
+            // Sync boundaries fire only here, between mutation batches,
+            // where the checkpointable state — queue, both RNG streams,
+            // counters — is complete. A mid-batch boundary would let a
+            // checkpoint capture a campaign that is half-way through a
+            // scheduled parent's children; resuming from it re-schedules
+            // a fresh parent and the trajectory diverges from the
+            // uninterrupted run. Batch alignment is what makes
+            // kill/restore cycles bit-identical.
+            if self.stats_execs >= next_sync {
+                self.sync_boundary_faults();
+                if let Some(h) = hook.as_mut() {
+                    (h.f)(self);
+                    next_sync = self.stats_execs + h.every;
                 }
             }
         }
@@ -1144,6 +1148,7 @@ impl<'p> Campaign<'p> {
             rng: self.rng.state(),
             mutator_rng: self.mutator.rng_state(),
             hang_budget: self.executor.step_budget(),
+            queue_cursor: self.queue.cursor() as u64,
             queue: self
                 .queue
                 .entries()
@@ -1193,6 +1198,7 @@ impl<'p> Campaign<'p> {
             self.execute_and_judge(&entry.input, true);
             self.queue.set_fuzzed_rounds(id, entry.fuzzed_rounds);
         }
+        self.queue.set_cursor(checkpoint.queue_cursor as usize);
         // Warm the crash/hang virgin maps so post-resume novelty verdicts
         // match the checkpointed campaign's. Admission is suppressed (see
         // execute_and_judge), so fault-injected crash inputs that run
@@ -1249,22 +1255,35 @@ impl<'p> Campaign<'p> {
         self.restoring = false;
     }
 
-    /// Resumes from the checkpoint persisted in `dir` (an output
-    /// directory a [`crate::checkpoint::CheckpointManager`] wrote into).
-    /// Returns whether a checkpoint was found; `false` means the campaign
-    /// is untouched and the caller should seed it normally.
+    /// Resumes from the newest intact checkpoint generation persisted in
+    /// `dir` (an output directory a
+    /// [`crate::checkpoint::CheckpointManager`] wrote into). Returns
+    /// whether a checkpoint was found; `false` means the campaign is
+    /// untouched and the caller should seed it normally. Each corrupt
+    /// newer generation skipped on the way to an intact one is counted
+    /// as a `CheckpointFallback` telemetry event.
     ///
     /// # Errors
     ///
-    /// Propagates I/O failures; a present-but-corrupt checkpoint is
-    /// [`std::io::ErrorKind::InvalidData`].
+    /// Propagates I/O failures; if generations exist but none is intact,
+    /// the error is [`std::io::ErrorKind::InvalidData`].
     ///
     /// # Panics
     ///
     /// Panics if seeds were already added (see [`Campaign::restore`]).
     pub fn resume_from(&mut self, dir: &crate::output_dir::OutputDir) -> std::io::Result<bool> {
-        match crate::checkpoint::CheckpointManager::load(dir.root())? {
-            Some(checkpoint) => {
+        let faults = self.faults.clone();
+        match crate::checkpoint::CheckpointManager::load_with_report(dir.root(), faults.as_deref())?
+        {
+            Some((checkpoint, report)) => {
+                if !report.skipped.is_empty() {
+                    if let Some(tel) = &self.telemetry {
+                        tel.add(
+                            TelemetryEvent::CheckpointFallback,
+                            report.skipped.len() as u64,
+                        );
+                    }
+                }
                 self.restore(&checkpoint);
                 Ok(true)
             }
@@ -1535,7 +1554,14 @@ mod tests {
         let program = GeneratorConfig::default().generate();
         let inst = instrument(&program, MapSize::K64);
         let interp = Interpreter::new(&program);
-        let mut campaign = Campaign::new(quick_config(MapScheme::TwoLevel, 1_000), &interp, &inst);
+        // Havoc-only batches: boundaries fire between mutation batches,
+        // so a 512-child deterministic sweep would collapse a 1000-exec
+        // budget into two boundaries no matter the cadence.
+        let config = CampaignConfig {
+            deterministic: false,
+            ..quick_config(MapScheme::TwoLevel, 1_000)
+        };
+        let mut campaign = Campaign::new(config, &interp, &inst);
         campaign.add_seeds(vec![vec![9u8; 16]]);
         let mut fired = 0;
         let stats = campaign.run_with_hook(100, |c| {

@@ -21,14 +21,25 @@
 //! judged `NoNew` — and while dropping it would stay correct (an empty
 //! oracle just re-traces everything until re-committed), carrying it
 //! preserves the resumed campaign's fast-path hit rate. Always-trace
-//! campaigns emit no oracle lines, so their files stay byte-identical to
-//! the pre-oracle v1 format.
+//! campaigns emit no oracle lines at all.
 //!
-//! Persistence is crash-safe by construction: the snapshot is written to
-//! `checkpoint.tmp` and atomically renamed over `checkpoint`, so a kill
-//! mid-write leaves the previous checkpoint intact. The file format is a
-//! versioned line-oriented text format (hex-encoded payloads), ending in
-//! an `end` sentinel so truncation is detectable.
+//! Persistence is crash-safe *and corruption-aware* by construction:
+//!
+//! * The snapshot is staged in `checkpoint.tmp`, fsynced, and atomically
+//!   renamed over `checkpoint`; the directory is fsynced after the
+//!   rename, so a kill −9 (or power loss) at any instant leaves either
+//!   the previous or the new checkpoint fully on disk.
+//! * The v2 file format appends a per-section CRC32 footer (`crc
+//!   <section> <hex>`), so torn writes and bit flips that survive the
+//!   rename discipline (misbehaving disks, truncated copies) are
+//!   *detected* on load rather than silently restoring garbage. v1
+//!   files (no checksums) still load via a trusted-legacy path.
+//! * The last [`env::ckpt_keep`](bigmap_core::env::ckpt_keep)
+//!   generations are retained (`checkpoint`, `checkpoint.1`, …);
+//!   [`CheckpointManager::load`] falls back to the newest generation
+//!   whose checksums verify, so one corrupt snapshot degrades the
+//!   campaign by one checkpoint interval instead of forcing a cold
+//!   start.
 //!
 //! # Examples
 //!
@@ -68,22 +79,98 @@
 
 use std::fmt::Write as _;
 use std::fs;
-use std::io;
+use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
+use bigmap_core::Crc32;
 use bigmap_target::OracleSnapshot;
 
 use crate::campaign::Campaign;
-use crate::faults::FaultSite;
+use crate::faults::{FaultSite, InstanceFaults};
 use crate::telemetry::TelemetryEvent;
 
-/// File name of the live checkpoint inside a checkpoint directory.
+/// File name of the live (newest) checkpoint inside a checkpoint
+/// directory; older generations are `checkpoint.1`, `checkpoint.2`, ….
 pub const CHECKPOINT_FILE: &str = "checkpoint";
 /// Temp file the snapshot is staged in before the atomic rename.
 const CHECKPOINT_TMP: &str = "checkpoint.tmp";
-/// Format magic + version (first line of every checkpoint file).
-const MAGIC: &str = "bigmap-checkpoint v1";
+/// Format magic + version written by [`Checkpoint::to_text`].
+const MAGIC_V2: &str = "bigmap-checkpoint v2";
+/// The pre-checksum format; still parsed, as trusted-legacy (no
+/// integrity validation is possible without the footer).
+const MAGIC_V1: &str = "bigmap-checkpoint v1";
+
+/// The checksummed sections of a v2 file, in layout order. Every content
+/// line belongs to exactly one section; the footer carries one `crc`
+/// line per *non-empty* section.
+const SECTION_NAMES: [&str; 5] = ["header", "queue", "crash", "hang", "oracle"];
+
+fn section_of(key: &str) -> Option<usize> {
+    match key {
+        "execs"
+        | "wall_nanos"
+        | "total_crashes"
+        | "hangs"
+        | "coverage_unique_crashes"
+        | "discovered_running"
+        | "rng"
+        | "mutator_rng"
+        | "hang_budget"
+        | "queue_cursor" => Some(0),
+        "queue" => Some(1),
+        "crash" => Some(2),
+        "hang" => Some(3),
+        "oracle_buckets" | "oracle_paths" => Some(4),
+        _ => None,
+    }
+}
+
+/// File name of checkpoint generation `index` (0 is the live file).
+fn generation_name(index: usize) -> String {
+    if index == 0 {
+        CHECKPOINT_FILE.to_string()
+    } else {
+        format!("{CHECKPOINT_FILE}.{index}")
+    }
+}
+
+/// Parses a directory-entry name back to a generation index.
+fn generation_index(name: &str) -> Option<usize> {
+    if name == CHECKPOINT_FILE {
+        return Some(0);
+    }
+    let suffix = name.strip_prefix("checkpoint.")?;
+    suffix.parse().ok().filter(|&n| n >= 1)
+}
+
+/// Generation indices present in `dir`, ascending (newest first). A
+/// missing directory reads as no generations.
+fn existing_generations(dir: &Path) -> io::Result<Vec<usize>> {
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut generations = Vec::new();
+    for entry in entries {
+        let entry = entry?;
+        if let Some(index) = entry.file_name().to_str().and_then(generation_index) {
+            generations.push(index);
+        }
+    }
+    generations.sort_unstable();
+    Ok(generations)
+}
+
+/// Fsyncs a directory so a just-renamed entry survives power loss. Best
+/// effort: directory handles cannot be fsynced on every platform, and a
+/// failure here never outranks the data write that preceded it.
+fn sync_dir(dir: &Path) {
+    if let Ok(handle) = fs::File::open(dir) {
+        let _ = handle.sync_all();
+    }
+}
 
 /// One queue entry as captured in a checkpoint: the input plus the
 /// scheduling metadata that re-execution cannot re-derive.
@@ -122,6 +209,13 @@ pub struct Checkpoint {
     pub mutator_rng: [u64; 4],
     /// Calibrated hang budget in force, if any.
     pub hang_budget: Option<u64>,
+    /// The queue's round-robin scheduling position. Without it a resumed
+    /// campaign restarts the queue walk at entry 0 and schedules
+    /// different parents than the uninterrupted run — the counters and
+    /// RNG streams alone don't pin the trajectory. Absent in v1 files
+    /// (reads as 0: correct until the first post-resume scheduling
+    /// decision, approximate after).
+    pub queue_cursor: u64,
     /// The queue, in admission order.
     pub queue: Vec<CheckpointQueueEntry>,
     /// Unique crashes: (Crashwalk bucket, input), in first-sighting order.
@@ -165,61 +259,86 @@ fn hex_decode(text: &str) -> Result<Vec<u8>, String> {
 }
 
 impl Checkpoint {
-    /// Serializes the checkpoint as versioned line-oriented text. The
-    /// last line is the `end` sentinel; a file without it is truncated.
+    /// Serializes the checkpoint as versioned line-oriented text (v2):
+    /// content lines grouped by section, a `crc <section> <hex>` footer
+    /// line per non-empty section, then the `end` sentinel. A file
+    /// without the sentinel is truncated; a section whose bytes disagree
+    /// with its footer checksum is corrupt.
     pub fn to_text(&self) -> String {
-        let mut out = String::new();
-        let _ = writeln!(out, "{MAGIC}");
-        let _ = writeln!(out, "execs {}", self.execs);
-        let _ = writeln!(out, "wall_nanos {}", self.wall_nanos);
-        let _ = writeln!(out, "total_crashes {}", self.total_crashes);
-        let _ = writeln!(out, "hangs {}", self.hangs);
+        let mut header = String::new();
+        let _ = writeln!(header, "execs {}", self.execs);
+        let _ = writeln!(header, "wall_nanos {}", self.wall_nanos);
+        let _ = writeln!(header, "total_crashes {}", self.total_crashes);
+        let _ = writeln!(header, "hangs {}", self.hangs);
         let _ = writeln!(
-            out,
+            header,
             "coverage_unique_crashes {}",
             self.coverage_unique_crashes
         );
-        let _ = writeln!(out, "discovered_running {}", self.discovered_running);
+        let _ = writeln!(header, "discovered_running {}", self.discovered_running);
         let _ = writeln!(
-            out,
+            header,
             "rng {:016x} {:016x} {:016x} {:016x}",
             self.rng[0], self.rng[1], self.rng[2], self.rng[3]
         );
         let _ = writeln!(
-            out,
+            header,
             "mutator_rng {:016x} {:016x} {:016x} {:016x}",
             self.mutator_rng[0], self.mutator_rng[1], self.mutator_rng[2], self.mutator_rng[3]
         );
         match self.hang_budget {
             Some(budget) => {
-                let _ = writeln!(out, "hang_budget {budget}");
+                let _ = writeln!(header, "hang_budget {budget}");
             }
             None => {
-                let _ = writeln!(out, "hang_budget none");
+                let _ = writeln!(header, "hang_budget none");
             }
         }
+        let _ = writeln!(header, "queue_cursor {}", self.queue_cursor);
+        let mut queue = String::new();
         for entry in &self.queue {
             let _ = writeln!(
-                out,
+                queue,
                 "queue {} {} {}",
                 entry.depth,
                 entry.fuzzed_rounds,
                 hex_encode(&entry.input)
             );
         }
+        let mut crash = String::new();
         for (bucket, input) in &self.crashes {
-            let _ = writeln!(out, "crash {bucket:08x} {}", hex_encode(input));
+            let _ = writeln!(crash, "crash {bucket:08x} {}", hex_encode(input));
         }
+        let mut hang = String::new();
         for input in &self.hang_inputs {
-            let _ = writeln!(out, "hang {}", hex_encode(input));
+            let _ = writeln!(hang, "hang {}", hex_encode(input));
         }
+        let mut oracle = String::new();
         if let Some(snap) = &self.oracle {
-            let _ = writeln!(out, "oracle_buckets {}", hex_encode(&snap.buckets));
+            let _ = writeln!(oracle, "oracle_buckets {}", hex_encode(&snap.buckets));
             let mut path_bytes = Vec::with_capacity(snap.paths.len() * 8);
             for path in &snap.paths {
                 path_bytes.extend_from_slice(&path.to_be_bytes());
             }
-            let _ = writeln!(out, "oracle_paths {}", hex_encode(&path_bytes));
+            let _ = writeln!(oracle, "oracle_paths {}", hex_encode(&path_bytes));
+        }
+
+        let sections = [&header, &queue, &crash, &hang, &oracle];
+        let mut out = String::with_capacity(
+            MAGIC_V2.len() + sections.iter().map(|s| s.len()).sum::<usize>() + 128,
+        );
+        let _ = writeln!(out, "{MAGIC_V2}");
+        for section in sections {
+            out.push_str(section);
+        }
+        for (name, section) in SECTION_NAMES.iter().zip(sections) {
+            if !section.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "crc {name} {:08x}",
+                    Crc32::checksum(section.as_bytes())
+                );
+            }
         }
         let _ = writeln!(out, "end");
         out
@@ -227,15 +346,27 @@ impl Checkpoint {
 
     /// Parses a checkpoint from [`Checkpoint::to_text`] output.
     ///
+    /// v2 files have their per-section checksums verified; a mismatch —
+    /// a torn write or bit flip that survived the rename discipline —
+    /// is an error naming the corrupt section. v1 files carry no
+    /// checksums and parse as trusted-legacy.
+    ///
     /// # Errors
     ///
     /// Returns a description of the first malformed line, a version
-    /// mismatch, or a missing `end` sentinel (truncated file).
+    /// mismatch, a missing `end` sentinel (truncated file), or a
+    /// section-checksum failure.
     pub fn from_text(text: &str) -> Result<Checkpoint, String> {
         let mut lines = text.lines();
-        if lines.next() != Some(MAGIC) {
-            return Err(format!("not a checkpoint file (expected '{MAGIC}')"));
-        }
+        let checksummed = match lines.next() {
+            Some(MAGIC_V2) => true,
+            Some(MAGIC_V1) => false,
+            _ => {
+                return Err(format!(
+                    "not a checkpoint file (expected '{MAGIC_V2}' or '{MAGIC_V1}')"
+                ))
+            }
+        };
         let mut ckpt = Checkpoint {
             execs: 0,
             wall_nanos: 0,
@@ -246,12 +377,17 @@ impl Checkpoint {
             rng: [0; 4],
             mutator_rng: [0; 4],
             hang_budget: None,
+            queue_cursor: 0,
             queue: Vec::new(),
             crashes: Vec::new(),
             hang_inputs: Vec::new(),
             oracle: None,
         };
         let mut ended = false;
+        // Raw bytes of each section as laid out in the file, re-hashed
+        // for comparison against the footer's declared checksums.
+        let mut section_text: [String; 5] = Default::default();
+        let mut declared_crc: [Option<u32>; 5] = [None; 5];
         for (i, line) in lines.enumerate() {
             let lineno = i + 2;
             if ended {
@@ -261,6 +397,10 @@ impl Checkpoint {
             let key = fields
                 .next()
                 .ok_or_else(|| format!("line {lineno}: empty line"))?;
+            if let Some(section) = section_of(key) {
+                section_text[section].push_str(line);
+                section_text[section].push('\n');
+            }
             let mut next = |what: &str| {
                 fields
                     .next()
@@ -303,6 +443,7 @@ impl Checkpoint {
                         Some(parse_u64(value, lineno)?)
                     };
                 }
+                "queue_cursor" => ckpt.queue_cursor = parse_u64(next("value")?, lineno)?,
                 "queue" => {
                     let depth = parse_u64(next("depth")?, lineno)? as usize;
                     let fuzzed_rounds = parse_u64(next("fuzzed_rounds")?, lineno)? as usize;
@@ -350,6 +491,22 @@ impl Checkpoint {
                         .map(|c| u64::from_be_bytes(c.try_into().unwrap()))
                         .collect();
                 }
+                "crc" => {
+                    if !checksummed {
+                        return Err(format!("line {lineno}: crc footer in a v1 checkpoint"));
+                    }
+                    let name = next("section")?;
+                    let section = SECTION_NAMES
+                        .iter()
+                        .position(|n| *n == name)
+                        .ok_or_else(|| format!("line {lineno}: unknown section '{name}'"))?;
+                    let value = next("checksum")?;
+                    let value = u32::from_str_radix(&value, 16)
+                        .map_err(|_| format!("line {lineno}: bad checksum '{value}'"))?;
+                    if declared_crc[section].replace(value).is_some() {
+                        return Err(format!("line {lineno}: duplicate checksum for '{name}'"));
+                    }
+                }
                 "end" => ended = true,
                 other => return Err(format!("line {lineno}: unknown key '{other}'")),
             }
@@ -357,18 +514,60 @@ impl Checkpoint {
         if !ended {
             return Err("truncated checkpoint (missing 'end' sentinel)".to_string());
         }
+        if checksummed {
+            for (section, name) in SECTION_NAMES.iter().enumerate() {
+                let body = &section_text[section];
+                match declared_crc[section] {
+                    Some(declared) if body.is_empty() => {
+                        return Err(format!(
+                            "checksum declared for empty section '{name}' \
+                                            ({declared:08x}) — content lines lost"
+                        ));
+                    }
+                    Some(declared) => {
+                        let computed = Crc32::checksum(body.as_bytes());
+                        if computed != declared {
+                            return Err(format!(
+                                "section '{name}' checksum mismatch \
+                                 (declared {declared:08x}, computed {computed:08x})"
+                            ));
+                        }
+                    }
+                    None if !body.is_empty() => {
+                        return Err(format!("missing checksum for section '{name}'"));
+                    }
+                    None => {}
+                }
+            }
+        }
         Ok(ckpt)
     }
 }
 
+/// What a fallback-aware checkpoint restore actually loaded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RestoreReport {
+    /// Generation index the checkpoint came from (0 is the live file;
+    /// higher is older).
+    pub generation: usize,
+    /// Newer generations that were skipped as unreadable or corrupt,
+    /// with the reason each was rejected.
+    pub skipped: Vec<(usize, String)>,
+}
+
 /// Writes periodic checkpoints for one campaign into a directory, via
-/// temp-file + atomic rename.
+/// fsynced temp-file + atomic rename, retaining the last
+/// [`env::ckpt_keep`](bigmap_core::env::ckpt_keep) generations.
 ///
 /// The manager owns the cadence (every N executions, checked at sync
 /// boundaries) and the persistence; the state capture itself is
 /// [`Campaign::checkpoint`]. A checkpoint-write failure (real I/O error
-/// or an injected [`FaultSite::CheckpointWrite`] fault) leaves the
-/// previous on-disk checkpoint intact — degradation, not corruption.
+/// or an injected [`FaultSite::CheckpointWrite`] /
+/// [`FaultSite::DiskFull`] fault) leaves the previous on-disk
+/// generations intact — degradation, not corruption. Corruption that
+/// slips *past* the write discipline (injected torn writes and bit
+/// flips model it) is caught by the v2 section checksums at load time,
+/// which then falls back to the newest intact older generation.
 #[derive(Debug)]
 pub struct CheckpointManager {
     dir: PathBuf,
@@ -376,20 +575,37 @@ pub struct CheckpointManager {
     next_at: u64,
     min_interval: Duration,
     last_write: Option<Instant>,
+    keep: usize,
 }
 
 impl CheckpointManager {
     /// Manager writing into `dir` (created on first write) every `every`
     /// executions. An `every` of 0 checkpoints at every opportunity.
+    /// Retains `BIGMAP_CKPT_KEEP` generations (override with
+    /// [`CheckpointManager::with_keep`]).
+    ///
+    /// A stale `checkpoint.tmp` left by a crash mid-publish is removed
+    /// here: it was never renamed into place, so it holds a snapshot
+    /// that was never trusted and can only confuse directory listings.
     pub fn new(dir: impl Into<PathBuf>, every: u64) -> Self {
         let every = every.max(1);
+        let dir = dir.into();
+        let _ = fs::remove_file(dir.join(CHECKPOINT_TMP));
         CheckpointManager {
-            dir: dir.into(),
+            dir,
             every,
             next_at: every,
             min_interval: Duration::ZERO,
             last_write: None,
+            keep: bigmap_core::env::ckpt_keep(),
         }
+    }
+
+    /// Overrides the number of generations retained (minimum 1).
+    #[must_use]
+    pub fn with_keep(mut self, keep: usize) -> Self {
+        self.keep = keep.max(1);
+        self
     }
 
     /// Adds a wall-clock floor between snapshots: a cadence mark reached
@@ -435,49 +651,172 @@ impl CheckpointManager {
         Ok(true)
     }
 
-    /// Unconditionally checkpoints `campaign` right now.
+    /// Unconditionally checkpoints `campaign` right now: stage in the
+    /// temp file, fsync it, rotate the existing generations up one slot,
+    /// atomically rename the temp file into place, fsync the directory.
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors; an injected
     /// [`FaultSite::CheckpointWrite`] fault surfaces as
-    /// [`io::ErrorKind::Other`]. Either way the previous checkpoint file
-    /// is untouched.
+    /// [`io::ErrorKind::Other`] and [`FaultSite::DiskFull`] as
+    /// [`io::ErrorKind::StorageFull`]. Either way the previous
+    /// generations are untouched. Injected [`FaultSite::TornWrite`] and
+    /// [`FaultSite::BitFlip`] faults deliberately *succeed* while
+    /// publishing a corrupt newest generation — the failure mode the
+    /// load-time checksums exist to catch.
     pub fn checkpoint_now(&self, campaign: &Campaign<'_>) -> io::Result<()> {
-        if let Some(faults) = campaign.faults() {
-            if faults.fire(FaultSite::CheckpointWrite) {
-                return Err(io::Error::other("injected checkpoint write failure"));
-            }
+        // Draw every fault ordinal up front so one site firing never
+        // shifts another site's schedule.
+        let (fail_write, disk_full, torn, flip) = match campaign.faults() {
+            Some(f) => (
+                f.fire(FaultSite::CheckpointWrite),
+                f.fire(FaultSite::DiskFull),
+                f.fire(FaultSite::TornWrite),
+                f.fire(FaultSite::BitFlip),
+            ),
+            None => (false, false, false, false),
+        };
+        if fail_write {
+            return Err(io::Error::other("injected checkpoint write failure"));
+        }
+        if disk_full {
+            return Err(io::Error::new(
+                io::ErrorKind::StorageFull,
+                "injected storage-full checkpoint write",
+            ));
         }
         let text = campaign.checkpoint().to_text();
         fs::create_dir_all(&self.dir)?;
         let tmp = self.dir.join(CHECKPOINT_TMP);
-        fs::write(&tmp, text)?;
+        {
+            let mut file = fs::File::create(&tmp)?;
+            let bytes = text.as_bytes();
+            if torn {
+                // Lose the tail and skip the fsync: the kill arrived
+                // between write and sync, but the rename still happens.
+                file.write_all(&bytes[..bytes.len() / 3])?;
+            } else {
+                file.write_all(bytes)?;
+                file.sync_all()?;
+            }
+        }
+        self.rotate_generations()?;
         fs::rename(&tmp, self.dir.join(CHECKPOINT_FILE))?;
+        sync_dir(&self.dir);
+        if flip {
+            flip_one_bit(&self.dir.join(CHECKPOINT_FILE))?;
+        }
         if let Some(tel) = campaign.telemetry() {
             tel.incr(TelemetryEvent::Checkpoint);
         }
         Ok(())
     }
 
-    /// Loads the checkpoint persisted in `dir`, if one exists.
+    /// Shifts generation `i` to `i + 1` for every retained slot, newest
+    /// last so no generation is ever overwritten before it has been
+    /// copied up, and drops generations at or beyond the retention
+    /// horizon. A crash anywhere in the shift leaves every surviving
+    /// file a complete, verifiable snapshot (possibly under two names).
+    fn rotate_generations(&self) -> io::Result<()> {
+        for index in existing_generations(&self.dir)? {
+            if index + 1 >= self.keep {
+                let _ = fs::remove_file(self.dir.join(generation_name(index)));
+            }
+        }
+        for index in (0..self.keep.saturating_sub(1)).rev() {
+            let from = self.dir.join(generation_name(index));
+            let to = self.dir.join(generation_name(index + 1));
+            match fs::rename(&from, &to) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Loads the newest intact checkpoint persisted in `dir`, if any
+    /// generation exists: generations are tried newest-first and the
+    /// first one whose checksums verify wins.
     ///
     /// # Errors
     ///
-    /// I/O errors propagate; a present-but-malformed checkpoint is
-    /// [`io::ErrorKind::InvalidData`] (a half-written temp file never
-    /// is — only the atomic rename publishes).
+    /// I/O errors propagate; if generations exist but *none* is intact,
+    /// the error is [`io::ErrorKind::InvalidData`] (a half-written temp
+    /// file never contributes — only the atomic rename publishes).
     pub fn load(dir: impl AsRef<Path>) -> io::Result<Option<Checkpoint>> {
-        let path = dir.as_ref().join(CHECKPOINT_FILE);
-        let text = match fs::read_to_string(&path) {
-            Ok(text) => text,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
-            Err(e) => return Err(e),
-        };
-        Checkpoint::from_text(&text)
-            .map(Some)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        Self::load_with_report(dir, None).map(|loaded| loaded.map(|(ckpt, _)| ckpt))
     }
+
+    /// [`CheckpointManager::load`], plus the [`RestoreReport`] saying
+    /// which generation was restored and which newer ones were skipped
+    /// as corrupt — the hook for `CheckpointFallback` telemetry.
+    ///
+    /// `faults` threads an instance's chaos plan into the read path
+    /// ([`FaultSite::ShortRead`] truncates a generation's bytes before
+    /// parsing, which the checksums then reject).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CheckpointManager::load`].
+    pub fn load_with_report(
+        dir: impl AsRef<Path>,
+        faults: Option<&InstanceFaults>,
+    ) -> io::Result<Option<(Checkpoint, RestoreReport)>> {
+        let dir = dir.as_ref();
+        let generations = existing_generations(dir)?;
+        if generations.is_empty() {
+            return Ok(None);
+        }
+        let mut skipped: Vec<(usize, String)> = Vec::new();
+        for index in generations {
+            let path = dir.join(generation_name(index));
+            let mut text = match fs::read_to_string(&path) {
+                Ok(text) => text,
+                Err(e) => {
+                    skipped.push((index, format!("unreadable: {e}")));
+                    continue;
+                }
+            };
+            if faults.is_some_and(|f| f.fire(FaultSite::ShortRead)) {
+                text.truncate(text.len() / 2);
+            }
+            match Checkpoint::from_text(&text) {
+                Ok(ckpt) => {
+                    return Ok(Some((
+                        ckpt,
+                        RestoreReport {
+                            generation: index,
+                            skipped,
+                        },
+                    )))
+                }
+                Err(reason) => skipped.push((index, reason)),
+            }
+        }
+        let summary = skipped
+            .iter()
+            .map(|(index, reason)| format!("{}: {reason}", generation_name(*index)))
+            .collect::<Vec<_>>()
+            .join("; ");
+        Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("no intact checkpoint generation ({summary})"),
+        ))
+    }
+}
+
+/// Flips one bit in the middle of `path` in place — the injected
+/// silent-media-corruption model behind [`FaultSite::BitFlip`].
+fn flip_one_bit(path: &Path) -> io::Result<()> {
+    let mut bytes = fs::read(path)?;
+    if bytes.is_empty() {
+        return Ok(());
+    }
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    fs::write(path, bytes)
 }
 
 #[cfg(test)]
@@ -495,6 +834,7 @@ mod tests {
             rng: [1, u64::MAX, 0xDEAD_BEEF, 42],
             mutator_rng: [7, 8, 9, 10],
             hang_budget: Some(2_500),
+            queue_cursor: 11,
             queue: vec![
                 CheckpointQueueEntry {
                     depth: 0,
@@ -655,6 +995,131 @@ mod tests {
     fn load_missing_dir_is_none() {
         let dir = std::env::temp_dir().join("bigmap-ckpt-missing-nonexistent");
         assert!(CheckpointManager::load(&dir).unwrap().is_none());
+    }
+
+    #[test]
+    fn v1_files_parse_as_trusted_legacy() {
+        // A v1 file is exactly a v2 file minus the crc footer with the
+        // old magic; it must load without integrity validation.
+        let ckpt = sample();
+        let v1: String = ckpt
+            .to_text()
+            .lines()
+            .filter(|line| !line.starts_with("crc "))
+            .map(|line| format!("{line}\n"))
+            .collect::<String>()
+            .replace(MAGIC_V2, MAGIC_V1);
+        assert!(!v1.contains("crc "));
+        assert_eq!(Checkpoint::from_text(&v1).expect("v1 parses"), ckpt);
+        // But a crc footer inside a v1 file is malformed.
+        let bad = v1.replace("\nend\n", "\ncrc header 00000000\nend\n");
+        assert!(Checkpoint::from_text(&bad).unwrap_err().contains("v1"));
+    }
+
+    #[test]
+    fn bit_flip_in_any_section_is_detected() {
+        // Flip one bit in every byte position of the serialized file;
+        // no flipped variant may parse successfully (crc on content,
+        // unknown-key/magic errors on structure). This is the property
+        // that makes fallback restore trustworthy.
+        let text = sample().to_text();
+        let bytes = text.as_bytes();
+        for pos in 0..bytes.len() {
+            let mut flipped = bytes.to_vec();
+            flipped[pos] ^= 0x10;
+            if flipped == bytes {
+                continue;
+            }
+            if let Ok(text) = String::from_utf8(flipped) {
+                assert!(
+                    Checkpoint::from_text(&text).is_err(),
+                    "bit flip at byte {pos} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn checksum_mismatch_names_the_section() {
+        let text = sample().to_text();
+        // Corrupt a queue payload nibble without touching its crc line.
+        let corrupted = text.replacen("queue 0 4", "queue 0 5", 1);
+        assert_ne!(corrupted, text);
+        let err = Checkpoint::from_text(&corrupted).unwrap_err();
+        assert!(
+            err.contains("'queue'") && err.contains("mismatch"),
+            "got: {err}"
+        );
+    }
+
+    #[test]
+    fn missing_section_checksum_rejected() {
+        let text = sample().to_text();
+        let crc_line = text
+            .lines()
+            .find(|l| l.starts_with("crc crash"))
+            .expect("crash section has a crc line");
+        let stripped = text.replace(&format!("{crc_line}\n"), "");
+        let err = Checkpoint::from_text(&stripped).unwrap_err();
+        assert!(err.contains("missing checksum"), "got: {err}");
+    }
+
+    #[test]
+    fn stale_tmp_is_removed_on_manager_startup() {
+        let dir = std::env::temp_dir().join(format!("bigmap-ckpt-staletmp-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let tmp = dir.join(CHECKPOINT_TMP);
+        fs::write(&tmp, "half-written snapshot from a dead process").unwrap();
+        let manager = CheckpointManager::new(&dir, 100);
+        assert!(!tmp.exists(), "stale checkpoint.tmp must be cleaned up");
+        assert_eq!(manager.dir(), dir.as_path());
+        // And a temp file never masquerades as a generation.
+        assert!(CheckpointManager::load(&dir).unwrap().is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn generations_rotate_and_fall_back() {
+        let dir = std::env::temp_dir().join(format!("bigmap-ckpt-gens-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        // Publish three snapshots by hand through the same rotation the
+        // manager uses (exercised end-to-end in tests/durability_chaos).
+        let manager = CheckpointManager::new(&dir, 1).with_keep(2);
+        for execs in [100u64, 200, 300] {
+            let snapshot = Checkpoint { execs, ..sample() };
+            fs::write(dir.join(CHECKPOINT_TMP), snapshot.to_text()).unwrap();
+            manager.rotate_generations().unwrap();
+            fs::rename(dir.join(CHECKPOINT_TMP), dir.join(CHECKPOINT_FILE)).unwrap();
+        }
+        // keep=2: the 100-exec generation aged out.
+        assert!(dir.join("checkpoint").exists());
+        assert!(dir.join("checkpoint.1").exists());
+        assert!(!dir.join("checkpoint.2").exists());
+        let (ckpt, report) = CheckpointManager::load_with_report(&dir, None)
+            .unwrap()
+            .expect("newest loads");
+        assert_eq!((ckpt.execs, report.generation), (300, 0));
+        assert!(report.skipped.is_empty());
+
+        // Corrupt the newest generation: restore falls back to the
+        // previous one and reports the skip.
+        fs::write(dir.join("checkpoint"), "torn garbage").unwrap();
+        let (ckpt, report) = CheckpointManager::load_with_report(&dir, None)
+            .unwrap()
+            .expect("fallback loads");
+        assert_eq!((ckpt.execs, report.generation), (200, 1));
+        assert_eq!(report.skipped.len(), 1);
+        assert_eq!(report.skipped[0].0, 0);
+        // Plain load() hides the bookkeeping but returns the same data.
+        assert_eq!(CheckpointManager::load(&dir).unwrap().unwrap().execs, 200);
+
+        // Corrupt every generation: InvalidData naming both.
+        fs::write(dir.join("checkpoint.1"), "also garbage").unwrap();
+        let err = CheckpointManager::load(&dir).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("checkpoint.1"), "got: {err}");
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

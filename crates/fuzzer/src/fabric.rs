@@ -24,6 +24,7 @@
 //! | [`FRAME_TELEMETRY`] | worker → parent | one `TelemetrySnapshot` JSON line |
 //! | [`FRAME_STATS`] | worker → parent | varint-packed end-of-campaign `CampaignStats` |
 //! | [`FRAME_DONE`] | worker → parent | empty: clean completion |
+//! | [`FRAME_HEARTBEAT`] | worker → parent | varint: cumulative exec count |
 //!
 //! Only `FETCH` is request/response (the worker blocks for `BATCH` or
 //! `CURSOR_FAULT`); everything else is fire-and-forget. **Backpressure
@@ -49,14 +50,31 @@
 //! the published corpus — only possible through state corruption) resets
 //! its cursor to zero and re-fetches everything; novelty gating on
 //! import deduplicates the replay.
+//!
+//! ## Liveness
+//!
+//! Exit-based supervision cannot see a worker that is *stuck*: alive,
+//! pipe open, making no progress (a hung target, a wedged syscall, a
+//! stalled filesystem). For that, each worker runs a heartbeat thread
+//! that sends [`FRAME_HEARTBEAT`] — carrying the cumulative exec count —
+//! every `BIGMAP_HEARTBEAT_MS` milliseconds, and each service thread
+//! enforces a *progress* deadline: any non-heartbeat frame counts as
+//! progress, and a heartbeat counts only when its exec count has
+//! advanced since the last one. A worker that stays silent past the
+//! deadline — or keeps heartbeating with a frozen exec counter — is
+//! killed, counted as a `heartbeat_miss` in the fleet telemetry, and
+//! handed to the ordinary bounded-backoff restart path. The deadline
+//! comes from [`FleetConfig::liveness_deadline`] (default
+//! `BIGMAP_LIVENESS_DEADLINE_MS`); a zero duration disables enforcement.
 
 use std::collections::HashSet;
 use std::io;
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bigmap_core::wire::{
     decode_sync_batch, encode_sync_batch, get_varint, put_varint, read_frame, write_frame,
@@ -67,7 +85,7 @@ use bigmap_target::{Interpreter, Program};
 
 use crate::campaign::{Campaign, CampaignConfig, CampaignStats};
 use crate::checkpoint::CheckpointManager;
-use crate::faults::InstanceFaults;
+use crate::faults::{FaultSite, InstanceFaults};
 use crate::parallel::{InstanceHealth, ParallelStats};
 use crate::sync::ShardedHub;
 use crate::telemetry::{FleetAggregator, JsonlSink, Telemetry, TelemetryEvent, TelemetrySnapshot};
@@ -86,6 +104,11 @@ pub const FRAME_TELEMETRY: u8 = 5;
 pub const FRAME_STATS: u8 = 6;
 /// Worker → parent: clean completion.
 pub const FRAME_DONE: u8 = 7;
+/// Worker → parent: liveness heartbeat carrying the cumulative exec
+/// count as a varint. Sent by a dedicated worker thread every
+/// `BIGMAP_HEARTBEAT_MS`; the parent treats it as progress only when
+/// the exec count has advanced.
+pub const FRAME_HEARTBEAT: u8 = 8;
 
 /// This process's role in a fleet, from the `BIGMAP_FABRIC_WORKER`
 /// handshake the parent sets on its children.
@@ -189,7 +212,41 @@ pub fn run_worker(
     let publisher = role.index as u64;
     let tel = Arc::clone(&telemetry);
 
+    // Liveness heartbeats: a dedicated thread streams the cumulative
+    // exec count so the parent can tell "alive but stuck" from "alive
+    // and working". Per-frame stdout locking keeps heartbeats atomic
+    // with respect to the sync frames on the main thread.
+    let heartbeat_ms = bigmap_core::env::heartbeat_ms();
+    let heartbeat_stop = Arc::new(AtomicBool::new(false));
+    let heartbeat = (heartbeat_ms > 0).then(|| {
+        let stop = Arc::clone(&heartbeat_stop);
+        let tel = Arc::clone(&telemetry);
+        thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let mut payload = Vec::with_capacity(10);
+                put_varint(&mut payload, tel.get(TelemetryEvent::Exec));
+                if send(FRAME_HEARTBEAT, &payload).is_err() {
+                    // The parent is gone; the main thread will find out
+                    // at its next exchange. Nothing left to report to.
+                    return;
+                }
+                thread::sleep(Duration::from_millis(heartbeat_ms));
+            }
+        })
+    });
+
+    let stall_faults = options.faults.clone();
     let stats = campaign.run_with_hook(options.sync_every, move |c| {
+        if let Some(faults) = &stall_faults {
+            if faults.fire(FaultSite::PipeStall) {
+                // Wedge this worker without exiting: executions freeze
+                // while the heartbeat thread keeps sending the same exec
+                // count. Only the parent's progress deadline can end it.
+                loop {
+                    thread::sleep(Duration::from_secs(3600));
+                }
+            }
+        }
         let exchange = || -> Result<(), String> {
             // Publish fresh finds, split into bounded frames.
             let finds = c.take_fresh_finds();
@@ -241,8 +298,14 @@ pub fn run_worker(
         }
     });
 
+    heartbeat_stop.store(true, Ordering::Relaxed);
     send(FRAME_STATS, &encode_stats(&stats))?;
     send(FRAME_DONE, &[])?;
+    if let Some(handle) = heartbeat {
+        // Joining bounds process exit: at most one more sleep interval,
+        // and any trailing heartbeat was already written atomically.
+        let _ = handle.join();
+    }
     Ok(stats)
 }
 
@@ -260,6 +323,12 @@ pub struct FleetConfig {
     /// snapshots plus the final `"fleet_total":1` line) to this JSONL
     /// file.
     pub fleet_jsonl: Option<PathBuf>,
+    /// How long a worker may go without *progress* (any non-heartbeat
+    /// frame, or a heartbeat with an advanced exec count) before its
+    /// service thread kills and restarts it. `None` reads the
+    /// `BIGMAP_LIVENESS_DEADLINE_MS` default; `Some(Duration::ZERO)`
+    /// disables liveness enforcement entirely.
+    pub liveness_deadline: Option<Duration>,
 }
 
 /// What [`run_fleet`] returns: per-worker stats and health in the same
@@ -275,6 +344,10 @@ pub struct FleetStats {
     pub telemetry: TelemetrySnapshot,
     /// Worker processes that reported at least one telemetry snapshot.
     pub nodes: usize,
+    /// Workers killed by the liveness deadline across the whole run
+    /// (every kill also shows up as a `heartbeat_misses` counter in the
+    /// merged telemetry, attributed to the affected node).
+    pub heartbeat_misses: u64,
 }
 
 /// One worker attempt's outcome, as seen by its service thread.
@@ -286,18 +359,80 @@ enum AttemptOutcome {
 }
 
 /// Serves one worker attempt: translates its frames against the hub and
-/// aggregator until DONE or the pipe dies.
+/// aggregator until DONE, the pipe dies, or the liveness deadline
+/// expires without progress.
+///
+/// A dedicated reader thread owns the blocking stdout pipe and forwards
+/// frames over a channel, so the service loop can wait with a timeout.
+/// The reader exits on its own once the pipe closes (worker exit or
+/// kill) or the service loop hangs up the channel.
 fn serve_attempt(
     child: &mut Child,
     index: usize,
     hub: &ShardedHub,
     aggregator: &FleetAggregator,
+    deadline: Duration,
+    misses: &AtomicU64,
 ) -> AttemptOutcome {
     let mut stdout = child.stdout.take().expect("worker stdout piped");
     let mut stdin = child.stdin.take().expect("worker stdin piped");
+
+    let (frames_tx, frames) = mpsc::channel::<Result<(u8, Vec<u8>), WireError>>();
+    thread::spawn(move || loop {
+        let frame = read_frame(&mut stdout);
+        let finished = frame.is_err();
+        if frames_tx.send(frame).is_err() || finished {
+            return;
+        }
+    });
+
     let mut stats: Option<CampaignStats> = None;
+    let mut last_execs: Option<u64> = None;
+    let mut last_progress = Instant::now();
     loop {
-        match read_frame(&mut stdout) {
+        let frame = if deadline.is_zero() {
+            // Liveness disabled: block until the reader delivers or the
+            // pipe dies (the reader always sends its error before
+            // exiting, so the channel cannot hang up silently).
+            match frames.recv() {
+                Ok(frame) => frame,
+                Err(_) => return AttemptOutcome::Abnormal("frame reader vanished".to_string()),
+            }
+        } else {
+            let remaining = deadline.saturating_sub(last_progress.elapsed());
+            match frames.recv_timeout(remaining) {
+                Ok(frame) => frame,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    // No progress inside the deadline: the worker is
+                    // alive-but-stuck (or its heartbeats stopped). Kill
+                    // it and let the restart budget decide what's next.
+                    misses.fetch_add(1, Ordering::Relaxed);
+                    let supervisor = Telemetry::new(usize::MAX);
+                    supervisor.incr(TelemetryEvent::HeartbeatMiss);
+                    aggregator.record(index, supervisor.snapshot());
+                    let _ = child.kill();
+                    return AttemptOutcome::Abnormal(format!(
+                        "no progress within {deadline:?}; worker killed"
+                    ));
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    return AttemptOutcome::Abnormal("frame reader vanished".to_string())
+                }
+            }
+        };
+        if let Ok((FRAME_HEARTBEAT, payload)) = &frame {
+            // A heartbeat is progress only when the exec count moved;
+            // a wedged worker heartbeats a frozen counter forever.
+            if let Ok((execs, _)) = get_varint(payload) {
+                if last_execs != Some(execs) {
+                    last_execs = Some(execs);
+                    last_progress = Instant::now();
+                }
+            }
+            continue;
+        }
+        last_progress = Instant::now();
+        match frame {
             Ok((FRAME_PUBLISH, payload)) => match decode_sync_batch(&payload) {
                 Ok(batch) => {
                     let inputs = batch.entries.into_iter().map(|(_, input)| input).collect();
@@ -389,6 +524,10 @@ pub fn run_fleet(
         Some(path) => FleetAggregator::with_sink(JsonlSink::to_file(path)?),
         None => FleetAggregator::new(),
     };
+    let deadline = config
+        .liveness_deadline
+        .unwrap_or_else(|| Duration::from_millis(bigmap_core::env::liveness_deadline_ms()));
+    let misses = AtomicU64::new(0);
 
     let spawn = |index: usize| -> io::Result<Child> {
         let mut cmd = command(index);
@@ -407,6 +546,7 @@ pub fn run_fleet(
                 let hub = &hub;
                 let aggregator = &aggregator;
                 let spawn = &spawn;
+                let misses = &misses;
                 scope.spawn(move || {
                     let mut restarts = 0u32;
                     loop {
@@ -428,7 +568,8 @@ pub fn run_fleet(
                                 );
                             }
                         };
-                        let outcome = serve_attempt(&mut child, index, hub, aggregator);
+                        let outcome =
+                            serve_attempt(&mut child, index, hub, aggregator, deadline, misses);
                         let status = child.wait();
                         match (outcome, status) {
                             (AttemptOutcome::Done(stats), Ok(status)) if status.success() => {
@@ -487,6 +628,7 @@ pub fn run_fleet(
         },
         telemetry,
         nodes,
+        heartbeat_misses: misses.load(Ordering::Relaxed),
     })
 }
 
@@ -644,6 +786,7 @@ mod tests {
             FRAME_TELEMETRY,
             FRAME_STATS,
             FRAME_DONE,
+            FRAME_HEARTBEAT,
         ];
         let unique: HashSet<u8> = kinds.iter().copied().collect();
         assert_eq!(unique.len(), kinds.len());

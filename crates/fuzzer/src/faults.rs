@@ -57,16 +57,40 @@ pub enum FaultSite {
     CheckpointWrite,
     /// Panic the worker thread at its next sync boundary.
     WorkerPanic,
+    /// Publish one checkpoint generation with only a prefix of its bytes
+    /// and no fsync — the classic torn write: rename succeeds, the file
+    /// looks real, the tail is gone. The writer is *not* told.
+    TornWrite,
+    /// Drop the tail of one checkpoint read before parsing, as if the
+    /// kernel returned fewer bytes than the file claims to hold.
+    ShortRead,
+    /// Flip one bit in the middle of a just-published checkpoint file,
+    /// simulating silent media corruption.
+    BitFlip,
+    /// Stall the worker's sync hook indefinitely — the process stays
+    /// alive and heartbeats keep flowing, but no progress is made until
+    /// the fleet's liveness deadline kills it.
+    PipeStall,
+    /// Fail one durable write with an `ENOSPC`-style storage-full error.
+    DiskFull,
 }
 
 impl FaultSite {
     /// Every site, in slot order.
-    pub const ALL: [FaultSite; 4] = [
+    pub const ALL: [FaultSite; 9] = [
         FaultSite::TargetCrash,
         FaultSite::TargetHang,
         FaultSite::CheckpointWrite,
         FaultSite::WorkerPanic,
+        FaultSite::TornWrite,
+        FaultSite::ShortRead,
+        FaultSite::BitFlip,
+        FaultSite::PipeStall,
+        FaultSite::DiskFull,
     ];
+
+    /// Number of sites (and length of every per-site counter array).
+    pub const COUNT: usize = FaultSite::ALL.len();
 
     #[inline]
     fn slot(self) -> usize {
@@ -75,6 +99,11 @@ impl FaultSite {
             FaultSite::TargetHang => 1,
             FaultSite::CheckpointWrite => 2,
             FaultSite::WorkerPanic => 3,
+            FaultSite::TornWrite => 4,
+            FaultSite::ShortRead => 5,
+            FaultSite::BitFlip => 6,
+            FaultSite::PipeStall => 7,
+            FaultSite::DiskFull => 8,
         }
     }
 
@@ -85,6 +114,11 @@ impl FaultSite {
             FaultSite::TargetHang => "target_hang",
             FaultSite::CheckpointWrite => "checkpoint_write",
             FaultSite::WorkerPanic => "worker_panic",
+            FaultSite::TornWrite => "torn_write",
+            FaultSite::ShortRead => "short_read",
+            FaultSite::BitFlip => "bit_flip",
+            FaultSite::PipeStall => "pipe_stall",
+            FaultSite::DiskFull => "disk_full",
         }
     }
 }
@@ -183,7 +217,7 @@ impl FaultPlan {
 pub struct InstanceFaults {
     plan: Arc<FaultPlan>,
     instance: usize,
-    ordinals: [AtomicU64; 4],
+    ordinals: [AtomicU64; FaultSite::COUNT],
 }
 
 impl InstanceFaults {
@@ -302,6 +336,34 @@ mod tests {
         // Zero window is a no-op.
         let empty = FaultPlan::new().inject_seeded(7, FaultSite::TargetHang, 2, 5, 0);
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn slots_are_dense_and_names_unique() {
+        // `ALL`, `slot()`, and the ordinal-counter array length are
+        // coupled; this pins the invariant as sites are added.
+        for (index, site) in FaultSite::ALL.into_iter().enumerate() {
+            assert_eq!(site.slot(), index);
+        }
+        let names: BTreeSet<&str> = FaultSite::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), FaultSite::COUNT);
+    }
+
+    #[test]
+    fn io_chaos_sites_fire_independently() {
+        let plan = Arc::new(
+            FaultPlan::new()
+                .inject(FaultSite::TornWrite, 0, 0)
+                .inject(FaultSite::BitFlip, 0, 1)
+                .inject(FaultSite::DiskFull, 0, 0),
+        );
+        let faults = InstanceFaults::new(plan, 0);
+        assert!(faults.fire(FaultSite::TornWrite));
+        assert!(!faults.fire(FaultSite::BitFlip));
+        assert!(faults.fire(FaultSite::BitFlip));
+        assert!(faults.fire(FaultSite::DiskFull));
+        assert!(!faults.fire(FaultSite::ShortRead));
+        assert!(!faults.fire(FaultSite::PipeStall));
     }
 
     #[test]

@@ -73,7 +73,7 @@ pub use campaign::{
     build_metric, Budget, Campaign, CampaignConfig, CampaignConfigBuilder, CampaignOutput,
     CampaignStats,
 };
-pub use checkpoint::{Checkpoint, CheckpointManager};
+pub use checkpoint::{Checkpoint, CheckpointManager, RestoreReport};
 pub use cmin::{minimize_corpus, MinimizedCorpus};
 pub use crashwalk::CrashWalk;
 pub use executor::{Execution, Executor};

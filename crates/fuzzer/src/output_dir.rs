@@ -14,26 +14,40 @@
 //!   queue/    id:000000,<...>   one file per queue entry
 //!   crashes/  id:000000,sig:.. one file per unique crash input
 //!   hangs/    id:000000,<...>   one file per novel hang input
+//!   quarantine/                 entries found unreadable/truncated on load
 //!   fuzzer_stats                key : value lines (AFL-compatible style)
 //!   checkpoint                  resumable snapshot (see [`crate::checkpoint`])
 //! ```
 //!
 //! Every file is written crash-safely: content goes to a `.tmp` sibling
-//! first and is atomically renamed into place, so a save interrupted by a
-//! kill leaves each file either at its previous content or its new
-//! content — never truncated. A re-save also removes `id:*` files left
-//! over from a previous, larger save (and abandoned `.tmp` staging
-//! files), so the directory always reflects exactly one campaign state.
+//! first, is fsynced, and is atomically renamed into place, so a save
+//! interrupted by a kill (or power loss) leaves each file either at its
+//! previous content or its new content — never truncated. A re-save also
+//! removes `id:*` files left over from a previous, larger save (and
+//! abandoned `.tmp` staging files), so the directory always reflects
+//! exactly one campaign state.
+//!
+//! Loading is corruption-tolerant: an entry that cannot be read, or
+//! whose on-disk size disagrees with the `len:` component of its name,
+//! is moved to `quarantine/` with a sibling `.reason` file and the load
+//! continues — one damaged entry costs one input, not the campaign's
+//! ability to resume. Quarantines are counted as `QuarantinedEntry`
+//! telemetry events when a telemetry handle is attached
+//! ([`OutputDir::with_telemetry`]).
 
 use std::collections::HashSet;
 use std::fs;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use crate::campaign::{CampaignOutput, CampaignStats};
+use crate::telemetry::{Telemetry, TelemetryEvent};
 
-/// Writes `bytes` to `path` via a `.tmp` sibling plus atomic rename, so
-/// a crash mid-write cannot leave a truncated file at `path`.
+/// Writes `bytes` to `path` via a `.tmp` sibling plus fsync plus atomic
+/// rename, so a crash mid-write cannot leave a truncated file at `path`
+/// and a power loss after the rename cannot publish an unsynced (empty)
+/// one.
 fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
     let file_name = path
         .file_name()
@@ -41,14 +55,31 @@ fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
         .to_string_lossy()
         .into_owned();
     let tmp = path.with_file_name(format!("{file_name}.tmp"));
-    fs::write(&tmp, bytes)?;
+    {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        // The rename below can be journaled ahead of the data on many
+        // filesystems; without this sync a power loss can publish the
+        // new name over zero-length content.
+        file.sync_all()?;
+    }
     fs::rename(&tmp, path)
+}
+
+/// The `len:<n>` component of an `id:*` entry name, if present — the
+/// declared payload size that makes on-disk truncation detectable.
+fn expected_len(name: &str) -> Option<usize> {
+    name.split(',')
+        .find_map(|part| part.strip_prefix("len:"))?
+        .parse()
+        .ok()
 }
 
 /// Handle to a campaign output directory.
 #[derive(Debug, Clone)]
 pub struct OutputDir {
     root: PathBuf,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl OutputDir {
@@ -62,12 +93,29 @@ impl OutputDir {
         fs::create_dir_all(root.join("queue"))?;
         fs::create_dir_all(root.join("crashes"))?;
         fs::create_dir_all(root.join("hangs"))?;
-        Ok(OutputDir { root })
+        Ok(OutputDir {
+            root,
+            telemetry: None,
+        })
+    }
+
+    /// Attaches a telemetry handle so corpus quarantines are counted as
+    /// `QuarantinedEntry` events.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = Some(telemetry);
+        self
     }
 
     /// The root path.
     pub fn root(&self) -> &Path {
         &self.root
+    }
+
+    /// The quarantine directory damaged entries are moved to (may not
+    /// exist yet — it is created on first quarantine).
+    pub fn quarantine_dir(&self) -> PathBuf {
+        self.root.join("quarantine")
     }
 
     /// Persists a finished campaign: corpus into `queue/`, crash inputs
@@ -158,10 +206,13 @@ impl OutputDir {
     /// Loads the persisted corpus (`queue/` files, in id order) — the
     /// resume path: feed these to [`crate::Campaign::add_seeds`].
     ///
+    /// Damaged entries (unreadable, or truncated relative to the `len:`
+    /// in their name) are quarantined and skipped, not fatal.
+    ///
     /// # Errors
     ///
-    /// Propagates filesystem errors. Unreadable entries are errors, not
-    /// silently skipped (a truncated corpus should be noticed).
+    /// Propagates filesystem errors on the directory itself or on the
+    /// quarantine bookkeeping.
     pub fn load_corpus(&self) -> io::Result<Vec<Vec<u8>>> {
         self.load_entries("queue")
     }
@@ -192,6 +243,9 @@ impl OutputDir {
 
     /// Loads one subdirectory's `id:*` files in name (= id) order,
     /// skipping `.tmp` staging leftovers from an interrupted save.
+    /// Entries that cannot be read — or whose byte count disagrees with
+    /// the `len:` their name declares — are moved to `quarantine/` with
+    /// a reason file, and loading continues.
     fn load_entries(&self, sub: &str) -> io::Result<Vec<Vec<u8>>> {
         let mut entries: Vec<(String, PathBuf)> = fs::read_dir(self.root.join(sub))?
             .map(|e| {
@@ -203,10 +257,46 @@ impl OutputDir {
             .filter(|(name, _)| !name.ends_with(".tmp"))
             .collect();
         entries.sort();
-        entries
-            .into_iter()
-            .map(|(_, path)| fs::read(path))
-            .collect()
+        let mut inputs = Vec::with_capacity(entries.len());
+        for (name, path) in entries {
+            let outcome = match fs::read(&path) {
+                Ok(bytes) => match expected_len(&name) {
+                    Some(expected) if bytes.len() != expected => Err(format!(
+                        "truncated: {} bytes on disk, name declares {expected}",
+                        bytes.len()
+                    )),
+                    _ => Ok(bytes),
+                },
+                Err(e) => Err(format!("unreadable: {e}")),
+            };
+            match outcome {
+                Ok(bytes) => inputs.push(bytes),
+                Err(reason) => self.quarantine(sub, &name, &path, &reason)?,
+            }
+        }
+        Ok(inputs)
+    }
+
+    /// Moves one damaged entry out of the live corpus into
+    /// `quarantine/<sub>-<name>`, records why in a sibling `.reason`
+    /// file, and counts the event. The entry is preserved for forensics,
+    /// not deleted: a "truncated" file may still be most of an
+    /// interesting input.
+    fn quarantine(&self, sub: &str, name: &str, path: &Path, reason: &str) -> io::Result<()> {
+        let dir = self.quarantine_dir();
+        fs::create_dir_all(&dir)?;
+        let target = dir.join(format!("{sub}-{name}"));
+        if fs::rename(path, &target).is_err() {
+            // Cross-device or vanished mid-load: evict it from the live
+            // corpus anyway; the reason file still records the incident.
+            let _ = fs::remove_file(path);
+        }
+        write_atomic(&dir.join(format!("{sub}-{name}.reason")), reason.as_bytes())?;
+        if let Some(tel) = &self.telemetry {
+            tel.incr(TelemetryEvent::QuarantinedEntry);
+        }
+        eprintln!("output-dir: quarantined {sub}/{name}: {reason}");
+        Ok(())
     }
 
     /// Parses the persisted `fuzzer_stats` into key/value pairs.
@@ -404,6 +494,71 @@ mod tests {
         fs::remove_dir_all(dir.join("hangs")).unwrap();
         assert!(out.load_hangs().unwrap().is_empty());
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_entry_is_quarantined_not_fatal() {
+        let dir = tmpdir("quarantine-trunc");
+        let output = run_small_campaign();
+        assert!(output.corpus.len() > 1, "need a multi-entry corpus");
+        let telemetry = Arc::new(Telemetry::new(0));
+        let out = OutputDir::create(&dir)
+            .unwrap()
+            .with_telemetry(Arc::clone(&telemetry));
+        out.save(&output).unwrap();
+
+        // Torn write survivor: the file exists under its final name but
+        // lost its tail (the name's len: no longer matches).
+        let victim_name = format!("id:{:06},len:{}", 0, output.corpus[0].len());
+        let victim = dir.join("queue").join(&victim_name);
+        assert!(victim.exists());
+        fs::write(&victim, b"").unwrap();
+
+        let corpus = out.load_corpus().unwrap();
+        assert_eq!(corpus, output.corpus[1..].to_vec());
+        assert!(!victim.exists(), "damaged entry must leave the live corpus");
+        let quarantined = out.quarantine_dir().join(format!("queue-{victim_name}"));
+        assert!(quarantined.exists());
+        let reason = fs::read_to_string(
+            out.quarantine_dir()
+                .join(format!("queue-{victim_name}.reason")),
+        )
+        .unwrap();
+        assert!(reason.contains("truncated"), "got: {reason}");
+        assert_eq!(telemetry.get(TelemetryEvent::QuarantinedEntry), 1);
+
+        // A second load sees a clean directory: nothing left to quarantine.
+        assert_eq!(out.load_corpus().unwrap(), output.corpus[1..].to_vec());
+        assert_eq!(telemetry.get(TelemetryEvent::QuarantinedEntry), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unreadable_entry_is_quarantined_not_fatal() {
+        let dir = tmpdir("quarantine-unreadable");
+        let out = OutputDir::create(&dir).unwrap();
+        let output = run_small_campaign();
+        out.save(&output).unwrap();
+        // A directory where a file should be: fs::read fails regardless
+        // of permissions (tests may run as root, so chmod won't do).
+        let imposter = dir.join("hangs").join("id:000099,len:3");
+        fs::create_dir_all(&imposter).unwrap();
+
+        let hangs = out.load_hangs().unwrap();
+        assert_eq!(hangs, output.hang_inputs);
+        let reason =
+            fs::read_to_string(out.quarantine_dir().join("hangs-id:000099,len:3.reason")).unwrap();
+        assert!(reason.contains("unreadable"), "got: {reason}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn expected_len_parses_entry_names() {
+        assert_eq!(expected_len("id:000001,len:42"), Some(42));
+        assert_eq!(expected_len("id:000001,len:0"), Some(0));
+        // Crash entries carry a signature, not a length: no check.
+        assert_eq!(expected_len("id:000001,sig:00abcdef"), None);
+        assert_eq!(expected_len("id:000001,len:notanumber"), None);
     }
 
     #[test]

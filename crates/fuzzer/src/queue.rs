@@ -185,6 +185,22 @@ impl Queue {
         self.entries[id].fuzzed_rounds = rounds;
     }
 
+    /// The round-robin scheduling position (entry index the next
+    /// [`Queue::schedule`] call starts from, modulo the queue length).
+    /// Part of the checkpointable scheduling state: a resumed campaign
+    /// that restarted the walk at entry 0 would schedule different
+    /// parents than the uninterrupted run and the trajectories would
+    /// diverge.
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// Restores the round-robin position captured by [`Queue::cursor`]
+    /// (checkpoint resume).
+    pub fn set_cursor(&mut self, cursor: usize) {
+        self.cursor = cursor;
+    }
+
     /// Number of favored entries.
     pub fn favored_count(&self) -> usize {
         self.entries.iter().filter(|e| e.favored).count()

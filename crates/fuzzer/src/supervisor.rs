@@ -112,13 +112,21 @@ fn run_instance_attempt(
         CheckpointManager::new(dir, checkpoint_every).with_min_interval(checkpoint_min_interval)
     });
     let restored = match checkpoint_dir {
-        Some(dir) => match CheckpointManager::load(dir) {
-            Ok(Some(checkpoint)) => {
+        Some(dir) => match CheckpointManager::load_with_report(dir, faults.map(Arc::as_ref)) {
+            Ok(Some((checkpoint, report))) => {
+                if !report.skipped.is_empty() {
+                    if let Some(tel) = telemetry {
+                        tel.add(
+                            crate::telemetry::TelemetryEvent::CheckpointFallback,
+                            report.skipped.len() as u64,
+                        );
+                    }
+                }
                 campaign.restore(&checkpoint);
                 true
             }
             Ok(None) => false,
-            // A corrupt checkpoint is a cold start, not a death loop.
+            // No generation intact at all: a cold start, not a death loop.
             Err(_) => false,
         },
         None => false,

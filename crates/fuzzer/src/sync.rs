@@ -429,6 +429,67 @@ mod tests {
         }
     }
 
+    /// The degenerate cursor-fault shape the fabric can hit after state
+    /// corruption: a nonzero cursor presented to a hub that has *zero*
+    /// entries. The typed error must report `published: 0`, leave the
+    /// cursor alone, and a reset-to-zero must fully recover — including
+    /// picking up entries published after the fault.
+    #[test]
+    fn cursor_fault_on_zero_entry_hub_recovers_by_reset() {
+        for (name, hub) in stores() {
+            let mut cursor = 1u64;
+            let err = hub.fetch_since(&mut cursor, 0).unwrap_err();
+            assert_eq!(
+                err,
+                CursorError {
+                    cursor: 1,
+                    published: 0
+                },
+                "{name}"
+            );
+            assert_eq!(cursor, 1, "{name}: cursor must not move on error");
+            // The CURSOR_FAULT recovery protocol: reset and refetch.
+            cursor = 0;
+            assert!(
+                hub.fetch_since(&mut cursor, 0).unwrap().is_empty(),
+                "{name}"
+            );
+            hub.publish(1, vec![vec![42]]);
+            assert_eq!(hub.fetch_since(&mut cursor, 0).unwrap().len(), 1, "{name}");
+            assert_eq!(cursor, 1, "{name}");
+        }
+    }
+
+    /// A restarted worker republishes everything it knows (it cannot
+    /// tell what arrived before it died). The replay must be invisible:
+    /// no new sequence numbers, no duplicate deliveries to readers who
+    /// already caught up, and a from-zero reader still sees each
+    /// distinct input exactly once.
+    #[test]
+    fn restart_replay_of_duplicate_publishes_is_harmless() {
+        for (name, hub) in stores() {
+            hub.publish(0, vec![vec![1], vec![2], vec![3]]);
+            let mut reader = 0u64;
+            assert_eq!(hub.fetch_since(&mut reader, 1).unwrap().len(), 3, "{name}");
+
+            // Worker 0 dies and its replacement replays the same finds,
+            // plus one genuinely new discovery.
+            hub.publish(0, vec![vec![1], vec![2], vec![3], vec![4]]);
+            assert_eq!(hub.published_count(), 4, "{name}: replay minted seqs");
+            let fresh = hub.fetch_since(&mut reader, 1).unwrap();
+            assert_eq!(fresh.len(), 1, "{name}: caught-up reader re-delivered");
+            assert_eq!(&*fresh[0], &[4][..], "{name}");
+
+            // A cold reader (e.g. the replacement itself, cursor zero)
+            // sees each distinct input exactly once.
+            let mut cold = 0u64;
+            let all = hub.fetch_since(&mut cold, 9).unwrap();
+            assert_eq!(all.len(), 4, "{name}");
+            let distinct: HashSet<&[u8]> = all.iter().map(|input| &**input).collect();
+            assert_eq!(distinct.len(), 4, "{name}: duplicates crossed the hub");
+        }
+    }
+
     #[test]
     fn fetches_share_payload_allocations() {
         for (name, hub) in stores() {

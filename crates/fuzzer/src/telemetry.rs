@@ -115,11 +115,22 @@ pub enum TelemetryEvent {
     /// Fast-path executions the oracle flagged as suspicious (or that
     /// crashed/hanged), forcing a full traced re-execution.
     RetraceExec,
+    /// Checkpoint restores that skipped one or more corrupt generations
+    /// and fell back to an older intact one (counted per generation
+    /// skipped).
+    CheckpointFallback,
+    /// Corpus entries found unreadable or truncated on load and moved to
+    /// the output directory's `quarantine/` instead of aborting.
+    QuarantinedEntry,
+    /// Liveness-deadline expirations observed by the fleet parent: a
+    /// worker made no progress (no frames, or heartbeats with a frozen
+    /// exec counter) for the full deadline and was killed for restart.
+    HeartbeatMiss,
 }
 
 impl TelemetryEvent {
     /// Every event, in serialization order.
-    pub const ALL: [TelemetryEvent; 23] = [
+    pub const ALL: [TelemetryEvent; 26] = [
         TelemetryEvent::MapReset,
         TelemetryEvent::ClassifyPass,
         TelemetryEvent::VirginCompare,
@@ -143,6 +154,9 @@ impl TelemetryEvent {
         TelemetryEvent::JournalOverflow,
         TelemetryEvent::FastPathExec,
         TelemetryEvent::RetraceExec,
+        TelemetryEvent::CheckpointFallback,
+        TelemetryEvent::QuarantinedEntry,
+        TelemetryEvent::HeartbeatMiss,
     ];
 
     #[inline]
@@ -171,6 +185,9 @@ impl TelemetryEvent {
             TelemetryEvent::JournalOverflow => 20,
             TelemetryEvent::FastPathExec => 21,
             TelemetryEvent::RetraceExec => 22,
+            TelemetryEvent::CheckpointFallback => 23,
+            TelemetryEvent::QuarantinedEntry => 24,
+            TelemetryEvent::HeartbeatMiss => 25,
         }
     }
 
@@ -200,6 +217,9 @@ impl TelemetryEvent {
             TelemetryEvent::JournalOverflow => "journal_overflows",
             TelemetryEvent::FastPathExec => "fast_path_execs",
             TelemetryEvent::RetraceExec => "retrace_execs",
+            TelemetryEvent::CheckpointFallback => "checkpoint_fallbacks",
+            TelemetryEvent::QuarantinedEntry => "quarantined_entries",
+            TelemetryEvent::HeartbeatMiss => "heartbeat_misses",
         }
     }
 
@@ -272,7 +292,7 @@ impl Stage {
 pub struct Telemetry {
     instance: usize,
     started: Instant,
-    events: [EventCounter; 23],
+    events: [EventCounter; 26],
     stages: [StageNanos; 4],
 }
 
@@ -347,7 +367,7 @@ pub struct TelemetrySnapshot {
     /// Wall-clock nanoseconds since the instance's telemetry was created.
     pub wall_nanos: u64,
     /// Event counters, indexed in [`TelemetryEvent::ALL`] order.
-    pub events: [u64; 23],
+    pub events: [u64; 26],
     /// Stage accumulators (nanoseconds), indexed in [`Stage::ALL`] order.
     pub stage_nanos: [u64; 4],
 }
@@ -862,6 +882,21 @@ mod tests {
         assert_eq!(snap.get(TelemetryEvent::SparseDispatch), 250);
         assert_eq!(snap.get(TelemetryEvent::FastPathExec), 0);
         assert_eq!(snap.get(TelemetryEvent::RetraceExec), 0);
+    }
+
+    #[test]
+    fn pre_durability_snapshot_lines_still_parse() {
+        // Snapshots written in the 23-slot era (two-speed counters
+        // present, durability counters absent) must parse with the
+        // fallback/quarantine/heartbeat counters at 0.
+        let legacy = "{\"instance\":0,\"wall_nanos\":77,\"execs\":900,\
+                      \"fast_path_execs\":600,\"retrace_execs\":30}";
+        let snap = TelemetrySnapshot::from_json(legacy).expect("legacy line parses");
+        assert_eq!(snap.get(TelemetryEvent::Exec), 900);
+        assert_eq!(snap.get(TelemetryEvent::FastPathExec), 600);
+        assert_eq!(snap.get(TelemetryEvent::CheckpointFallback), 0);
+        assert_eq!(snap.get(TelemetryEvent::QuarantinedEntry), 0);
+        assert_eq!(snap.get(TelemetryEvent::HeartbeatMiss), 0);
     }
 
     #[test]

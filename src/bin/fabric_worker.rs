@@ -18,6 +18,11 @@
 //!   is created first, so the supervised respawn runs clean — this is
 //!   how the node-loss recovery test kills exactly one process exactly
 //!   once)
+//! * `--stall-once <sentinel>` — same single-shot arming, but the fault
+//!   wedges the worker indefinitely at the third sync boundary instead
+//!   of panicking: executions freeze while heartbeats keep flowing, so
+//!   only the parent's liveness deadline can recover the fleet (this is
+//!   how the hung-worker detection test gets a genuinely stuck process)
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -43,6 +48,7 @@ fn main() -> ExitCode {
     let mut map_size = MapSize::M2;
     let mut checkpoint_dir: Option<PathBuf> = None;
     let mut panic_once: Option<PathBuf> = None;
+    let mut stall_once: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -72,6 +78,7 @@ fn main() -> ExitCode {
             }
             "--checkpoint-dir" => checkpoint_dir = Some(PathBuf::from(value("--checkpoint-dir"))),
             "--panic-once" => panic_once = Some(PathBuf::from(value("--panic-once"))),
+            "--stall-once" => stall_once = Some(PathBuf::from(value("--stall-once"))),
             other => fail(&format!("unknown flag {other}")),
         }
     }
@@ -90,19 +97,25 @@ fn main() -> ExitCode {
         .mutations_per_seed(32)
         .build();
 
-    // Single-shot panic injection: the sentinel file is created *before*
+    // Single-shot fault injection: the sentinel file is created *before*
     // the fault is armed, so after the parent respawns this worker the
     // sentinel exists and the replacement runs fault-free.
-    let faults = match &panic_once {
-        Some(sentinel) if !sentinel.exists() => {
-            if let Err(e) = std::fs::write(sentinel, b"armed") {
-                fail(&format!("cannot create panic sentinel: {e}"));
+    let mut plan = FaultPlan::new();
+    let mut armed = false;
+    let mut arm = |sentinel: &Option<PathBuf>, site: FaultSite| {
+        if let Some(sentinel) = sentinel {
+            if !sentinel.exists() {
+                if let Err(e) = std::fs::write(sentinel, b"armed") {
+                    fail(&format!("cannot create fault sentinel: {e}"));
+                }
+                plan = std::mem::take(&mut plan).inject(site, role.index, 2);
+                armed = true;
             }
-            let plan = Arc::new(FaultPlan::new().inject(FaultSite::WorkerPanic, role.index, 2));
-            Some(Arc::new(InstanceFaults::new(plan, role.index)))
         }
-        _ => None,
     };
+    arm(&panic_once, FaultSite::WorkerPanic);
+    arm(&stall_once, FaultSite::PipeStall);
+    let faults = armed.then(|| Arc::new(InstanceFaults::new(Arc::new(plan), role.index)));
 
     let options = WorkerOptions {
         sync_every,

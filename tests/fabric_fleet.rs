@@ -40,6 +40,7 @@ fn two_worker_fleet_completes_and_merges_telemetry() {
         max_restarts: 0,
         backoff: Duration::from_millis(10),
         fleet_jsonl: Some(jsonl.clone()),
+        liveness_deadline: None,
     };
     let args = base_args(4_000);
     let stats = run_fleet(&config, |_| {
@@ -88,6 +89,7 @@ fn killed_worker_is_respawned_and_fleet_recovers() {
         max_restarts: 2,
         backoff: Duration::from_millis(10),
         fleet_jsonl: Some(jsonl.clone()),
+        liveness_deadline: None,
     };
     let args = base_args(4_000);
     let stats = run_fleet(&config, |index| {
@@ -134,6 +136,7 @@ fn worker_that_keeps_dying_is_declared_dead() {
         max_restarts: 1,
         backoff: Duration::from_millis(10),
         fleet_jsonl: None,
+        liveness_deadline: None,
     };
     let args = base_args(2_000);
     let stats = run_fleet(&config, |index| {
