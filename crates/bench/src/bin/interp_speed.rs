@@ -1,0 +1,551 @@
+//! Compiled-engine throughput: tree walker vs flattened bytecode vs
+//! snapshot resets, plus the Figure-6-style crossover shift.
+//!
+//! Three raw-execution engines run the identical parent + mutated-children
+//! streams (`NullSink`, no coverage pipeline) over the Table II suite.
+//! The child mix per parent mirrors the default campaign loop: the
+//! AFL-style deterministic sweep (walking bit flips / arithmetic /
+//! interesting values — the campaign's own `Mutator::deterministic`
+//! call) followed by a havoc batch. Engines under test:
+//!
+//! * `tree` — the CFG-walking interpreter,
+//! * `compiled` — the flattened struct-of-arrays bytecode engine,
+//! * `snapshot` — the compiled engine with each parent's run memoized
+//!   once, so every child resumes from the last step whose input-read
+//!   decision provably diverges under its mutated bytes (most children
+//!   replay entirely).
+//!
+//! All three are observationally identical (see
+//! `crates/target/tests/compiled_equivalence.rs`); this harness measures
+//! only the throughput gap and the snapshot hit rate. Each suite runs at
+//! two per-block cost levels: `work_per_block = 0`, the bookkeeping-bound
+//! floor where a block is pure dispatch, and a modeled level standing in
+//! for the computation a real target performs per block. The acceptance
+//! target is a >=2x geomean for `snapshot` over `tree` on the quick
+//! Table II subset at the modeled level.
+//!
+//! The second arm reruns the Figure 6 flat-vs-two-level size sweep under
+//! `BIGMAP_INTERP=tree` and `=auto` campaigns: a faster executor shrinks
+//! the per-exec time that map operations amortize against, so the map
+//! size at which BigMap overtakes the flat AFL map ("the crossover")
+//! shifts toward smaller maps. Results print as tables and land in
+//! `BENCH_interp.json`.
+//!
+//! ```text
+//! interp_speed [--quick | --full] [--out <path>]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use bigmap_analytics::{geometric_mean, TextTable};
+use bigmap_bench::{report_header, Effort, PreparedBenchmark};
+use bigmap_core::{InterpMode, MapScheme, MapSize};
+use bigmap_coverage::MetricKind;
+use bigmap_fuzzer::{Budget, Campaign, CampaignConfig, Mutator};
+use bigmap_target::{BenchmarkSpec, ExecConfig, Interpreter, NullSink, SnapshotOutcome};
+
+/// Havoc children mutated from each parent, on top of the deterministic
+/// stage. AFL fuzzes a scheduled seed far more often than this; a modest
+/// batch keeps the priming cost honest (one memoized run per parent,
+/// exactly like the campaign loop).
+const HAVOC_PER_PARENT: usize = 64;
+
+/// Deterministic-stage children per parent, matching the campaign's own
+/// `Mutator::deterministic(parent, 512)` sweep (walking bit flips,
+/// arithmetic, interesting values — narrow single-site diffs).
+const DETERMINISTIC_PER_PARENT: usize = 512;
+
+/// `work_per_block` for the modeled-cost raw arm: each interpreter step
+/// additionally spins this many multiply-add units, standing in for the
+/// real computation a target performs per basic block. The w=0 arm is
+/// the degenerate bookkeeping-bound floor (a "block" costs ~2ns of pure
+/// dispatch); no real target executes blocks for free, so the modeled
+/// arm is the acceptance regime. Replay serves memoized steps without
+/// re-burning their work — that asymmetry is the entire point of
+/// snapshot resets.
+const MODELED_WORK: u32 = 16;
+
+struct RawResult {
+    execs_per_sec: f64,
+    hits: u64,
+    misses: u64,
+    full_replays: u64,
+    skipped_steps: u64,
+    total_steps: u64,
+}
+
+/// Deterministic parent → mutated-children streams, shared by all three
+/// engines so they execute byte-identical input sequences. The child mix
+/// mirrors the default campaign loop: each scheduled parent gets its
+/// AFL-style deterministic sweep (the campaign's own
+/// `Mutator::deterministic(parent, 512)` call) followed by a havoc batch.
+fn mutation_stream(prepared: &PreparedBenchmark) -> Vec<(Vec<u8>, Vec<Vec<u8>>)> {
+    let mut mutator = Mutator::new(0x1A7E5);
+    prepared
+        .seeds
+        .iter()
+        .map(|parent| {
+            let mut children = Mutator::deterministic(parent, DETERMINISTIC_PER_PARENT);
+            children.extend((0..HAVOC_PER_PARENT).map(|_| mutator.havoc(parent, None)));
+            (parent.clone(), children)
+        })
+        .collect()
+}
+
+/// Per-pass tallies accumulated by [`stream_pass`].
+#[derive(Default)]
+struct PassStats {
+    execs: u64,
+    hits: u64,
+    misses: u64,
+    full_replays: u64,
+    skipped_steps: u64,
+    total_steps: u64,
+}
+
+/// One full pass over the stream: every parent and child runs once into
+/// a null sink. The `snapshot` engine times its per-parent priming run
+/// inside the pass — the memoization cost is part of the price it pays,
+/// exactly as in the campaign.
+fn stream_pass(
+    interp: &Interpreter<'_>,
+    stream: &[(Vec<u8>, Vec<Vec<u8>>)],
+    mode: InterpMode,
+    work: u32,
+) -> PassStats {
+    let budget = ExecConfig::default().max_steps;
+    let mut stats = PassStats::default();
+    if mode.uses_snapshots() {
+        let compiled = interp.compiled().expect("suite programs lower cleanly");
+        for (parent, children) in stream {
+            let (_, recording) = compiled.record(parent, &mut NullSink, budget, work);
+            stats.execs += 1;
+            for child in children {
+                let (run, outcome) =
+                    compiled.run_resumed(&recording, child, &mut NullSink, budget, work);
+                stats.execs += 1;
+                stats.total_steps += run.steps;
+                stats.skipped_steps += outcome.skipped_steps();
+                match outcome {
+                    SnapshotOutcome::Miss => stats.misses += 1,
+                    SnapshotOutcome::FullReplay { .. } => {
+                        stats.hits += 1;
+                        stats.full_replays += 1;
+                    }
+                    SnapshotOutcome::Resumed { .. } => stats.hits += 1,
+                }
+            }
+        }
+    } else {
+        for (parent, children) in stream {
+            interp.run_bounded_mode(parent, &mut NullSink, budget, mode);
+            stats.execs += 1;
+            for child in children {
+                interp.run_bounded_mode(child, &mut NullSink, budget, mode);
+                stats.execs += 1;
+            }
+        }
+    }
+    stats
+}
+
+/// Raw engine throughput: one untimed warm-up pass over the stream
+/// (page-in, branch-predictor and allocator warm-up), then whole-stream
+/// passes repeated until the timed window reaches `min_measure` (at
+/// least two passes). The quick stream is ~1k sub-millisecond execs, so
+/// a fixed rep count would produce noise-dominated microsecond windows;
+/// the duration floor keeps every measurement in the hundreds of
+/// milliseconds.
+fn run_raw(
+    interp: &Interpreter<'_>,
+    stream: &[(Vec<u8>, Vec<Vec<u8>>)],
+    mode: InterpMode,
+    work: u32,
+    min_measure: std::time::Duration,
+) -> RawResult {
+    stream_pass(interp, stream, mode, work);
+    let mut total = PassStats::default();
+    let mut passes = 0usize;
+    let start = Instant::now();
+    while passes < 2 || start.elapsed() < min_measure {
+        let pass = stream_pass(interp, stream, mode, work);
+        total.execs += pass.execs;
+        total.hits += pass.hits;
+        total.misses += pass.misses;
+        total.full_replays += pass.full_replays;
+        total.skipped_steps += pass.skipped_steps;
+        total.total_steps += pass.total_steps;
+        passes += 1;
+    }
+    RawResult {
+        execs_per_sec: total.execs as f64 / start.elapsed().as_secs_f64().max(1e-9),
+        hits: total.hits,
+        misses: total.misses,
+        full_replays: total.full_replays,
+        skipped_steps: total.skipped_steps,
+        total_steps: total.total_steps,
+    }
+}
+
+struct CrossoverPoint {
+    size: MapSize,
+    tree_ratio: f64,
+    auto_ratio: f64,
+}
+
+/// One campaign arm for the crossover sweep.
+fn campaign_throughput(
+    prepared: &PreparedBenchmark,
+    scheme: MapScheme,
+    engine: InterpMode,
+    budget: std::time::Duration,
+) -> f64 {
+    let interpreter = Interpreter::new(&prepared.program);
+    let mut campaign = Campaign::new(
+        CampaignConfig {
+            scheme,
+            map_size: prepared.instrumentation.map_size(),
+            metric: MetricKind::Edge,
+            budget: Budget::Time(budget),
+            mutations_per_seed: 512,
+            deterministic: false,
+            seed: 0x5EED,
+            interp: Some(engine),
+            ..Default::default()
+        },
+        &interpreter,
+        &prepared.instrumentation,
+    );
+    campaign.add_seeds(prepared.seeds.clone());
+    campaign.run().throughput()
+}
+
+/// Interpolated log2(map bytes) where two-level overtakes flat (ratio
+/// crosses 1.0), or `None` if the sweep never crosses.
+fn crossover_log2(
+    points: &[CrossoverPoint],
+    ratio_of: impl Fn(&CrossoverPoint) -> f64,
+) -> Option<f64> {
+    for pair in points.windows(2) {
+        let (a, b) = (ratio_of(&pair[0]), ratio_of(&pair[1]));
+        if (a < 1.0) != (b < 1.0) {
+            let la = (pair[0].size.bytes() as f64).log2();
+            let lb = (pair[1].size.bytes() as f64).log2();
+            let t = (1.0 - a) / (b - a);
+            return Some(la + t * (lb - la));
+        }
+    }
+    None
+}
+
+fn out_path_from_args() -> String {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, arg) in args.iter().enumerate() {
+        if let Some(path) = arg.strip_prefix("--out=") {
+            return path.to_string();
+        }
+        if arg == "--out" {
+            if let Some(path) = args.get(i + 1) {
+                return path.clone();
+            }
+        }
+    }
+    "BENCH_interp.json".to_string()
+}
+
+struct BenchRow {
+    name: &'static str,
+    tree_eps: f64,
+    compiled_eps: f64,
+    snapshot_eps: f64,
+    hit_rate: f64,
+    full_rate: f64,
+    skip_rate: f64,
+}
+
+struct SuiteResult {
+    rows: Vec<BenchRow>,
+    comp_geo: f64,
+    snap_geo: f64,
+    mean_hit: f64,
+}
+
+/// Runs the three raw engines over every benchmark at one
+/// `work_per_block` level and prints the per-benchmark table.
+fn run_suite(
+    benchmarks: &[BenchmarkSpec],
+    effort: Effort,
+    work: u32,
+    min_measure: std::time::Duration,
+) -> SuiteResult {
+    let mut table = TextTable::new(vec![
+        "benchmark",
+        "tree e/s",
+        "compiled e/s",
+        "snapshot e/s",
+        "comp spd",
+        "snap spd",
+        "hit%",
+        "full%",
+        "skip%",
+    ]);
+    let mut rows = Vec::new();
+    let mut compiled_speedups = Vec::new();
+    let mut snapshot_speedups = Vec::new();
+
+    for spec in benchmarks {
+        // Map size is irrelevant for raw execution; K64 keeps prep cheap.
+        let prepared = PreparedBenchmark::build(spec, MapSize::K64, effort);
+        let stream = mutation_stream(&prepared);
+        let config = ExecConfig {
+            work_per_block: work,
+            ..Default::default()
+        };
+        let tree_interp = Interpreter::with_mode(&prepared.program, config, InterpMode::Tree);
+        let tree = run_raw(&tree_interp, &stream, InterpMode::Tree, work, min_measure);
+        let compiled = run_raw(
+            &tree_interp,
+            &stream,
+            InterpMode::Compiled,
+            work,
+            min_measure,
+        );
+        let snapshot = run_raw(&tree_interp, &stream, InterpMode::Auto, work, min_measure);
+
+        let comp_spd = compiled.execs_per_sec / tree.execs_per_sec.max(1e-9);
+        let snap_spd = snapshot.execs_per_sec / tree.execs_per_sec.max(1e-9);
+        let hit_rate =
+            100.0 * snapshot.hits as f64 / (snapshot.hits + snapshot.misses).max(1) as f64;
+        let full_rate =
+            100.0 * snapshot.full_replays as f64 / (snapshot.hits + snapshot.misses).max(1) as f64;
+        let skip_rate = 100.0 * snapshot.skipped_steps as f64 / snapshot.total_steps.max(1) as f64;
+        compiled_speedups.push(comp_spd);
+        snapshot_speedups.push(snap_spd);
+        table.row(vec![
+            spec.name.to_string(),
+            format!("{:.0}", tree.execs_per_sec),
+            format!("{:.0}", compiled.execs_per_sec),
+            format!("{:.0}", snapshot.execs_per_sec),
+            format!("{comp_spd:.2}x"),
+            format!("{snap_spd:.2}x"),
+            format!("{hit_rate:.1}"),
+            format!("{full_rate:.1}"),
+            format!("{skip_rate:.1}"),
+        ]);
+        rows.push(BenchRow {
+            name: spec.name,
+            tree_eps: tree.execs_per_sec,
+            compiled_eps: compiled.execs_per_sec,
+            snapshot_eps: snapshot.execs_per_sec,
+            hit_rate,
+            full_rate,
+            skip_rate,
+        });
+        eprintln!("  done: {} (work={work})", spec.name);
+    }
+    println!("{table}");
+    let mean_hit = rows.iter().map(|r| r.hit_rate).sum::<f64>() / rows.len().max(1) as f64;
+    SuiteResult {
+        rows,
+        comp_geo: geometric_mean(&compiled_speedups),
+        snap_geo: geometric_mean(&snapshot_speedups),
+        mean_hit,
+    }
+}
+
+fn main() {
+    let effort = Effort::from_args();
+    report_header(
+        "Compiled engine — tree vs bytecode vs snapshot-reset throughput",
+        effort,
+        "raw exec/sec over identical parent+children streams (NullSink, no \
+         coverage pipeline); snapshot arms pay their per-parent priming run \
+         inside the timed loop; each suite runs twice — work_per_block=0 \
+         (bookkeeping floor) and modeled per-block work; acceptance: \
+         snapshot/tree geomean >=2x on the modeled arm",
+    );
+
+    let names: &[&str] = match effort {
+        Effort::Quick => &["zlib", "libpng", "proj4", "sqlite3"],
+        Effort::Standard => &["zlib", "libpng", "proj4", "harfbuzz", "sqlite3", "mem2reg"],
+        Effort::Full => &[],
+    };
+    let benchmarks: Vec<BenchmarkSpec> = if names.is_empty() {
+        BenchmarkSpec::table_ii()
+    } else {
+        names
+            .iter()
+            .map(|n| BenchmarkSpec::by_name(n).unwrap())
+            .collect()
+    };
+    // Minimum timed window per engine measurement; see `run_raw`.
+    let min_measure = match effort {
+        Effort::Quick => std::time::Duration::from_millis(400),
+        Effort::Standard => std::time::Duration::from_millis(1200),
+        Effort::Full => std::time::Duration::from_millis(3000),
+    };
+
+    println!("-- work_per_block = 0 (bookkeeping-bound floor: a block costs pure dispatch) --");
+    let floor = run_suite(&benchmarks, effort, 0, min_measure);
+    println!(
+        "floor (w=0): compiled/tree geomean {:.2}x, snapshot/tree geomean {:.2}x \
+         (mean hit rate {:.1}%)",
+        floor.comp_geo, floor.snap_geo, floor.mean_hit
+    );
+
+    println!();
+    println!(
+        "-- work_per_block = {MODELED_WORK} (modeled per-block target work; acceptance regime) --"
+    );
+    let modeled = run_suite(&benchmarks, effort, MODELED_WORK, min_measure);
+    let (comp_geo, snap_geo, mean_hit) = (modeled.comp_geo, modeled.snap_geo, modeled.mean_hit);
+    println!("compiled/tree geomean speedup: {comp_geo:.2}x");
+    println!(
+        "snapshot/tree geomean speedup: {snap_geo:.2}x \
+         (acceptance target: >=2x; mean snapshot hit rate {mean_hit:.1}%)"
+    );
+    if snap_geo >= 2.0 {
+        println!("acceptance: PASS — compiled + snapshot resets >=2x over the tree walker");
+    } else {
+        println!(
+            "acceptance: BELOW TARGET on this host — the gap tracks how much \
+             of an exec the mutated byte range invalidates; see EXPERIMENTS.md \
+             for the reference run"
+        );
+    }
+
+    // Figure-6-style crossover shift: flat-vs-two-level throughput ratio
+    // across map sizes, tree campaigns vs auto (compiled + snapshots).
+    println!();
+    let sizes: &[MapSize] = if effort == Effort::Quick {
+        &[MapSize::K64, MapSize::M2, MapSize::M8]
+    } else {
+        &MapSize::EVALUATED
+    };
+    let spec = BenchmarkSpec::by_name("libpng").unwrap();
+    let arm_budget = effort.arm_budget();
+    let mut xo_table = TextTable::new(vec![
+        "map size",
+        "tree flat e/s",
+        "tree 2L e/s",
+        "tree 2L/flat",
+        "auto flat e/s",
+        "auto 2L e/s",
+        "auto 2L/flat",
+    ]);
+    let mut points = Vec::new();
+    for &size in sizes {
+        let prepared = PreparedBenchmark::build(&spec, size, effort);
+        let tree_flat =
+            campaign_throughput(&prepared, MapScheme::Flat, InterpMode::Tree, arm_budget);
+        let tree_two =
+            campaign_throughput(&prepared, MapScheme::TwoLevel, InterpMode::Tree, arm_budget);
+        let auto_flat =
+            campaign_throughput(&prepared, MapScheme::Flat, InterpMode::Auto, arm_budget);
+        let auto_two =
+            campaign_throughput(&prepared, MapScheme::TwoLevel, InterpMode::Auto, arm_budget);
+        let tree_ratio = tree_two / tree_flat.max(1e-9);
+        let auto_ratio = auto_two / auto_flat.max(1e-9);
+        xo_table.row(vec![
+            size.label(),
+            format!("{tree_flat:.0}"),
+            format!("{tree_two:.0}"),
+            format!("{tree_ratio:.3}"),
+            format!("{auto_flat:.0}"),
+            format!("{auto_two:.0}"),
+            format!("{auto_ratio:.3}"),
+        ]);
+        points.push(CrossoverPoint {
+            size,
+            tree_ratio,
+            auto_ratio,
+        });
+    }
+    println!("{xo_table}");
+    let tree_xo = crossover_log2(&points, |p| p.tree_ratio);
+    let auto_xo = crossover_log2(&points, |p| p.auto_ratio);
+    match (tree_xo, auto_xo) {
+        (Some(t), Some(a)) => println!(
+            "crossover (two-level overtakes flat): tree at 2^{t:.2} B, \
+             auto at 2^{a:.2} B — shift {:+.2} size doublings \
+             (negative = faster execs pull the crossover toward smaller maps)",
+            a - t
+        ),
+        _ => println!(
+            "crossover: not bracketed by this sweep (tree: {tree_xo:?}, \
+             auto: {auto_xo:?} in log2 bytes) — the ratio stayed on one side \
+             of 1.0 at every evaluated size on this host"
+        ),
+    }
+
+    // JSON artifact.
+    let mut json = String::with_capacity(8 * 1024);
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"benchmark\": \"interp_speed\",");
+    let _ = writeln!(json, "  \"mode\": \"{}\",", effort.label());
+    let _ = writeln!(json, "  \"havoc_per_parent\": {HAVOC_PER_PARENT},");
+    let _ = writeln!(
+        json,
+        "  \"deterministic_per_parent\": {DETERMINISTIC_PER_PARENT},"
+    );
+    let _ = writeln!(json, "  \"modeled_work_per_block\": {MODELED_WORK},");
+    for (key, suite) in [("results_floor", &floor), ("results_modeled", &modeled)] {
+        let _ = writeln!(json, "  \"{key}\": [");
+        for (i, r) in suite.rows.iter().enumerate() {
+            let _ = write!(
+                json,
+                "    {{\"name\": \"{}\", \"tree_eps\": {:.0}, \"compiled_eps\": {:.0}, \
+                 \"snapshot_eps\": {:.0}, \"hit_rate\": {:.3}, \"full_replay_rate\": {:.3}, \
+                 \"skipped_step_rate\": {:.3}}}",
+                r.name,
+                r.tree_eps,
+                r.compiled_eps,
+                r.snapshot_eps,
+                r.hit_rate,
+                r.full_rate,
+                r.skip_rate
+            );
+            json.push_str(if i + 1 < suite.rows.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        json.push_str("  ],\n");
+    }
+    let _ = writeln!(
+        json,
+        "  \"floor_snapshot_geomean_speedup\": {:.3},",
+        floor.snap_geo
+    );
+    let _ = writeln!(json, "  \"compiled_geomean_speedup\": {comp_geo:.3},");
+    let _ = writeln!(json, "  \"snapshot_geomean_speedup\": {snap_geo:.3},");
+    let _ = writeln!(json, "  \"mean_snapshot_hit_rate\": {mean_hit:.3},");
+    json.push_str("  \"crossover\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"size\": \"{}\", \"tree_ratio\": {:.4}, \"auto_ratio\": {:.4}}}",
+            p.size.label(),
+            p.tree_ratio,
+            p.auto_ratio
+        );
+        json.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let fmt_xo = |xo: Option<f64>| match xo {
+        Some(v) => format!("{v:.3}"),
+        None => "null".to_string(),
+    };
+    let _ = writeln!(
+        json,
+        "  \"tree_crossover_log2_bytes\": {},",
+        fmt_xo(tree_xo)
+    );
+    let _ = writeln!(json, "  \"auto_crossover_log2_bytes\": {}", fmt_xo(auto_xo));
+    json.push_str("}\n");
+    let out_path = out_path_from_args();
+    std::fs::write(&out_path, json).expect("write BENCH_interp.json");
+    println!("\nwrote {out_path}");
+}

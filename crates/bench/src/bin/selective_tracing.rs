@@ -76,6 +76,7 @@ fn run_mode(
                 hang_budget: None,
                 sparse: None,
                 trace: Some(mode),
+                interp: None,
             },
             &interpreter,
             &prepared.instrumentation,

@@ -293,6 +293,7 @@ impl PreparedBenchmark {
             hang_budget: None,
             sparse: None,
             trace: None,
+            interp: None,
         }
     }
 

@@ -3,7 +3,8 @@
 //! Every runtime tunable the workspace reads from the environment is
 //! declared here as a [`Knob`]: its name, accepted values, default and
 //! one-line description. The typed accessors ([`kernel_request`],
-//! [`sparse_request`], [`trace_request`], [`nt_threshold_request`],
+//! [`sparse_request`], [`trace_request`], [`interp_request`],
+//! [`nt_threshold_request`],
 //! [`sync_batch`], [`fabric_worker`], [`ckpt_keep`], [`heartbeat_ms`],
 //! [`liveness_deadline_ms`]) parse and validate in one pass and are the only
 //! code in the workspace that calls `std::env::var` for a `BIGMAP_*`
@@ -32,6 +33,7 @@
 
 use std::sync::OnceLock;
 
+use crate::interp::InterpMode;
 use crate::kernels::KernelKind;
 use crate::sparse::SparseMode;
 use crate::trace::TraceMode;
@@ -74,6 +76,15 @@ pub const KNOBS: &[Knob] = &[
                       `selective` runs untraced fast execs and re-traces only novelty-oracle \
                       flagged ones, `auto` adds a fallback to direct tracing in re-trace-heavy \
                       windows. All modes produce bit-identical campaign trajectories.",
+    },
+    Knob {
+        name: "BIGMAP_INTERP",
+        values: "`tree` \\| `compiled` \\| `auto`",
+        default: "`auto`",
+        description: "Target execution engine: `tree` walks the CFG IR, `compiled` runs the \
+                      flattened threaded bytecode, `auto` adds snapshot resets that resume \
+                      mutated children from the scheduled parent's memoized trace prefix. All \
+                      modes produce bit-identical campaign trajectories.",
     },
     Knob {
         name: "BIGMAP_NT_THRESHOLD",
@@ -211,6 +222,14 @@ pub fn sparse_request() -> SparseMode {
 /// parse policy itself lives in [`crate::trace::select_trace_mode`].
 pub fn trace_request() -> TraceMode {
     crate::trace::select_trace_mode(raw("BIGMAP_TRACE_MODE").as_deref())
+}
+
+/// `BIGMAP_INTERP`: the requested target execution engine.
+///
+/// Unknown values warn on stderr and read as [`InterpMode::Auto`]; the
+/// parse policy itself lives in [`crate::interp::select_interp_mode`].
+pub fn interp_request() -> InterpMode {
+    crate::interp::select_interp_mode(raw("BIGMAP_INTERP").as_deref())
 }
 
 /// `BIGMAP_NT_THRESHOLD`: the requested non-temporal-store cutoff in
@@ -380,6 +399,9 @@ mod tests {
         }
         if std::env::var_os("BIGMAP_TRACE_MODE").is_none() {
             assert_eq!(trace_request(), TraceMode::Always);
+        }
+        if std::env::var_os("BIGMAP_INTERP").is_none() {
+            assert_eq!(interp_request(), InterpMode::Auto);
         }
         if std::env::var_os("BIGMAP_CKPT_KEEP").is_none() {
             assert_eq!(ckpt_keep(), CKPT_KEEP_DEFAULT);

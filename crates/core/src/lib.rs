@@ -74,6 +74,7 @@ pub mod diff;
 pub mod env;
 pub mod flat;
 pub mod hash;
+pub mod interp;
 pub mod journal;
 pub mod kernels;
 pub mod map_size;
@@ -90,6 +91,7 @@ pub use counters::{EventCounter, StageNanos};
 pub use env::Knob;
 pub use flat::FlatBitmap;
 pub use hash::Crc32;
+pub use interp::InterpMode;
 pub use journal::{SlotRun, TouchJournal};
 pub use kernels::{KernelKind, KernelTable};
 pub use map_size::{MapSize, MapSizeError};

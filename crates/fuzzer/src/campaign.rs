@@ -15,8 +15,8 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use bigmap_core::{
-    build_map, CoverageMap, MapScheme, MapSize, NewCoverage, OpKind, OpPath, OpStats, SparseMode,
-    TraceMode, VirginState,
+    build_map, CoverageMap, InterpMode, MapScheme, MapSize, NewCoverage, OpKind, OpPath, OpStats,
+    SparseMode, TraceMode, VirginState,
 };
 use bigmap_coverage::{
     BlockCoverage, ContextSensitive, CoverageMetric, EdgeHitCount, Instrumentation, MetricKind,
@@ -27,7 +27,7 @@ use bigmap_target::{ExecConfig, ExecOutcome, Interpreter, NoveltyOracle};
 use crate::calibrate::HangBudget;
 use crate::checkpoint::{Checkpoint, CheckpointQueueEntry};
 use crate::crashwalk::CrashWalk;
-use crate::executor::Executor;
+use crate::executor::{EnginePath, Executor};
 use crate::faults::{FaultSite, InstanceFaults};
 use crate::mutate::Mutator;
 use crate::queue::Queue;
@@ -57,6 +57,22 @@ pub fn build_metric(kind: MetricKind) -> Box<dyn CoverageMetric> {
 /// use dense indices from 0, so this sentinel can never collide with a
 /// genuine site; every injected crash lands in one Crashwalk bucket.
 pub const INJECTED_CRASH_SITE: usize = usize::MAX;
+
+/// Folds one engine dispatch into the telemetry counters: which engine
+/// served an execution (`CompiledExec`) and whether an armed parent
+/// snapshot was reused (`SnapshotHit`) or conservatively discarded
+/// (`SnapshotMiss`). Observational only — engine paths never change the
+/// campaign trajectory.
+fn note_engine(tel: &Telemetry, engine: EnginePath) {
+    if engine.is_compiled() {
+        tel.incr(TelemetryEvent::CompiledExec);
+    }
+    if engine.is_snapshot_hit() {
+        tel.incr(TelemetryEvent::SnapshotHit);
+    } else if engine == EnginePath::SnapshotMiss {
+        tel.incr(TelemetryEvent::SnapshotMiss);
+    }
+}
 
 /// When a campaign stops.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,6 +141,13 @@ pub struct CampaignConfig {
     /// tracing is coverage-preserving: every mode produces a
     /// bit-identical campaign trajectory.
     pub trace: Option<TraceMode>,
+    /// Per-campaign override of the target execution engine
+    /// (`bigmap_core::interp`). `None` follows the process-wide
+    /// `BIGMAP_INTERP` setting (default: auto — compiled bytecode plus
+    /// snapshot resets that resume mutated children from the scheduled
+    /// parent's memoized trace prefix). Pure dispatch: every mode
+    /// produces a bit-identical campaign trajectory.
+    pub interp: Option<InterpMode>,
 }
 
 impl Default for CampaignConfig {
@@ -144,6 +167,7 @@ impl Default for CampaignConfig {
             hang_budget: None,
             sparse: None,
             trace: None,
+            interp: None,
         }
     }
 }
@@ -291,6 +315,13 @@ impl CampaignConfigBuilder {
     #[must_use]
     pub fn trace_mode(mut self, mode: TraceMode) -> Self {
         self.config.trace = Some(mode);
+        self
+    }
+
+    /// Per-campaign override of the target execution engine.
+    #[must_use]
+    pub fn interp_mode(mut self, mode: InterpMode) -> Self {
+        self.config.interp = Some(mode);
         self
     }
 
@@ -471,8 +502,14 @@ impl<'p> Campaign<'p> {
         let trace_mode = config.trace.unwrap_or_else(bigmap_core::env::trace_request);
         let oracle = (trace_mode != TraceMode::Always)
             .then(|| NoveltyOracle::new(interpreter.program().block_count()));
+        let mut executor = Executor::new(interpreter, instrumentation, metric);
+        executor.set_interp_mode(
+            config
+                .interp
+                .unwrap_or_else(bigmap_core::env::interp_request),
+        );
         Campaign {
-            executor: Executor::new(interpreter, instrumentation, metric),
+            executor,
             map,
             virgin: VirginState::new(config.map_size),
             virgin_crash: VirginState::new(config.map_size),
@@ -511,6 +548,11 @@ impl<'p> Campaign<'p> {
     /// The resolved two-speed execution mode this campaign runs under.
     pub fn trace_mode(&self) -> TraceMode {
         self.trace_mode
+    }
+
+    /// The resolved target execution engine this campaign runs under.
+    pub fn interp_mode(&self) -> InterpMode {
+        self.executor.interp_mode()
     }
 
     /// Attaches a live telemetry registry: every pipeline stage from here
@@ -676,10 +718,12 @@ impl<'p> Campaign<'p> {
         // Two-speed fast pass: untraced exec, oracle verdict, maybe skip.
         let mut fast_time = Duration::ZERO;
         let mut retraced = false;
+        let mut fast_engine = None;
         if self.fast_pass_active() {
             let oracle = self.oracle.as_mut().expect("fast pass requires an oracle");
             let fast = self.executor.run_fast(input, oracle);
             fast_time = fast.exec_time;
+            fast_engine = Some(fast.engine);
             // The *effective* outcome decides skippability: an injected
             // crash/hang must flow through the crash/hang pipeline even
             // though the underlying trace is a known-clean path.
@@ -696,6 +740,7 @@ impl<'p> Campaign<'p> {
                 if let Some(tel) = &self.telemetry {
                     tel.incr(TelemetryEvent::Exec);
                     tel.incr(TelemetryEvent::FastPathExec);
+                    note_engine(tel, fast.engine);
                     tel.add_stage(Stage::TargetExec, fast.exec_time);
                 }
                 return NewCoverage::None;
@@ -881,6 +926,13 @@ impl<'p> Campaign<'p> {
                 if retraced {
                     tel.incr(TelemetryEvent::RetraceExec);
                 }
+                // One engine-path record per executor dispatch: the fast
+                // pass (when one ran) and the traced execution each went
+                // through the engine once.
+                if let Some(engine) = fast_engine {
+                    note_engine(tel, engine);
+                }
+                note_engine(tel, execution.engine);
                 tel.add(TelemetryEvent::MapUpdate, execution.map_updates);
                 tel.add_stage(Stage::TargetExec, fast_time + execution.exec_time);
                 tel.add_stage(Stage::MapOps, map_ops_time);
@@ -1050,6 +1102,13 @@ impl<'p> Campaign<'p> {
             let parent = self.queue.entry(entry_id).input.clone();
             let parent_depth = self.queue.entry(entry_id).depth;
             self.admit_depth = parent_depth + 1;
+            // Arm the snapshot engine on the freshly scheduled parent:
+            // every deterministic and havoc child below is a mutation of
+            // these bytes, so it can resume from the parent's memoized
+            // trace prefix instead of re-executing from the start. The
+            // priming run streams into a null sink — no map, oracle or
+            // counter ever observes it — so it is trajectory-invisible.
+            self.executor.prime_snapshot(&parent);
             let sched_time = t.elapsed();
             self.ops.add(OpKind::Other, sched_time);
             if let Some(tel) = &self.telemetry {
@@ -1762,6 +1821,65 @@ mod tests {
         }
         assert_eq!(always_tel.get(TelemetryEvent::FastPathExec), 0);
         assert_eq!(always_tel.get(TelemetryEvent::RetraceExec), 0);
+    }
+
+    #[test]
+    fn interp_modes_share_one_bit_identical_trajectory() {
+        use crate::telemetry::{Telemetry, TelemetryEvent};
+
+        let program = GeneratorConfig::default().generate();
+        let inst = instrument(&program, MapSize::K64);
+        let interp = Interpreter::new(&program);
+        let run = |mode: InterpMode| {
+            let mut campaign = Campaign::new(
+                CampaignConfig {
+                    interp: Some(mode),
+                    ..quick_config(MapScheme::TwoLevel, 3_000)
+                },
+                &interp,
+                &inst,
+            );
+            assert_eq!(campaign.interp_mode(), mode);
+            let tel = Arc::new(Telemetry::new(0));
+            campaign.set_telemetry(Arc::clone(&tel));
+            campaign.add_seeds(vec![vec![5u8; 24]]);
+            (campaign.run(), tel)
+        };
+        let (tree, tree_tel) = run(InterpMode::Tree);
+        for mode in [InterpMode::Compiled, InterpMode::Auto] {
+            let (stats, tel) = run(mode);
+            // The engine is pure dispatch: the whole campaign trajectory
+            // must be bit-identical to the tree walker's.
+            assert_eq!(stats.execs, tree.execs, "{mode:?}");
+            assert_eq!(stats.queue_len, tree.queue_len, "{mode:?}");
+            assert_eq!(stats.used_len, tree.used_len, "{mode:?}");
+            assert_eq!(stats.discovered_slots, tree.discovered_slots, "{mode:?}");
+            assert_eq!(stats.total_crashes, tree.total_crashes, "{mode:?}");
+            assert_eq!(stats.unique_crashes, tree.unique_crashes, "{mode:?}");
+            assert_eq!(stats.hangs, tree.hangs, "{mode:?}");
+            assert_eq!(
+                stats.timeline.points(),
+                tree.timeline.points(),
+                "{mode:?} changed the coverage trajectory"
+            );
+            // Non-vacuousness: the compiled engine actually served execs.
+            assert_eq!(
+                tel.get(TelemetryEvent::CompiledExec),
+                tel.get(TelemetryEvent::Exec),
+                "{mode:?}: every exec should be compiled"
+            );
+            if mode == InterpMode::Auto {
+                assert!(
+                    tel.get(TelemetryEvent::SnapshotHit) > 0,
+                    "auto mode never reused a parent snapshot"
+                );
+            } else {
+                assert_eq!(tel.get(TelemetryEvent::SnapshotHit), 0, "{mode:?}");
+                assert_eq!(tel.get(TelemetryEvent::SnapshotMiss), 0, "{mode:?}");
+            }
+        }
+        assert_eq!(tree_tel.get(TelemetryEvent::CompiledExec), 0);
+        assert_eq!(tree_tel.get(TelemetryEvent::SnapshotHit), 0);
     }
 
     #[test]

@@ -10,9 +10,12 @@
 
 use std::time::{Duration, Instant};
 
-use bigmap_core::CoverageMap;
+use bigmap_core::{CoverageMap, InterpMode};
 use bigmap_coverage::{CoverageMetric, Instrumentation, TraceEvent};
-use bigmap_target::{ExecOutcome, Interpreter, NoveltyOracle, TraceSink};
+use bigmap_target::{
+    BoundedRun, ExecOutcome, ExecRecording, Interpreter, NoveltyOracle, NullSink, SnapshotOutcome,
+    TraceSink,
+};
 
 /// Adapter: structural interpreter events → instrumented IDs → metric keys
 /// → map updates.
@@ -71,6 +74,44 @@ impl TraceSink for MappingSink<'_> {
     }
 }
 
+/// Which engine path satisfied one execution — the executor-level view
+/// the campaign folds into `CompiledExec`/`SnapshotHit`/`SnapshotMiss`
+/// telemetry. Purely observational: every path produces bit-identical
+/// outcomes, traces and step counts for the same input and budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnginePath {
+    /// The tree-walking interpreter (`BIGMAP_INTERP=tree`, or a program
+    /// whose compiled lowering is unusable).
+    Tree,
+    /// The compiled bytecode engine, executed front to back with no
+    /// snapshot armed.
+    Compiled,
+    /// A parent snapshot was armed and the whole run was served from its
+    /// memoized trace (no live execution).
+    SnapshotReplay,
+    /// A parent snapshot was armed and execution resumed mid-run after
+    /// replaying the memoized prefix.
+    SnapshotResume,
+    /// A parent snapshot was armed but could not be reused; the run
+    /// re-executed from scratch on the compiled engine.
+    SnapshotMiss,
+}
+
+impl EnginePath {
+    /// True for any path through the compiled bytecode engine.
+    pub fn is_compiled(self) -> bool {
+        !matches!(self, EnginePath::Tree)
+    }
+
+    /// True when any part of a parent snapshot was reused.
+    pub fn is_snapshot_hit(self) -> bool {
+        matches!(
+            self,
+            EnginePath::SnapshotReplay | EnginePath::SnapshotResume
+        )
+    }
+}
+
 /// Result of executing one test case (before the fitness pipeline).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Execution {
@@ -94,6 +135,8 @@ pub struct Execution {
     /// the journal overflowed). The numerator of the per-exec density the
     /// sparse/dense dispatcher decides on.
     pub touched_slots: Option<usize>,
+    /// Which engine path satisfied this execution.
+    pub engine: EnginePath,
 }
 
 /// Executes test cases against one instrumented target.
@@ -128,6 +171,12 @@ pub struct Executor<'p> {
     /// Lives here (not on the interpreter) because the campaign shares one
     /// immutable interpreter across executors but calibrates per campaign.
     step_budget: Option<u64>,
+    /// Effective engine mode. Initialized from the interpreter's own mode;
+    /// the campaign overrides it from its config / `BIGMAP_INTERP`.
+    interp_mode: InterpMode,
+    /// The scheduled parent's memoized run, when snapshots are armed
+    /// ([`Executor::prime_snapshot`]). Mutated children resume from it.
+    recording: Option<ExecRecording>,
 }
 
 impl std::fmt::Debug for Executor<'_> {
@@ -147,20 +196,83 @@ impl<'p> Executor<'p> {
         instrumentation: &'p Instrumentation,
         metric: Box<dyn CoverageMetric>,
     ) -> Self {
+        let interp_mode = interpreter.mode();
         Executor {
             interpreter,
             instrumentation,
             metric,
             step_budget: None,
+            interp_mode,
+            recording: None,
         }
     }
 
     /// Sets (or clears) a calibrated step budget. When set, it replaces
     /// `ExecConfig::max_steps` for every subsequent [`Executor::run`]; an
     /// execution exhausting it reports [`ExecOutcome::Hang`] exactly as if
-    /// the configured budget had run out.
+    /// the configured budget had run out. Any armed snapshot is dropped —
+    /// a recording is only reusable under the exact budget it ran with.
     pub fn set_step_budget(&mut self, budget: Option<u64>) {
+        if self.step_budget != budget {
+            self.recording = None;
+        }
         self.step_budget = budget;
+    }
+
+    /// Overrides the engine mode for this executor (the campaign's
+    /// `CampaignConfig` / `BIGMAP_INTERP` resolution). Leaving snapshot
+    /// mode drops any armed recording.
+    pub fn set_interp_mode(&mut self, mode: InterpMode) {
+        self.interp_mode = mode;
+        if !mode.uses_snapshots() {
+            self.recording = None;
+        }
+    }
+
+    /// The effective engine mode.
+    pub fn interp_mode(&self) -> InterpMode {
+        self.interp_mode
+    }
+
+    /// Memoizes a run of `parent` so subsequent [`Executor::run`] /
+    /// [`Executor::run_fast`] calls on mutated children can resume from
+    /// its snapshot. No-op unless the mode arms snapshots and the program
+    /// has a runnable compiled lowering. Returns whether a snapshot is
+    /// now armed.
+    ///
+    /// The priming run streams into a null sink and touches no coverage
+    /// state, no oracle and no counters — it is invisible to the campaign
+    /// trajectory.
+    pub fn prime_snapshot(&mut self, parent: &[u8]) -> bool {
+        if !self.interp_mode.uses_snapshots() {
+            return false;
+        }
+        // Skip re-priming for the parent already armed (the deterministic
+        // and havoc stages share one scheduled parent).
+        if let Some(recording) = &self.recording {
+            if recording.input() == parent && recording.budget() == self.effective_budget() {
+                return true;
+            }
+        }
+        let Some(compiled) = self.interpreter.compiled() else {
+            self.recording = None;
+            return false;
+        };
+        let budget = self.effective_budget();
+        let work = self.interpreter.config().work_per_block;
+        let (_, recording) = compiled.record(parent, &mut NullSink, budget, work);
+        self.recording = Some(recording);
+        true
+    }
+
+    /// Drops any armed snapshot recording.
+    pub fn clear_snapshot(&mut self) {
+        self.recording = None;
+    }
+
+    fn effective_budget(&self) -> u64 {
+        self.step_budget
+            .unwrap_or(self.interpreter.config().max_steps)
     }
 
     /// The calibrated step budget, if one is active.
@@ -173,6 +285,7 @@ impl<'p> Executor<'p> {
     /// time it separately).
     pub fn run(&mut self, input: &[u8], map: &mut dyn CoverageMap) -> Execution {
         self.metric.begin_execution();
+        let budget = self.effective_budget();
         let start = Instant::now();
         let mut sink = MappingSink {
             instrumentation: self.instrumentation,
@@ -180,10 +293,14 @@ impl<'p> Executor<'p> {
             map,
             updates: 0,
         };
-        let budget = self
-            .step_budget
-            .unwrap_or(self.interpreter.config().max_steps);
-        let run = self.interpreter.run_bounded(input, &mut sink, budget);
+        let (run, engine) = dispatch_engine(
+            self.interpreter,
+            self.interp_mode,
+            self.recording.as_ref(),
+            input,
+            &mut sink,
+            budget,
+        );
         let map_updates = sink.updates;
         let touched_slots = sink.map.touched_len();
         Execution {
@@ -193,6 +310,7 @@ impl<'p> Executor<'p> {
             steps: run.steps,
             planted_hang: run.planted_hang,
             touched_slots,
+            engine,
         }
     }
 
@@ -203,16 +321,23 @@ impl<'p> Executor<'p> {
     /// re-execution always agree on outcome and step count.
     pub fn run_fast(&mut self, input: &[u8], oracle: &mut NoveltyOracle) -> FastExecution {
         let start = Instant::now();
-        let budget = self
-            .step_budget
-            .unwrap_or(self.interpreter.config().max_steps);
-        let run = self.interpreter.run_fast_bounded(input, oracle, budget);
+        let budget = self.effective_budget();
+        oracle.begin_exec();
+        let (run, engine) = dispatch_engine(
+            self.interpreter,
+            self.interp_mode,
+            self.recording.as_ref(),
+            input,
+            oracle,
+            budget,
+        );
         FastExecution {
             outcome: run.outcome,
             exec_time: start.elapsed(),
             steps: run.steps,
             planted_hang: run.planted_hang,
             provably_seen: oracle.provably_seen(),
+            engine,
         }
     }
 
@@ -220,6 +345,42 @@ impl<'p> Executor<'p> {
     pub fn instrumentation(&self) -> &Instrumentation {
         self.instrumentation
     }
+}
+
+/// Shared engine dispatch for the traced and fast paths. A free function
+/// (not a method) so the caller can keep disjoint borrows of the
+/// executor's metric and recording alive across the call.
+///
+/// Dispatch is purely mechanical — every path yields the bit-identical
+/// [`BoundedRun`] and event stream, so the returned [`EnginePath`] is
+/// observational telemetry, never a semantic fork.
+fn dispatch_engine<S: TraceSink + ?Sized>(
+    interpreter: &Interpreter<'_>,
+    mode: InterpMode,
+    recording: Option<&ExecRecording>,
+    input: &[u8],
+    sink: &mut S,
+    budget: u64,
+) -> (BoundedRun, EnginePath) {
+    if mode.uses_snapshots() {
+        if let (Some(recording), Some(compiled)) = (recording, interpreter.compiled()) {
+            let work = interpreter.config().work_per_block;
+            let (run, snapshot) = compiled.run_resumed(recording, input, sink, budget, work);
+            let path = match snapshot {
+                SnapshotOutcome::Miss => EnginePath::SnapshotMiss,
+                SnapshotOutcome::FullReplay { .. } => EnginePath::SnapshotReplay,
+                SnapshotOutcome::Resumed { .. } => EnginePath::SnapshotResume,
+            };
+            return (run, path);
+        }
+    }
+    let run = interpreter.run_bounded_mode(input, sink, budget, mode);
+    let path = if mode.uses_compiled() && interpreter.compiled().is_some() {
+        EnginePath::Compiled
+    } else {
+        EnginePath::Tree
+    };
+    (run, path)
 }
 
 /// Result of one untraced fast-path execution ([`Executor::run_fast`]).
@@ -239,6 +400,8 @@ pub struct FastExecution {
     /// so (if it also completed `Ok`) the traced re-execution can be
     /// skipped without changing the campaign trajectory.
     pub provably_seen: bool,
+    /// Which engine path satisfied this execution.
+    pub engine: EnginePath,
 }
 
 #[cfg(test)]
@@ -436,5 +599,113 @@ mod tests {
         let interp = Interpreter::new(&program);
         let executor = Executor::new(&interp, &inst, Box::new(EdgeHitCount::new()));
         assert!(format!("{executor:?}").contains("Edge"));
+    }
+
+    #[test]
+    fn engine_path_tracks_mode() {
+        let (program, inst) = setup();
+        let interp = Interpreter::new(&program);
+        let mut executor = Executor::new(&interp, &inst, Box::new(EdgeHitCount::new()));
+        let mut map = BigMap::new(MapSize::K64).unwrap();
+
+        executor.set_interp_mode(InterpMode::Tree);
+        assert_eq!(executor.run(b"mode", &mut map).engine, EnginePath::Tree);
+        map.reset();
+        executor.set_interp_mode(InterpMode::Compiled);
+        assert_eq!(executor.run(b"mode", &mut map).engine, EnginePath::Compiled);
+        map.reset();
+        // Auto without a primed snapshot still runs compiled front-to-back.
+        executor.set_interp_mode(InterpMode::Auto);
+        assert_eq!(executor.run(b"mode", &mut map).engine, EnginePath::Compiled);
+    }
+
+    #[test]
+    fn snapshot_paths_are_trajectory_neutral() {
+        // The load-bearing invariant: with a primed parent snapshot,
+        // children run through replay/resume paths yet produce coverage,
+        // steps and outcomes identical to a cold executor.
+        let (program, inst) = setup();
+        let interp = Interpreter::new(&program);
+        let mut snap = Executor::new(&interp, &inst, Box::new(EdgeHitCount::new()));
+        let mut cold = Executor::new(&interp, &inst, Box::new(EdgeHitCount::new()));
+        snap.set_interp_mode(InterpMode::Auto);
+        cold.set_interp_mode(InterpMode::Compiled);
+
+        let parent = [0x41u8; 48];
+        assert!(snap.prime_snapshot(&parent));
+
+        let mut child = parent;
+        child[7] ^= 0xFF;
+        for input in [&parent[..], &child[..], b"totally different"] {
+            let mut a = BigMap::new(MapSize::K64).unwrap();
+            let mut b = BigMap::new(MapSize::K64).unwrap();
+            let hot = snap.run(input, &mut a);
+            let ref_exec = cold.run(input, &mut b);
+            assert_eq!(hot.outcome, ref_exec.outcome);
+            assert_eq!(hot.steps, ref_exec.steps);
+            assert_eq!(hot.map_updates, ref_exec.map_updates);
+            assert_eq!(a.active_region(), b.active_region());
+            assert!(hot.engine.is_compiled());
+        }
+
+        // The identical parent replays wholesale; a mutated child either
+        // resumes or (conservatively) misses — never a tree fallback.
+        let mut map = BigMap::new(MapSize::K64).unwrap();
+        assert_eq!(
+            snap.run(&parent, &mut map).engine,
+            EnginePath::SnapshotReplay
+        );
+    }
+
+    #[test]
+    fn priming_is_idempotent_and_budget_sensitive() {
+        let (program, inst) = setup();
+        let interp = Interpreter::new(&program);
+        let mut executor = Executor::new(&interp, &inst, Box::new(EdgeHitCount::new()));
+        executor.set_interp_mode(InterpMode::Auto);
+        assert!(executor.prime_snapshot(b"parent"));
+        assert!(executor.prime_snapshot(b"parent"), "re-prime is a no-op");
+
+        // Budget changes invalidate the recording (it memoized the old
+        // budget's exhaustion behaviour); the next child must not hit.
+        executor.set_step_budget(Some(10));
+        let mut map = BigMap::new(MapSize::K64).unwrap();
+        let run = executor.run(b"parent", &mut map);
+        assert_eq!(run.engine, EnginePath::Compiled, "stale snapshot dropped");
+
+        // Tree mode refuses to arm and drops any armed snapshot.
+        executor.set_step_budget(None);
+        assert!(executor.prime_snapshot(b"parent"));
+        executor.set_interp_mode(InterpMode::Tree);
+        assert!(!executor.prime_snapshot(b"parent"));
+        map.reset();
+        assert_eq!(executor.run(b"parent", &mut map).engine, EnginePath::Tree);
+    }
+
+    #[test]
+    fn fast_path_snapshot_agrees_with_oracle_state() {
+        let (program, inst) = setup();
+        let interp = Interpreter::new(&program);
+        let mut snap = Executor::new(&interp, &inst, Box::new(EdgeHitCount::new()));
+        let mut cold = Executor::new(&interp, &inst, Box::new(EdgeHitCount::new()));
+        snap.set_interp_mode(InterpMode::Auto);
+        cold.set_interp_mode(InterpMode::Compiled);
+
+        let parent = [0x33u8; 48];
+        snap.prime_snapshot(&parent);
+        let mut child = parent;
+        child[0] = 0x44;
+
+        let mut snap_oracle = NoveltyOracle::new(program.block_count());
+        let mut cold_oracle = NoveltyOracle::new(program.block_count());
+        for input in [&parent[..], &child[..]] {
+            let hot = snap.run_fast(input, &mut snap_oracle);
+            let ref_exec = cold.run_fast(input, &mut cold_oracle);
+            assert_eq!(hot.outcome, ref_exec.outcome);
+            assert_eq!(hot.steps, ref_exec.steps);
+            assert_eq!(hot.provably_seen, ref_exec.provably_seen);
+            assert_eq!(snap_oracle.path_hash(), cold_oracle.path_hash());
+            assert!(hot.engine.is_compiled());
+        }
     }
 }

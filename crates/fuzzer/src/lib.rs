@@ -76,7 +76,7 @@ pub use campaign::{
 pub use checkpoint::{Checkpoint, CheckpointManager, RestoreReport};
 pub use cmin::{minimize_corpus, MinimizedCorpus};
 pub use crashwalk::CrashWalk;
-pub use executor::{Execution, Executor};
+pub use executor::{EnginePath, Execution, Executor, FastExecution};
 pub use fabric::{run_fleet, run_worker, FleetConfig, FleetStats, WorkerOptions, WorkerRole};
 pub use faults::{FaultPlan, FaultSite, InstanceFaults};
 pub use mutate::Mutator;

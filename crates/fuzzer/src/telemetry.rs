@@ -126,11 +126,22 @@ pub enum TelemetryEvent {
     /// worker made no progress (no frames, or heartbeats with a frozen
     /// exec counter) for the full deadline and was killed for restart.
     HeartbeatMiss,
+    /// Executions dispatched through the compiled bytecode engine
+    /// (`BIGMAP_INTERP=compiled|auto`), whether cold, resumed or
+    /// replayed. Zero in tree mode.
+    CompiledExec,
+    /// Executions served wholly or partially from the scheduled parent's
+    /// snapshot recording (a full trace replay or a mid-run resume).
+    SnapshotHit,
+    /// Executions that had a parent snapshot armed but could not reuse it
+    /// (mutation hit the first read, budget mismatch, or an overflowed
+    /// recording) and re-executed from scratch.
+    SnapshotMiss,
 }
 
 impl TelemetryEvent {
     /// Every event, in serialization order.
-    pub const ALL: [TelemetryEvent; 26] = [
+    pub const ALL: [TelemetryEvent; 29] = [
         TelemetryEvent::MapReset,
         TelemetryEvent::ClassifyPass,
         TelemetryEvent::VirginCompare,
@@ -157,6 +168,9 @@ impl TelemetryEvent {
         TelemetryEvent::CheckpointFallback,
         TelemetryEvent::QuarantinedEntry,
         TelemetryEvent::HeartbeatMiss,
+        TelemetryEvent::CompiledExec,
+        TelemetryEvent::SnapshotHit,
+        TelemetryEvent::SnapshotMiss,
     ];
 
     #[inline]
@@ -188,6 +202,9 @@ impl TelemetryEvent {
             TelemetryEvent::CheckpointFallback => 23,
             TelemetryEvent::QuarantinedEntry => 24,
             TelemetryEvent::HeartbeatMiss => 25,
+            TelemetryEvent::CompiledExec => 26,
+            TelemetryEvent::SnapshotHit => 27,
+            TelemetryEvent::SnapshotMiss => 28,
         }
     }
 
@@ -220,6 +237,9 @@ impl TelemetryEvent {
             TelemetryEvent::CheckpointFallback => "checkpoint_fallbacks",
             TelemetryEvent::QuarantinedEntry => "quarantined_entries",
             TelemetryEvent::HeartbeatMiss => "heartbeat_misses",
+            TelemetryEvent::CompiledExec => "compiled_execs",
+            TelemetryEvent::SnapshotHit => "snapshot_hits",
+            TelemetryEvent::SnapshotMiss => "snapshot_misses",
         }
     }
 
@@ -292,7 +312,7 @@ impl Stage {
 pub struct Telemetry {
     instance: usize,
     started: Instant,
-    events: [EventCounter; 26],
+    events: [EventCounter; 29],
     stages: [StageNanos; 4],
 }
 
@@ -367,7 +387,7 @@ pub struct TelemetrySnapshot {
     /// Wall-clock nanoseconds since the instance's telemetry was created.
     pub wall_nanos: u64,
     /// Event counters, indexed in [`TelemetryEvent::ALL`] order.
-    pub events: [u64; 26],
+    pub events: [u64; 29],
     /// Stage accumulators (nanoseconds), indexed in [`Stage::ALL`] order.
     pub stage_nanos: [u64; 4],
 }
@@ -897,6 +917,21 @@ mod tests {
         assert_eq!(snap.get(TelemetryEvent::CheckpointFallback), 0);
         assert_eq!(snap.get(TelemetryEvent::QuarantinedEntry), 0);
         assert_eq!(snap.get(TelemetryEvent::HeartbeatMiss), 0);
+    }
+
+    #[test]
+    fn pre_interp_snapshot_lines_still_parse() {
+        // Snapshots written in the 26-slot era (durability counters
+        // present, compiled-engine counters absent) must parse with the
+        // compiled-exec and snapshot counters at 0.
+        let legacy = "{\"instance\":6,\"wall_nanos\":13,\"execs\":400,\
+                      \"quarantined_entries\":2,\"heartbeat_misses\":1}";
+        let snap = TelemetrySnapshot::from_json(legacy).expect("legacy line parses");
+        assert_eq!(snap.get(TelemetryEvent::Exec), 400);
+        assert_eq!(snap.get(TelemetryEvent::QuarantinedEntry), 2);
+        assert_eq!(snap.get(TelemetryEvent::CompiledExec), 0);
+        assert_eq!(snap.get(TelemetryEvent::SnapshotHit), 0);
+        assert_eq!(snap.get(TelemetryEvent::SnapshotMiss), 0);
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //! trace, and hang detection is *step-bounded* rather than time-bounded,
 //! keeping exec budgets exact.
 
+use bigmap_core::InterpMode;
+
+use crate::compile::CompiledProgram;
 use crate::ir::{BlockKind, Program};
 use crate::oracle::NoveltyOracle;
 
@@ -32,8 +35,15 @@ pub trait TraceSink {
 pub struct NullSink;
 
 impl TraceSink for NullSink {
+    // inline(always): cross-crate callers monomorphize the engines over
+    // this sink; the no-ops must vanish there too (without LTO the
+    // un-annotated empty bodies can survive as real calls on the replay
+    // and dispatch hot paths).
+    #[inline(always)]
     fn on_block(&mut self, _global_block: usize) {}
+    #[inline(always)]
     fn on_call(&mut self, _call_site: usize) {}
+    #[inline(always)]
     fn on_return(&mut self) {}
 }
 
@@ -107,24 +117,47 @@ impl ExecOutcome {
 ///
 /// The interpreter borrows the program for its own lifetime; it holds no
 /// mutable state, so one interpreter can serve an entire campaign.
+///
+/// Construction lowers the program into the flattened bytecode engine
+/// ([`CompiledProgram`]) and precomputes the tree walker's `Switch`
+/// lookup tables; which engine actually executes is an [`InterpMode`]
+/// dispatch choice (`BIGMAP_INTERP`, or an explicit
+/// [`Interpreter::with_mode`]). All engines are equivalence-proven —
+/// same outcomes, same trace-event sequences, same step counts — so the
+/// mode never changes campaign trajectories.
 #[derive(Debug)]
 pub struct Interpreter<'p> {
     program: &'p Program,
     config: ExecConfig,
+    mode: InterpMode,
+    compiled: CompiledProgram,
+    switch_lut: SwitchLut,
 }
 
 impl<'p> Interpreter<'p> {
-    /// Interpreter with the default [`ExecConfig`].
+    /// Interpreter with the default [`ExecConfig`]; the engine comes from
+    /// the `BIGMAP_INTERP` environment knob (default: `auto`).
     pub fn new(program: &'p Program) -> Self {
-        Interpreter {
-            program,
-            config: ExecConfig::default(),
-        }
+        Self::with_config(program, ExecConfig::default())
     }
 
-    /// Interpreter with an explicit [`ExecConfig`].
+    /// Interpreter with an explicit [`ExecConfig`]; the engine comes from
+    /// the `BIGMAP_INTERP` environment knob (default: `auto`).
     pub fn with_config(program: &'p Program, config: ExecConfig) -> Self {
-        Interpreter { program, config }
+        Self::with_mode(program, config, bigmap_core::env::interp_request())
+    }
+
+    /// Interpreter with an explicit engine mode, bypassing the
+    /// environment knob — campaigns use this for their
+    /// `CampaignConfig` override.
+    pub fn with_mode(program: &'p Program, config: ExecConfig, mode: InterpMode) -> Self {
+        Interpreter {
+            program,
+            config,
+            mode,
+            compiled: CompiledProgram::compile(program),
+            switch_lut: SwitchLut::build(program),
+        }
     }
 
     /// The program being interpreted.
@@ -135,6 +168,18 @@ impl<'p> Interpreter<'p> {
     /// The active execution configuration.
     pub fn config(&self) -> ExecConfig {
         self.config
+    }
+
+    /// The requested engine mode.
+    pub fn mode(&self) -> InterpMode {
+        self.mode
+    }
+
+    /// The compiled bytecode engine, when the lowering is runnable
+    /// (`None` only for programs whose indices overflow the bytecode's
+    /// `u32` fields — those stay on the tree walker).
+    pub fn compiled(&self) -> Option<&CompiledProgram> {
+        self.compiled.is_lowered().then_some(&self.compiled)
     }
 
     /// Execute `input`, streaming the block trace into `sink`.
@@ -180,9 +225,30 @@ impl<'p> Interpreter<'p> {
         sink: &mut S,
         max_steps: u64,
     ) -> BoundedRun {
+        self.run_bounded_mode(input, sink, max_steps, self.mode)
+    }
+
+    /// [`Interpreter::run_bounded`] with an explicit engine mode
+    /// overriding the interpreter's own — the dispatch point executors
+    /// use to honour a per-campaign engine override without rebuilding
+    /// the shared interpreter. Falls back to the tree walker when the
+    /// compiled lowering is unusable, so every mode is always runnable.
+    pub fn run_bounded_mode<S: TraceSink + ?Sized>(
+        &self,
+        input: &[u8],
+        sink: &mut S,
+        max_steps: u64,
+        mode: InterpMode,
+    ) -> BoundedRun {
+        if mode.uses_compiled() && self.compiled.is_lowered() {
+            return self
+                .compiled
+                .run_bounded(input, sink, max_steps, self.config.work_per_block);
+        }
         let mut state = ExecState {
             program: self.program,
             input,
+            switch_lut: &self.switch_lut,
             steps_left: max_steps,
             work_per_block: self.config.work_per_block,
             call_stack: Vec::new(),
@@ -197,6 +263,41 @@ impl<'p> Interpreter<'p> {
             steps: max_steps - state.steps_left,
             planted_hang,
         }
+    }
+}
+
+/// Per-block `Switch` jump tables for the tree walker, precomputed once
+/// at [`Interpreter`] construction: `base[block]` indexes a 256-entry
+/// window in `targets` (first arm wins on duplicate values, non-switch
+/// blocks keep the `usize::MAX` sentinel and never consult it).
+#[derive(Debug)]
+struct SwitchLut {
+    base: Vec<usize>,
+    targets: Vec<usize>,
+}
+
+impl SwitchLut {
+    fn build(program: &Program) -> SwitchLut {
+        let mut lut = SwitchLut {
+            base: vec![usize::MAX; program.blocks.len()],
+            targets: Vec::new(),
+        };
+        for (index, block) in program.blocks.iter().enumerate() {
+            if let BlockKind::Switch { arms, default, .. } = &block.kind {
+                let start = lut.targets.len();
+                lut.base[index] = start;
+                lut.targets.resize(start + 256, *default);
+                let mut filled = [false; 256];
+                for (value, target) in arms {
+                    let slot = usize::from(*value);
+                    if !filled[slot] {
+                        filled[slot] = true;
+                        lut.targets[start + slot] = *target;
+                    }
+                }
+            }
+        }
+        lut
     }
 }
 
@@ -225,6 +326,7 @@ enum Flow {
 struct ExecState<'a> {
     program: &'a Program,
     input: &'a [u8],
+    switch_lut: &'a SwitchLut,
     steps_left: u64,
     work_per_block: u32,
     call_stack: Vec<usize>,
@@ -300,16 +402,16 @@ impl ExecState<'_> {
                     pc = if matched { *taken } else { *fallthrough };
                 }
                 BlockKind::Switch {
-                    offset,
-                    arms,
-                    default,
+                    offset, default, ..
                 } => {
-                    let byte = self.byte_at(*offset);
-                    pc = arms
-                        .iter()
-                        .find(|(value, _)| Some(*value) == byte)
-                        .map(|(_, arm)| *arm)
-                        .unwrap_or(*default);
+                    // Arms were lowered into a per-block 256-entry table at
+                    // construction; out-of-range reads take the default.
+                    pc = match self.byte_at(*offset) {
+                        Some(byte) => {
+                            self.switch_lut.targets[self.switch_lut.base[pc] + usize::from(byte)]
+                        }
+                        None => *default,
+                    };
                 }
                 BlockKind::LoopHead {
                     offset,
@@ -352,9 +454,12 @@ impl ExecState<'_> {
                     pc = *next;
                 }
                 BlockKind::Crash { site } => {
+                    // The crash unwinds straight out of the run, so the
+                    // stack moves out of the drained state instead of
+                    // cloning on every crash.
                     return Flow::Crash {
                         site: *site,
-                        stack: self.call_stack.clone(),
+                        stack: std::mem::take(&mut self.call_stack),
                     };
                 }
                 BlockKind::Hang => {

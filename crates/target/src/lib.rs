@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 
 mod builder;
+mod compile;
 mod error;
 mod generator;
 mod interp;
@@ -44,7 +45,9 @@ mod lafintel;
 mod oracle;
 mod suite;
 
+pub use bigmap_core::InterpMode;
 pub use builder::ProgramBuilder;
+pub use compile::{CompiledProgram, ExecRecording, SnapshotOutcome};
 pub use error::TargetError;
 pub use generator::{generate_seeds, GeneratorConfig};
 pub use interp::{BoundedRun, ExecConfig, ExecOutcome, Interpreter, NullSink, TraceSink};

@@ -76,8 +76,8 @@ pub mod prelude {
     pub use bigmap_analytics::{collision_rate, geometric_mean, TextTable};
     pub use bigmap_cache::{CacheHierarchy, TraceWorkload};
     pub use bigmap_core::{
-        BigMap, CoverageMap, FlatBitmap, MapScheme, MapSize, NewCoverage, OpKind, OpPath, OpStats,
-        SparseMode, TraceMode, VirginState,
+        BigMap, CoverageMap, FlatBitmap, InterpMode, MapScheme, MapSize, NewCoverage, OpKind,
+        OpPath, OpStats, SparseMode, TraceMode, VirginState,
     };
     pub use bigmap_coverage::{
         CoverageMetric, EdgeHitCount, Instrumentation, MetricKind, MetricStack, NGram, TraceEvent,
@@ -92,8 +92,8 @@ pub mod prelude {
         TelemetrySnapshot, WorkerOptions, WorkerRole,
     };
     pub use bigmap_target::{
-        apply_laf_intel, generate_seeds, BenchmarkSpec, ExecConfig, ExecOutcome, GeneratorConfig,
-        Interpreter, LafIntelStats, NoveltyOracle, NullSink, OracleSnapshot, Program,
-        ProgramBuilder, TargetError, TraceSink,
+        apply_laf_intel, generate_seeds, BenchmarkSpec, CompiledProgram, ExecConfig, ExecOutcome,
+        GeneratorConfig, Interpreter, LafIntelStats, NoveltyOracle, NullSink, OracleSnapshot,
+        Program, ProgramBuilder, SnapshotOutcome, TargetError, TraceSink,
     };
 }

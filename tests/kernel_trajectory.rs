@@ -18,13 +18,14 @@ use bigmap::core::kernels::{available, table_for};
 use bigmap::prelude::*;
 
 fn run_once(seed: u64, sparse: Option<SparseMode>) -> CampaignStats {
-    run_configured(seed, sparse, None).0
+    run_configured(seed, sparse, None, None).0
 }
 
 fn run_configured(
     seed: u64,
     sparse: Option<SparseMode>,
     trace: Option<TraceMode>,
+    interp: Option<InterpMode>,
 ) -> (CampaignStats, std::sync::Arc<Telemetry>) {
     let spec = BenchmarkSpec::by_name("libpng").unwrap();
     let program = spec.build(0.05);
@@ -40,6 +41,7 @@ fn run_configured(
             seed,
             sparse,
             trace,
+            interp,
             ..Default::default()
         },
         &interpreter,
@@ -94,10 +96,10 @@ fn campaign_trajectory_is_trace_mode_invariant() {
     // must not move a single point on the coverage timeline. CI also runs
     // this whole file under BIGMAP_TRACE_MODE=always and =selective,
     // pinning the process-wide default both ways.
-    let (baseline, baseline_tel) = run_configured(31, None, Some(TraceMode::Always));
+    let (baseline, baseline_tel) = run_configured(31, None, Some(TraceMode::Always), None);
     assert_eq!(baseline_tel.get(TelemetryEvent::FastPathExec), 0);
     for mode in [TraceMode::Selective, TraceMode::Auto] {
-        let (two_speed, tel) = run_configured(31, None, Some(mode));
+        let (two_speed, tel) = run_configured(31, None, Some(mode), None);
         assert_eq!(baseline.execs, two_speed.execs, "{mode:?}: exec count");
         assert_eq!(baseline.queue_len, two_speed.queue_len, "{mode:?}: queue");
         assert_eq!(
@@ -120,6 +122,47 @@ fn campaign_trajectory_is_trace_mode_invariant() {
             tel.get(TelemetryEvent::FastPathExec) > 0,
             "{mode:?}: fast path never fired — the test proves nothing"
         );
+    }
+}
+
+#[test]
+fn campaign_trajectory_is_interp_mode_invariant() {
+    // The compiled bytecode engine and its snapshot-reset fast path are
+    // alternative *executors* of the same target semantics — switching
+    // engines (or resuming children from a parent's memoized trace
+    // prefix) must not move a single point on the coverage timeline. CI
+    // also runs this whole file under BIGMAP_INTERP=tree and =compiled,
+    // pinning the process-wide default both ways.
+    let (baseline, baseline_tel) = run_configured(47, None, None, Some(InterpMode::Tree));
+    assert_eq!(baseline_tel.get(TelemetryEvent::CompiledExec), 0);
+    for mode in [InterpMode::Compiled, InterpMode::Auto] {
+        let (fast, tel) = run_configured(47, None, None, Some(mode));
+        assert_eq!(baseline.execs, fast.execs, "{mode:?}: exec count");
+        assert_eq!(baseline.queue_len, fast.queue_len, "{mode:?}: queue");
+        assert_eq!(baseline.used_len, fast.used_len, "{mode:?}: used prefix");
+        assert_eq!(
+            baseline.total_crashes, fast.total_crashes,
+            "{mode:?}: crashes"
+        );
+        assert_eq!(baseline.hangs, fast.hangs, "{mode:?}: hangs");
+        assert_eq!(
+            baseline.timeline.points(),
+            fast.timeline.points(),
+            "{mode:?}: the compiled engine changed the coverage trajectory"
+        );
+        // The equivalence must be earned, not vacuous: the compiled
+        // engine has to have served every exec, and auto mode has to
+        // have actually reused parent snapshots.
+        assert!(
+            tel.get(TelemetryEvent::CompiledExec) >= fast.execs,
+            "{mode:?}: compiled engine never fired — the test proves nothing"
+        );
+        if mode == InterpMode::Auto {
+            assert!(
+                tel.get(TelemetryEvent::SnapshotHit) > 0,
+                "auto: no snapshot was ever reused — the test proves nothing"
+            );
+        }
     }
 }
 
