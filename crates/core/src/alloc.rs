@@ -1,27 +1,424 @@
-//! Page-aligned, optionally huge-page-backed map buffers (§IV-E).
+//! Page-aligned, huge-page-backed, NUMA-placed map buffers (§IV-E and the
+//! giant-map regime).
 //!
 //! Large coverage maps occupy many DTLB slots; the paper's final §IV-E
 //! optimization backs the index and coverage bitmaps with huge pages to cut
-//! page-walk overhead. [`MapBuffer`] allocates zeroed memory aligned to the
-//! huge-page size and, on Linux, issues a best-effort
-//! `madvise(MADV_HUGEPAGE)` so the kernel promotes the range to transparent
-//! huge pages.
+//! page-walk overhead. This module implements three backends behind one
+//! policy knob (`BIGMAP_HUGE`):
+//!
+//! * **`explicit`** — `mmap(MAP_HUGETLB)` against the hugetlbfs pool,
+//!   trying 1 GiB pages first for gigantic buffers and 2 MiB pages
+//!   otherwise. Reservation can fail at any moment (empty pool, fragmented
+//!   host, unsupported kernel), so the allocator falls back to the THP path
+//!   and records the fallback — never an error.
+//! * **`thp`** (default) — `alloc_zeroed` aligned to the huge-page size
+//!   plus a best-effort `madvise(MADV_HUGEPAGE)`, the PR-1 behaviour.
+//! * **`off`** — plain pages, with `madvise(MADV_NOHUGEPAGE)` so even a
+//!   `transparent_hugepage=always` host does not promote the range. The
+//!   control arm for benchmarking.
+//!
+//! Which backend actually served each buffer is recorded per buffer
+//! ([`MapBuffer::backend`]) and in process-wide counters
+//! ([`backend_allocs`], [`huge_fallbacks`]) that the fuzzer's telemetry
+//! layer surfaces.
+//!
+//! NUMA placement (`BIGMAP_NUMA`) is first-touch driven: a worker thread
+//! that calls [`apply_worker_numa`] is pinned to its node's CPUs
+//! (`sched_setaffinity`), so the pages it faults in land on the node that
+//! hammers them; a best-effort `mbind(MPOL_PREFERRED)` additionally tags
+//! freshly mapped regions so lazily-faulted pages follow even if the
+//! scheduler migrates the thread. Every NUMA path degrades to a recorded
+//! no-op on single-node hosts, denied syscalls and non-Linux builds.
 
 use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::cell::Cell;
 use std::fmt;
 use std::marker::PhantomData;
 use std::ops::{Deref, DerefMut};
+use std::sync::OnceLock;
+
+use crate::counters::EventCounter;
 
 /// Alignment used for map allocations: the x86-64 huge-page size (2 MiB).
 /// Smaller maps still benefit from the page alignment (no straddled lines,
 /// SIMD stores are always aligned).
 pub const HUGE_PAGE_BYTES: usize = 2 * 1024 * 1024;
 
+/// The x86-64 gigantic-page size (1 GiB), tried first by the explicit
+/// backend for buffers that are a whole multiple of it.
+pub const GIGANTIC_PAGE_BYTES: usize = 1024 * 1024 * 1024;
+
+// ---------------------------------------------------------------- policies
+
+/// How map memory is requested from the kernel (`BIGMAP_HUGE`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HugePolicy {
+    /// Reserve hugetlbfs pages via `mmap(MAP_HUGETLB)`; fall back to THP.
+    Explicit,
+    /// Transparent huge pages via `madvise(MADV_HUGEPAGE)` (the default).
+    #[default]
+    Thp,
+    /// Plain pages; actively opt out of THP promotion.
+    Off,
+}
+
+impl HugePolicy {
+    /// The knob spelling of this policy.
+    pub fn label(self) -> &'static str {
+        match self {
+            HugePolicy::Explicit => "explicit",
+            HugePolicy::Thp => "thp",
+            HugePolicy::Off => "off",
+        }
+    }
+}
+
+impl fmt::Display for HugePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The pure parse policy behind `BIGMAP_HUGE` (`None` = unset). Unknown
+/// values warn on stderr and read as the default.
+pub fn parse_huge(raw: Option<&str>) -> HugePolicy {
+    let Some(raw) = raw else {
+        return HugePolicy::default();
+    };
+    match raw.trim() {
+        "explicit" => HugePolicy::Explicit,
+        "thp" => HugePolicy::Thp,
+        "off" => HugePolicy::Off,
+        _ => {
+            eprintln!("BIGMAP_HUGE={raw}: unknown policy (expected explicit|thp|off), using thp");
+            HugePolicy::default()
+        }
+    }
+}
+
+/// Where map memory is placed across NUMA nodes (`BIGMAP_NUMA`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NumaPolicy {
+    /// Workers spread round-robin across the host's nodes; a no-op on
+    /// single-node hosts (the default).
+    #[default]
+    Auto,
+    /// No pinning, no binding: kernel first-touch only.
+    Off,
+    /// Every worker pins to this node.
+    Node(u32),
+}
+
+impl fmt::Display for NumaPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumaPolicy::Auto => f.write_str("auto"),
+            NumaPolicy::Off => f.write_str("off"),
+            NumaPolicy::Node(n) => write!(f, "node:{n}"),
+        }
+    }
+}
+
+/// The pure parse policy behind `BIGMAP_NUMA` (`None` = unset). Unknown
+/// values warn on stderr and read as the default.
+pub fn parse_numa(raw: Option<&str>) -> NumaPolicy {
+    let Some(raw) = raw else {
+        return NumaPolicy::default();
+    };
+    let trimmed = raw.trim();
+    match trimmed {
+        "auto" => return NumaPolicy::Auto,
+        "off" => return NumaPolicy::Off,
+        _ => {}
+    }
+    if let Some(node) = trimmed.strip_prefix("node:") {
+        if let Ok(n) = node.trim().parse::<u32>() {
+            return NumaPolicy::Node(n);
+        }
+    }
+    eprintln!("BIGMAP_NUMA={raw}: unknown policy (expected auto|off|node:<n>), using auto");
+    NumaPolicy::default()
+}
+
+/// The backend that actually served an allocation — what the telemetry
+/// layer reports per buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocBackend {
+    /// `mmap(MAP_HUGETLB | MAP_HUGE_1GB)` gigantic pages.
+    ExplicitGigantic,
+    /// `mmap(MAP_HUGETLB)` 2 MiB hugetlb pages.
+    ExplicitHuge,
+    /// Heap allocation advised into transparent huge pages.
+    Thp,
+    /// Heap allocation on plain pages (small buffer, `off` policy, or a
+    /// host without huge-page support).
+    Plain,
+}
+
+impl AllocBackend {
+    /// Stable label used in telemetry and bench output.
+    pub fn label(self) -> &'static str {
+        match self {
+            AllocBackend::ExplicitGigantic => "explicit_1g",
+            AllocBackend::ExplicitHuge => "explicit_2m",
+            AllocBackend::Thp => "thp",
+            AllocBackend::Plain => "plain",
+        }
+    }
+
+    fn slot(self) -> usize {
+        match self {
+            AllocBackend::ExplicitGigantic => 0,
+            AllocBackend::ExplicitHuge => 1,
+            AllocBackend::Thp => 2,
+            AllocBackend::Plain => 3,
+        }
+    }
+}
+
+impl fmt::Display for AllocBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+// -------------------------------------------------- process / thread state
+
+thread_local! {
+    static HUGE_OVERRIDE: Cell<Option<HugePolicy>> = const { Cell::new(None) };
+    static PREFERRED_NODE: Cell<Option<u32>> = const { Cell::new(None) };
+    static NUMA_OUTCOME: Cell<Option<bool>> = const { Cell::new(None) };
+}
+
+/// The effective huge-page policy for allocations on this thread: a scoped
+/// [`with_huge_policy`] override if active, else the process-wide
+/// `BIGMAP_HUGE` value (parsed once).
+pub fn huge_policy() -> HugePolicy {
+    if let Some(p) = HUGE_OVERRIDE.with(Cell::get) {
+        return p;
+    }
+    static PROCESS: OnceLock<HugePolicy> = OnceLock::new();
+    *PROCESS.get_or_init(crate::env::huge_request)
+}
+
+/// The process-wide NUMA policy (`BIGMAP_NUMA`, parsed once).
+pub fn numa_policy() -> NumaPolicy {
+    static PROCESS: OnceLock<NumaPolicy> = OnceLock::new();
+    *PROCESS.get_or_init(crate::env::numa_request)
+}
+
+/// Runs `f` with this thread's allocations forced to `policy`, restoring
+/// the previous override on exit. This is how the bench harness and the
+/// cross-policy equivalence tests compare backends inside one process
+/// without touching the environment.
+pub fn with_huge_policy<R>(policy: HugePolicy, f: impl FnOnce() -> R) -> R {
+    let prev = HUGE_OVERRIDE.with(|c| c.replace(Some(policy)));
+    struct Restore(Option<HugePolicy>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            HUGE_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Sets (or clears) the NUMA node this thread's future map allocations
+/// should prefer. [`apply_worker_numa`] is the usual caller; tests use it
+/// directly to exercise the bind path.
+pub fn set_thread_node(node: Option<u32>) {
+    PREFERRED_NODE.with(|c| c.set(node));
+}
+
+/// The NUMA node this thread's allocations prefer, if any.
+pub fn thread_node() -> Option<u32> {
+    PREFERRED_NODE.with(Cell::get)
+}
+
+/// The outcome of this thread's [`apply_worker_numa`] call: `None` if NUMA
+/// placement was a policy no-op (off, or single-node auto), `Some(true)` if
+/// the thread was pinned to its node, `Some(false)` if pinning was refused
+/// and the thread fell back to unpinned first-touch.
+pub fn thread_numa_outcome() -> Option<bool> {
+    NUMA_OUTCOME.with(Cell::get)
+}
+
+/// Number of NUMA nodes the host exposes (1 when the sysfs topology is
+/// absent, i.e. non-Linux or single-node).
+pub fn numa_node_count() -> usize {
+    static COUNT: OnceLock<usize> = OnceLock::new();
+    *COUNT.get_or_init(|| probe_node_count().max(1))
+}
+
+#[cfg(target_os = "linux")]
+fn probe_node_count() -> usize {
+    let Ok(entries) = std::fs::read_dir("/sys/devices/system/node") else {
+        return 1;
+    };
+    entries
+        .filter_map(Result::ok)
+        .filter(|e| {
+            let name = e.file_name();
+            let name = name.to_string_lossy();
+            name.strip_prefix("node")
+                .is_some_and(|n| n.chars().all(|c| c.is_ascii_digit()) && !n.is_empty())
+        })
+        .count()
+}
+
+#[cfg(not(target_os = "linux"))]
+fn probe_node_count() -> usize {
+    1
+}
+
+/// Resolves the NUMA policy to a concrete target node for worker `worker`,
+/// without touching any thread state.
+///
+/// `None` means placement is a policy no-op: `off`, or `auto` on a
+/// single-node host. Fleet parents use this to forward `node:<n>` to the
+/// worker processes they spawn; [`apply_worker_numa`] uses it in-process.
+pub fn worker_node(worker: usize) -> Option<u32> {
+    let nodes = numa_node_count();
+    match numa_policy() {
+        NumaPolicy::Off => None,
+        NumaPolicy::Node(n) => Some(n),
+        NumaPolicy::Auto => (nodes > 1).then(|| (worker % nodes) as u32),
+    }
+}
+
+/// Resolves the NUMA policy for worker `worker`, remembers the chosen node
+/// for this thread's allocations and pins the thread to that node's CPUs.
+///
+/// Returns `None` when placement is a policy no-op (`off`, or `auto` on a
+/// single-node host), `Some(true)` on a successful pin, `Some(false)` when
+/// the pin was refused (denied syscall, bogus node) — the thread then runs
+/// unpinned and placement degrades to kernel first-touch.
+pub fn apply_worker_numa(worker: usize) -> Option<bool> {
+    let nodes = numa_node_count();
+    let outcome = worker_node(worker).map(|node| {
+        set_thread_node(Some(node));
+        let ok = (node as usize) < nodes && pin_thread_to_node(node);
+        if ok {
+            NUMA_PINS.incr();
+        } else {
+            NUMA_PIN_FAILS.incr();
+        }
+        ok
+    });
+    NUMA_OUTCOME.with(|c| c.set(outcome));
+    outcome
+}
+
+/// Pins the calling thread to the CPUs of NUMA node `node` via
+/// `sched_setaffinity`. Best-effort: returns `false` (and leaves the
+/// affinity untouched) when the node or its CPU list cannot be resolved or
+/// the syscall is denied.
+#[cfg(target_os = "linux")]
+pub fn pin_thread_to_node(node: u32) -> bool {
+    let path = format!("/sys/devices/system/node/node{node}/cpulist");
+    let Ok(list) = std::fs::read_to_string(path) else {
+        return false;
+    };
+    let Some(cpus) = parse_cpulist(&list) else {
+        return false;
+    };
+    let mut set = libc::cpu_set_t { bits: [0u64; 16] };
+    let mut any = false;
+    for cpu in cpus {
+        let (word, bit) = (cpu / 64, cpu % 64);
+        if word < set.bits.len() {
+            set.bits[word] |= 1u64 << bit;
+            any = true;
+        }
+    }
+    if !any {
+        return false;
+    }
+    // SAFETY: `set` is a properly initialized cpu_set_t; pid 0 = this thread.
+    unsafe { libc::sched_setaffinity(0, std::mem::size_of::<libc::cpu_set_t>(), &set) == 0 }
+}
+
+/// Non-Linux stub: no NUMA topology, nothing to pin.
+#[cfg(not(target_os = "linux"))]
+pub fn pin_thread_to_node(_node: u32) -> bool {
+    false
+}
+
+/// Parses a sysfs cpulist (`"0-3,8,10-11"`) into CPU indices. `None` on
+/// malformed input.
+fn parse_cpulist(list: &str) -> Option<Vec<usize>> {
+    let mut cpus = Vec::new();
+    for part in list.trim().split(',') {
+        if part.is_empty() {
+            continue;
+        }
+        match part.split_once('-') {
+            Some((lo, hi)) => {
+                let lo = lo.trim().parse::<usize>().ok()?;
+                let hi = hi.trim().parse::<usize>().ok()?;
+                if lo > hi {
+                    return None;
+                }
+                cpus.extend(lo..=hi);
+            }
+            None => cpus.push(part.trim().parse::<usize>().ok()?),
+        }
+    }
+    (!cpus.is_empty()).then_some(cpus)
+}
+
+// ----------------------------------------------------------------- counters
+
+static ALLOC_BACKENDS: [EventCounter; 4] = [
+    EventCounter::new(),
+    EventCounter::new(),
+    EventCounter::new(),
+    EventCounter::new(),
+];
+static HUGE_FALLBACKS: EventCounter = EventCounter::new();
+static NUMA_BINDS: EventCounter = EventCounter::new();
+static NUMA_BIND_FAILS: EventCounter = EventCounter::new();
+static NUMA_PINS: EventCounter = EventCounter::new();
+static NUMA_PIN_FAILS: EventCounter = EventCounter::new();
+
+/// Process-wide count of buffers served by `backend` since start.
+pub fn backend_allocs(backend: AllocBackend) -> u64 {
+    ALLOC_BACKENDS[backend.slot()].get()
+}
+
+/// Process-wide count of explicit-huge-page requests that fell back to the
+/// THP path (empty hugetlb pool, unsupported kernel, non-Linux build).
+pub fn huge_fallbacks() -> u64 {
+    HUGE_FALLBACKS.get()
+}
+
+/// Process-wide count of successful `mbind` region tags.
+pub fn numa_binds() -> u64 {
+    NUMA_BINDS.get()
+}
+
+/// Process-wide count of refused `mbind` calls (denied syscall, bad node).
+pub fn numa_bind_fails() -> u64 {
+    NUMA_BIND_FAILS.get()
+}
+
+/// Process-wide count of successful worker-thread node pins.
+pub fn numa_pins() -> u64 {
+    NUMA_PINS.get()
+}
+
+/// Process-wide count of refused worker-thread node pins.
+pub fn numa_pin_fails() -> u64 {
+    NUMA_PIN_FAILS.get()
+}
+
+// ---------------------------------------------------------------- MapBuffer
+
 /// A fixed-size, zero-initialized, huge-page-aligned buffer of `T`.
 ///
 /// `T` is restricted (via the sealed [`MapElement`] trait) to plain integer
-/// element types for which the all-zeroes bit pattern is a valid value, which
-/// is what makes `alloc_zeroed` initialization sound.
+/// element types for which the all-zeroes bit pattern is a valid value,
+/// which is what makes zero-initialized allocation sound.
 ///
 /// # Examples
 ///
@@ -36,6 +433,11 @@ pub const HUGE_PAGE_BYTES: usize = 2 * 1024 * 1024;
 pub struct MapBuffer<T: MapElement> {
     ptr: *mut T,
     len: usize,
+    /// Bytes covered by the backing `mmap`, or 0 for heap allocations —
+    /// tells `Drop` whether to `munmap` or `dealloc`.
+    mapped: usize,
+    backend: AllocBackend,
+    fell_back: bool,
     _marker: PhantomData<T>,
 }
 
@@ -66,28 +468,121 @@ impl MapElement for u64 {}
 
 impl<T: MapElement> MapBuffer<T> {
     /// Allocates a zeroed buffer of `len` elements, aligned to
-    /// [`HUGE_PAGE_BYTES`], and advises the kernel to back it with huge
-    /// pages where supported.
+    /// [`HUGE_PAGE_BYTES`], using the thread's effective huge-page policy
+    /// ([`huge_policy`]).
     ///
     /// # Panics
     ///
     /// Panics if `len` is zero or if the allocation size overflows `isize`.
     /// Aborts (via [`handle_alloc_error`]) if the allocator fails.
     pub fn zeroed(len: usize) -> Self {
+        Self::zeroed_with(len, huge_policy())
+    }
+
+    /// Allocates a zeroed buffer of `len` elements under an explicit
+    /// huge-page policy, bypassing the process/thread default.
+    ///
+    /// Every policy yields a correctly aligned, fully zeroed buffer; only
+    /// the backing pages differ. When `policy` asks for explicit huge pages
+    /// and the host cannot serve them, the buffer silently degrades to the
+    /// THP path and [`MapBuffer::fell_back`] reports it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero or if the allocation size overflows `isize`.
+    pub fn zeroed_with(len: usize, policy: HugePolicy) -> Self {
         assert!(len > 0, "MapBuffer length must be non-zero");
         let layout = Self::layout(len);
+        let bytes = layout.size();
+
+        let mut fell_back = false;
+        if policy == HugePolicy::Explicit && bytes >= HUGE_PAGE_BYTES {
+            if let Some(buf) = Self::try_explicit(len, bytes) {
+                bind_region(buf.ptr.cast(), buf.mapped);
+                ALLOC_BACKENDS[buf.backend.slot()].incr();
+                return buf;
+            }
+            fell_back = true;
+            HUGE_FALLBACKS.incr();
+        }
+
+        // Heap path: THP advice for `thp` (and the explicit fallback),
+        // active THP opt-out for `off`.
         // SAFETY: layout has non-zero size (len > 0, size_of::<T>() >= 1).
         let raw = unsafe { alloc_zeroed(layout) };
         if raw.is_null() {
             handle_alloc_error(layout);
         }
-        let ptr = raw.cast::<T>();
-        advise_huge_pages(raw, layout.size());
+        let backend = match policy {
+            HugePolicy::Off => {
+                advise_no_huge_pages(raw, bytes);
+                AllocBackend::Plain
+            }
+            _ if bytes >= HUGE_PAGE_BYTES => {
+                advise_huge_pages(raw, bytes);
+                AllocBackend::Thp
+            }
+            // Sub-huge-page buffers: nothing to promote.
+            _ => AllocBackend::Plain,
+        };
+        bind_region(raw.cast(), bytes);
+        ALLOC_BACKENDS[backend.slot()].incr();
         MapBuffer {
-            ptr,
+            ptr: raw.cast::<T>(),
             len,
+            mapped: 0,
+            backend,
+            fell_back,
             _marker: PhantomData,
         }
+    }
+
+    /// Attempts the explicit hugetlb backend: 1 GiB pages when `bytes` is a
+    /// whole multiple of the gigantic-page size, else 2 MiB pages. `None`
+    /// when the kernel refuses (no pool, no support) — the caller falls
+    /// back.
+    #[cfg(target_os = "linux")]
+    fn try_explicit(len: usize, bytes: usize) -> Option<Self> {
+        let mut attempts: [Option<(usize, libc::c_int, AllocBackend)>; 2] = [None, None];
+        if bytes.is_multiple_of(GIGANTIC_PAGE_BYTES) {
+            attempts[0] = Some((bytes, libc::MAP_HUGE_1GB, AllocBackend::ExplicitGigantic));
+        }
+        let huge_rounded = bytes.div_ceil(HUGE_PAGE_BYTES) * HUGE_PAGE_BYTES;
+        attempts[1] = Some((huge_rounded, libc::MAP_HUGE_2MB, AllocBackend::ExplicitHuge));
+        for (mapped, size_flag, backend) in attempts.into_iter().flatten() {
+            // SAFETY: anonymous private mapping with no address hint; the
+            // kernel either returns a fresh zeroed region of `mapped` bytes
+            // or MAP_FAILED.
+            let addr = unsafe {
+                libc::mmap(
+                    std::ptr::null_mut(),
+                    mapped,
+                    libc::PROT_READ | libc::PROT_WRITE,
+                    libc::MAP_PRIVATE | libc::MAP_ANONYMOUS | libc::MAP_HUGETLB | size_flag,
+                    -1,
+                    0,
+                )
+            };
+            if addr != libc::MAP_FAILED {
+                debug_assert_eq!(addr as usize % HUGE_PAGE_BYTES, 0);
+                return Some(MapBuffer {
+                    ptr: addr.cast::<T>(),
+                    len,
+                    mapped,
+                    backend,
+                    fell_back: false,
+                    _marker: PhantomData,
+                });
+            }
+        }
+        None
+    }
+
+    /// Non-Linux stub: explicit huge pages are unavailable, always fall
+    /// back.
+    #[cfg(not(target_os = "linux"))]
+    fn try_explicit(_len: usize, _bytes: usize) -> Option<Self> {
+        None
     }
 
     /// Allocates a buffer of `len` elements with every element set to `fill`.
@@ -98,6 +593,18 @@ impl<T: MapElement> MapBuffer<T> {
         let mut buf = Self::zeroed(len);
         buf.as_mut_slice().fill(fill);
         buf
+    }
+
+    /// The backend that actually served this buffer.
+    #[inline]
+    pub fn backend(&self) -> AllocBackend {
+        self.backend
+    }
+
+    /// Whether an explicit-huge-page request degraded to the THP path.
+    #[inline]
+    pub fn fell_back(&self) -> bool {
+        self.fell_back
     }
 
     /// Number of elements.
@@ -150,9 +657,18 @@ impl<T: MapElement> MapBuffer<T> {
 
 impl<T: MapElement> Drop for MapBuffer<T> {
     fn drop(&mut self) {
-        let layout = Self::layout(self.len);
-        // SAFETY: ptr was allocated with exactly this layout in `zeroed`.
-        unsafe { dealloc(self.ptr.cast(), layout) }
+        if self.mapped > 0 {
+            // SAFETY: [ptr, ptr+mapped) is exactly the region mmap returned
+            // in `try_explicit`.
+            unsafe {
+                libc::munmap(self.ptr.cast(), self.mapped);
+            }
+        } else {
+            let layout = Self::layout(self.len);
+            // SAFETY: ptr was allocated with exactly this layout in
+            // `zeroed_with`.
+            unsafe { dealloc(self.ptr.cast(), layout) }
+        }
     }
 }
 
@@ -177,6 +693,7 @@ impl<T: MapElement + fmt::Debug> fmt::Debug for MapBuffer<T> {
         f.debug_struct("MapBuffer")
             .field("len", &self.len)
             .field("align", &HUGE_PAGE_BYTES)
+            .field("backend", &self.backend)
             .finish()
     }
 }
@@ -188,6 +705,8 @@ impl<T: MapElement> Clone for MapBuffer<T> {
         out
     }
 }
+
+// ------------------------------------------------------------------ advice
 
 /// Best-effort request to back `[ptr, ptr+len)` with transparent huge pages.
 ///
@@ -206,6 +725,66 @@ fn advise_huge_pages(ptr: *mut u8, len: usize) {
 
 #[cfg(not(target_os = "linux"))]
 fn advise_huge_pages(_ptr: *mut u8, _len: usize) {}
+
+/// Best-effort opt-out of THP promotion for the `off` policy's control
+/// buffers, so a `transparent_hugepage=always` host measures plain pages.
+#[cfg(target_os = "linux")]
+fn advise_no_huge_pages(ptr: *mut u8, len: usize) {
+    if len >= HUGE_PAGE_BYTES {
+        // SAFETY: as `advise_huge_pages`; MADV_NOHUGEPAGE is advice only.
+        unsafe {
+            libc::madvise(ptr.cast(), len, libc::MADV_NOHUGEPAGE);
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn advise_no_huge_pages(_ptr: *mut u8, _len: usize) {}
+
+// -------------------------------------------------------------------- NUMA
+
+/// Tags `[ptr, ptr+len)` with `MPOL_PREFERRED` for the thread's preferred
+/// node so lazily-faulted pages land there. Best-effort: a refused or
+/// unavailable `mbind` is counted and ignored (placement degrades to
+/// first-touch, which thread pinning already steers).
+#[cfg(target_os = "linux")]
+fn bind_region(ptr: *mut u8, len: usize) {
+    if numa_policy() == NumaPolicy::Off || len == 0 {
+        return;
+    }
+    let Some(node) = thread_node().or(match numa_policy() {
+        NumaPolicy::Node(n) => Some(n),
+        _ => None,
+    }) else {
+        return;
+    };
+    if node >= 64 {
+        NUMA_BIND_FAILS.incr();
+        return;
+    }
+    let nodemask: u64 = 1u64 << node;
+    // SAFETY: raw mbind syscall over a region we own; the kernel validates
+    // the mask and mode and fails cleanly on nonsense (counted below).
+    let rc = unsafe {
+        libc::syscall(
+            libc::SYS_mbind,
+            ptr,
+            len,
+            libc::MPOL_PREFERRED,
+            &nodemask as *const u64,
+            64usize,
+            0usize,
+        )
+    };
+    if rc == 0 {
+        NUMA_BINDS.incr();
+    } else {
+        NUMA_BIND_FAILS.incr();
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn bind_region(_ptr: *mut u8, _len: usize) {}
 
 #[cfg(test)]
 mod tests {
@@ -260,5 +839,155 @@ mod tests {
         let buf: MapBuffer<u8> = MapBuffer::zeroed(32 << 20);
         assert_eq!(buf.len(), 32 << 20);
         assert_eq!(buf[32 << 20 >> 1], 0);
+    }
+
+    #[test]
+    fn every_policy_yields_aligned_zeroed_memory() {
+        // The fallback contract: no matter what the host supports, every
+        // policy produces a correctly aligned, fully zeroed buffer.
+        for policy in [HugePolicy::Explicit, HugePolicy::Thp, HugePolicy::Off] {
+            let mut buf: MapBuffer<u8> = MapBuffer::zeroed_with(4 << 20, policy);
+            assert_eq!(
+                buf.as_ptr() as usize % HUGE_PAGE_BYTES,
+                0,
+                "{policy}: misaligned"
+            );
+            assert!(buf.iter().all(|&b| b == 0), "{policy}: not zeroed");
+            buf[3 << 20] = 7;
+            assert_eq!(buf[3 << 20], 7, "{policy}: not writable");
+        }
+    }
+
+    #[test]
+    fn explicit_request_is_served_or_recorded_as_fallback() {
+        let fallbacks_before = huge_fallbacks();
+        let buf: MapBuffer<u8> = MapBuffer::zeroed_with(4 << 20, HugePolicy::Explicit);
+        match buf.backend() {
+            AllocBackend::ExplicitHuge | AllocBackend::ExplicitGigantic => {
+                assert!(!buf.fell_back());
+            }
+            AllocBackend::Thp => {
+                // No hugetlb pool on this host: the fallback must be
+                // visible both per-buffer and in the process counter.
+                assert!(buf.fell_back());
+                assert!(huge_fallbacks() > fallbacks_before);
+            }
+            AllocBackend::Plain => panic!("explicit request degraded past THP"),
+        }
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn off_policy_reports_plain_backend() {
+        let buf: MapBuffer<u8> = MapBuffer::zeroed_with(4 << 20, HugePolicy::Off);
+        assert_eq!(buf.backend(), AllocBackend::Plain);
+        assert!(!buf.fell_back());
+    }
+
+    #[test]
+    fn sub_huge_page_buffers_never_use_hugetlb() {
+        // Explicit policy on a 4 KiB buffer: hugetlb would waste a full
+        // 2 MiB page, so the small-buffer path stays on the heap and is
+        // not a fallback.
+        let buf: MapBuffer<u8> = MapBuffer::zeroed_with(4096, HugePolicy::Explicit);
+        assert_eq!(buf.backend(), AllocBackend::Plain);
+        assert!(!buf.fell_back());
+    }
+
+    #[test]
+    fn backend_counters_are_monotone_and_attributed() {
+        let before = backend_allocs(AllocBackend::Plain);
+        let _buf: MapBuffer<u8> = MapBuffer::zeroed_with(4096, HugePolicy::Thp);
+        assert!(backend_allocs(AllocBackend::Plain) > before);
+    }
+
+    #[test]
+    fn with_huge_policy_scopes_and_restores() {
+        let outer = huge_policy();
+        with_huge_policy(HugePolicy::Off, || {
+            assert_eq!(huge_policy(), HugePolicy::Off);
+            with_huge_policy(HugePolicy::Explicit, || {
+                assert_eq!(huge_policy(), HugePolicy::Explicit);
+            });
+            assert_eq!(huge_policy(), HugePolicy::Off);
+        });
+        assert_eq!(huge_policy(), outer);
+    }
+
+    #[test]
+    fn parse_huge_policy_values() {
+        assert_eq!(parse_huge(None), HugePolicy::Thp);
+        assert_eq!(parse_huge(Some("explicit")), HugePolicy::Explicit);
+        assert_eq!(parse_huge(Some(" thp ")), HugePolicy::Thp);
+        assert_eq!(parse_huge(Some("off")), HugePolicy::Off);
+        assert_eq!(parse_huge(Some("gigantic")), HugePolicy::Thp);
+    }
+
+    #[test]
+    fn parse_numa_policy_values() {
+        assert_eq!(parse_numa(None), NumaPolicy::Auto);
+        assert_eq!(parse_numa(Some("auto")), NumaPolicy::Auto);
+        assert_eq!(parse_numa(Some("off")), NumaPolicy::Off);
+        assert_eq!(parse_numa(Some("node:3")), NumaPolicy::Node(3));
+        assert_eq!(parse_numa(Some("node:zero")), NumaPolicy::Auto);
+        assert_eq!(parse_numa(Some("numa")), NumaPolicy::Auto);
+    }
+
+    #[test]
+    fn bogus_thread_node_degrades_gracefully() {
+        // Node 63 does not exist on any test host. Whether the kernel
+        // refuses the preferred-node tag (EINVAL) or accepts it for a
+        // possible-but-absent node is host-specific — the contract is
+        // only that the attempt is counted, nothing panics, and the
+        // buffer is correct either way.
+        set_thread_node(Some(63));
+        let buf: MapBuffer<u8> = MapBuffer::zeroed(1 << 20);
+        set_thread_node(None);
+        assert!(buf.iter().all(|&b| b == 0));
+        #[cfg(target_os = "linux")]
+        if numa_policy() != NumaPolicy::Off {
+            assert!(numa_binds() + numa_bind_fails() > 0);
+        }
+    }
+
+    #[test]
+    fn node_topology_probe_is_sane() {
+        let nodes = numa_node_count();
+        assert!(nodes >= 1);
+        // Pinning to a node far past the topology must refuse cleanly.
+        assert!(!pin_thread_to_node(1023));
+    }
+
+    #[test]
+    fn worker_numa_application_is_graceful() {
+        // Whatever the host topology and policy, applying worker placement
+        // must not panic and must leave a consistent outcome record.
+        let outcome = apply_worker_numa(0);
+        assert_eq!(outcome, thread_numa_outcome());
+        set_thread_node(None);
+    }
+
+    #[test]
+    fn cpulist_parser_handles_ranges_and_holes() {
+        assert_eq!(parse_cpulist("0-3"), Some(vec![0, 1, 2, 3]));
+        assert_eq!(parse_cpulist("0,2,4"), Some(vec![0, 2, 4]));
+        assert_eq!(parse_cpulist("0-1,8,10-11"), Some(vec![0, 1, 8, 10, 11]));
+        assert_eq!(parse_cpulist(""), None);
+        assert_eq!(parse_cpulist("3-1"), None);
+        assert_eq!(parse_cpulist("x"), None);
+    }
+
+    #[test]
+    fn explicit_buffers_survive_clone_and_drop() {
+        // Clone of an explicit (or fallen-back) buffer re-allocates under
+        // the current thread policy; both drops must take the right
+        // deallocation path (munmap vs dealloc) without corruption.
+        with_huge_policy(HugePolicy::Explicit, || {
+            let mut a: MapBuffer<u8> = MapBuffer::zeroed(4 << 20);
+            a[123] = 45;
+            let b = a.clone();
+            drop(a);
+            assert_eq!(b[123], 45);
+        });
     }
 }

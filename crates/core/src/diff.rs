@@ -50,7 +50,7 @@ pub(crate) fn diff_byte(cur: u8, virgin: &mut u8, verdict: &mut NewCoverage) {
 }
 
 #[inline]
-fn diff_word(cur: u64, virgin: &mut u64, verdict: &mut NewCoverage) {
+pub(crate) fn diff_word(cur: u64, virgin: &mut u64, verdict: &mut NewCoverage) {
     if cur != 0 && (cur & *virgin) != 0 {
         if *verdict < NewCoverage::NewEdge {
             // Inspect bytes only when the word-level test fires — the

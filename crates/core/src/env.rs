@@ -4,7 +4,7 @@
 //! declared here as a [`Knob`]: its name, accepted values, default and
 //! one-line description. The typed accessors ([`kernel_request`],
 //! [`sparse_request`], [`trace_request`], [`interp_request`],
-//! [`nt_threshold_request`],
+//! [`nt_threshold_request`], [`huge_request`], [`numa_request`],
 //! [`sync_batch`], [`fabric_worker`], [`ckpt_keep`], [`heartbeat_ms`],
 //! [`liveness_deadline_ms`]) parse and validate in one pass and are the only
 //! code in the workspace that calls `std::env::var` for a `BIGMAP_*`
@@ -33,6 +33,7 @@
 
 use std::sync::OnceLock;
 
+use crate::alloc::{HugePolicy, NumaPolicy};
 use crate::interp::InterpMode;
 use crate::kernels::KernelKind;
 use crate::sparse::SparseMode;
@@ -92,6 +93,26 @@ pub const KNOBS: &[Knob] = &[
         default: "`262144`",
         description: "Streaming-store cutoff for zeroing: buffers at or below this use a plain \
                       cached `fill(0)`, larger ones use non-temporal stores.",
+    },
+    Knob {
+        name: "BIGMAP_HUGE",
+        values: "`explicit` \\| `thp` \\| `off`",
+        default: "`thp`",
+        description: "Map-buffer page backend: `explicit` reserves hugetlbfs pages via \
+                      `mmap(MAP_HUGETLB)` (1 GiB pages where the size allows, else 2 MiB) and \
+                      falls back to `thp` with a telemetry-visible record when the pool is \
+                      empty; `thp` advises transparent huge pages; `off` opts out of THP — the \
+                      benchmark control arm.",
+    },
+    Knob {
+        name: "BIGMAP_NUMA",
+        values: "`auto` \\| `off` \\| `node:<n>`",
+        default: "`auto`",
+        description: "NUMA placement for worker maps: `auto` spreads workers round-robin \
+                      across nodes (pinning each thread so first-touch lands its maps \
+                      locally; a no-op on single-node hosts), `node:<n>` pins every worker to \
+                      one node, `off` leaves kernel first-touch untouched. Refused syscalls \
+                      degrade to unpinned execution, never an error.",
     },
     Knob {
         name: "BIGMAP_SYNC_BATCH",
@@ -244,6 +265,22 @@ pub fn nt_threshold_request() -> Option<usize> {
             None
         }
     }
+}
+
+/// `BIGMAP_HUGE`: the requested map-buffer page backend.
+///
+/// Unknown values warn on stderr and read as [`HugePolicy::Thp`]; the
+/// parse policy itself lives in [`crate::alloc::parse_huge`].
+pub fn huge_request() -> HugePolicy {
+    crate::alloc::parse_huge(raw("BIGMAP_HUGE").as_deref())
+}
+
+/// `BIGMAP_NUMA`: the requested NUMA placement policy.
+///
+/// Unknown values warn on stderr and read as [`NumaPolicy::Auto`]; the
+/// parse policy itself lives in [`crate::alloc::parse_numa`].
+pub fn numa_request() -> NumaPolicy {
+    crate::alloc::parse_numa(raw("BIGMAP_NUMA").as_deref())
 }
 
 /// Default for [`sync_batch`].
@@ -402,6 +439,12 @@ mod tests {
         }
         if std::env::var_os("BIGMAP_INTERP").is_none() {
             assert_eq!(interp_request(), InterpMode::Auto);
+        }
+        if std::env::var_os("BIGMAP_HUGE").is_none() {
+            assert_eq!(huge_request(), HugePolicy::Thp);
+        }
+        if std::env::var_os("BIGMAP_NUMA").is_none() {
+            assert_eq!(numa_request(), NumaPolicy::Auto);
         }
         if std::env::var_os("BIGMAP_CKPT_KEEP").is_none() {
             assert_eq!(ckpt_keep(), CKPT_KEEP_DEFAULT);

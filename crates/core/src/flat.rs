@@ -117,6 +117,10 @@ impl CoverageMap for FlatBitmap {
         MapScheme::Flat
     }
 
+    fn alloc_info(&self) -> Option<(crate::alloc::AllocBackend, bool)> {
+        Some((self.coverage.backend(), self.coverage.fell_back()))
+    }
+
     fn map_size(&self) -> MapSize {
         self.size
     }

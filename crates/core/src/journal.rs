@@ -47,6 +47,23 @@ use crate::alloc::MapBuffer;
 /// high-density scattered execs for which the dense kernels win anyway.
 pub const DEFAULT_JOURNAL_CAPACITY: usize = 1 << 16;
 
+/// Upper bound on the size-scaled journal capacity (4 Mi runs = 32 MiB of
+/// run storage) — proportionally small next to the gigantic map it serves.
+pub const MAX_JOURNAL_CAPACITY: usize = 1 << 22;
+
+/// The size-scaled journal capacity for a map of `map_len` condensed slots:
+/// `map_len / 256`, clamped to `[DEFAULT_JOURNAL_CAPACITY,
+/// MAX_JOURNAL_CAPACITY]`.
+///
+/// The default 64 Ki bound was tuned at ≤ 16 MiB maps; at 256 MiB–1 GiB a
+/// fixed bound would overflow (and force the dense fallback) at densities
+/// the sparse path still wins, so the bound grows with the map. Maps at or
+/// below 16 MiB get exactly the default — behaviour at the paper's sizes is
+/// unchanged.
+pub fn capacity_for(map_len: usize) -> usize {
+    (map_len >> 8).clamp(DEFAULT_JOURNAL_CAPACITY, MAX_JOURNAL_CAPACITY)
+}
+
 /// A maximal run of consecutively-numbered condensed slots, in first-touch
 /// order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -110,13 +127,13 @@ pub struct TouchJournal {
 
 impl TouchJournal {
     /// Creates a journal for a map of `map_len` condensed slots with the
-    /// default capacity.
+    /// size-scaled capacity ([`capacity_for`]).
     ///
     /// # Panics
     ///
     /// Panics if `map_len` is zero (the epoch buffer cannot be empty).
     pub fn new(map_len: usize) -> Self {
-        Self::with_capacity(map_len, DEFAULT_JOURNAL_CAPACITY)
+        Self::with_capacity(map_len, capacity_for(map_len))
     }
 
     /// Creates a journal with an explicit run-vector bound.
@@ -319,6 +336,21 @@ mod tests {
         // equal the restarted epoch and suppress journaling.
         j.touch(7);
         assert_eq!(j.runs(), &[run(7, 1)]);
+    }
+
+    #[test]
+    fn capacity_scales_with_map_size() {
+        // Paper-regime sizes keep the tuned default…
+        assert_eq!(capacity_for(1 << 16), DEFAULT_JOURNAL_CAPACITY);
+        assert_eq!(capacity_for(2 << 20), DEFAULT_JOURNAL_CAPACITY);
+        assert_eq!(capacity_for(16 << 20), DEFAULT_JOURNAL_CAPACITY);
+        // …the giant regime scales linearly…
+        assert_eq!(capacity_for(256 << 20), 1 << 20);
+        // …and the bound caps the journal's own footprint.
+        assert_eq!(capacity_for(1 << 30), MAX_JOURNAL_CAPACITY);
+        assert_eq!(capacity_for(usize::MAX / 2), MAX_JOURNAL_CAPACITY);
+        // The constructor uses the scaled bound.
+        assert_eq!(TouchJournal::new(64).capacity(), DEFAULT_JOURNAL_CAPACITY);
     }
 
     #[test]

@@ -75,6 +75,11 @@ impl MapSize {
     pub const M8: MapSize = MapSize(1 << 23);
     /// 32 MiB — the largest size in the paper's Figure 2 sweep.
     pub const M32: MapSize = MapSize(1 << 25);
+    /// 256 MiB — the giant-regime evaluation point past the paper's sweep.
+    pub const M256: MapSize = MapSize(1 << 28);
+    /// 1 GiB — the largest supported map, the "future-proof" end of the
+    /// giant regime.
+    pub const G1: MapSize = MapSize(1 << 30);
 
     /// The four sizes evaluated throughout the paper's Section V-B.
     pub const EVALUATED: [MapSize; 4] = [Self::K64, Self::K256, Self::M2, Self::M8];

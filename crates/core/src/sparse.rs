@@ -92,6 +92,43 @@ impl OpPath {
 /// touched densities, automatically.
 pub const RUN_CROSSOVER_DIVISOR: usize = 48;
 
+/// Used-prefix size (bytes) at which the giant-regime crossover divisor
+/// takes over.
+///
+/// Up to tens of MiB the dense pass streams at cache speed and the 1 MiB
+/// calibration above transfers. Past ~64 MiB the dense scan's slope
+/// changes — the prefix no longer fits any cache level and (without huge
+/// pages) every 4 KiB of it costs a DTLB walk — while the sparse walk's
+/// per-run cost stays roughly flat, so break-even moves and a re-measured
+/// divisor applies.
+pub const GIANT_REGIME_BYTES: usize = 64 << 20;
+
+/// Run-count crossover divisor for used prefixes at or above
+/// [`GIANT_REGIME_BYTES`].
+///
+/// Re-measured with `bench_mapops --giant` (uniform singleton runs, the
+/// worst case): interpolated break-even sits at `used / runs ≈ 98` for a
+/// 256 MiB prefix and `≈ 83` at 1 GiB — a scattered singleton touch over a
+/// giant region costs several cache-plus-TLB misses against a dense pass
+/// that still streams, so break-even moves well past the base divisor's
+/// 48. The constant splits toward the stricter 256 MiB measurement
+/// (misclassifying the band between the two as dense costs a slow-but-
+/// correct scan; misclassifying it as sparse pays the degrading scattered
+/// walk). Re-measure on target hardware with `--giant`; the
+/// `giant_probe` example in `bigmap-core` times the sparse walk alone.
+pub const GIANT_RUN_CROSSOVER_DIVISOR: usize = 96;
+
+/// The size-aware run-count crossover divisor: the base tuning below
+/// [`GIANT_REGIME_BYTES`], the giant-regime re-measurement at or above it.
+#[inline]
+pub fn run_crossover_divisor(used: usize) -> usize {
+    if used >= GIANT_REGIME_BYTES {
+        GIANT_RUN_CROSSOVER_DIVISOR
+    } else {
+        RUN_CROSSOVER_DIVISOR
+    }
+}
+
 /// Touched-byte crossover for [`SparseMode::Auto`], as a divisor: the
 /// sparse path also requires `touched * TOUCHED_CROSSOVER_DIVISOR < used`.
 ///
@@ -124,7 +161,7 @@ pub fn select_path(
         SparseMode::Off => OpPath::Dense,
         SparseMode::On => OpPath::Sparse,
         SparseMode::Auto => {
-            if runs.saturating_mul(RUN_CROSSOVER_DIVISOR) < used
+            if runs.saturating_mul(run_crossover_divisor(used)) < used
                 && touched.saturating_mul(TOUCHED_CROSSOVER_DIVISOR) < used
             {
                 OpPath::Sparse
@@ -466,6 +503,38 @@ mod tests {
             OpPath::Sparse
         );
         assert_eq!(select_path(SparseMode::Auto, true, 0, 0, 0), OpPath::Dense);
+    }
+
+    #[test]
+    fn giant_regime_switches_crossover_divisor() {
+        // The divisor is size-aware: base tuning below the breakpoint,
+        // giant-regime re-measurement at and above it.
+        assert_eq!(run_crossover_divisor(1 << 20), RUN_CROSSOVER_DIVISOR);
+        assert_eq!(
+            run_crossover_divisor(GIANT_REGIME_BYTES - 1),
+            RUN_CROSSOVER_DIVISOR
+        );
+        assert_eq!(
+            run_crossover_divisor(GIANT_REGIME_BYTES),
+            GIANT_RUN_CROSSOVER_DIVISOR
+        );
+        assert_eq!(run_crossover_divisor(1 << 30), GIANT_RUN_CROSSOVER_DIVISOR);
+
+        // And select_path actually applies it: a run count that is sparse
+        // under the base divisor flips dense in the giant regime exactly at
+        // the re-measured boundary — the smallest count where
+        // `runs * divisor < used` no longer holds.
+        let used: usize = 256 << 20;
+        let at = used.div_ceil(GIANT_RUN_CROSSOVER_DIVISOR);
+        let below = at - 1;
+        assert_eq!(
+            select_path(SparseMode::Auto, true, below, below, used),
+            OpPath::Sparse
+        );
+        assert_eq!(
+            select_path(SparseMode::Auto, true, at, at, used),
+            OpPath::Dense
+        );
     }
 
     #[test]

@@ -171,6 +171,17 @@ pub trait CoverageMap: Send {
     fn journal_overflowed(&self) -> bool {
         false
     }
+
+    /// The allocation backend that served this map's coverage buffer plus
+    /// whether an explicit-huge-page request fell back to THP, when the
+    /// scheme exposes it. `None` for map types that do not track their
+    /// allocation (the default).
+    ///
+    /// This is how the fuzzer's telemetry layer attributes each instance's
+    /// map memory to a page backend (`BIGMAP_HUGE`).
+    fn alloc_info(&self) -> Option<(crate::alloc::AllocBackend, bool)> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -341,6 +341,10 @@ impl CoverageMap for BigMap {
     fn journal_overflowed(&self) -> bool {
         self.journal.overflowed()
     }
+
+    fn alloc_info(&self) -> Option<(crate::alloc::AllocBackend, bool)> {
+        Some((self.coverage.backend(), self.coverage.fell_back()))
+    }
 }
 
 #[cfg(test)]

@@ -563,6 +563,26 @@ impl<'p> Campaign<'p> {
         // through — one selection event plus the per-kernel op counters
         // keyed off the same `KernelKind` on the exec path below.
         telemetry.incr(TelemetryEvent::KernelSelect);
+        // Record which page backend served this instance's coverage map
+        // (and whether an explicit-huge-page request fell back), plus the
+        // outcome of this worker thread's NUMA placement — the
+        // telemetry-visible half of the giant-map fallback contract.
+        if let Some((backend, fell_back)) = self.map.alloc_info() {
+            telemetry.incr(match backend {
+                bigmap_core::AllocBackend::ExplicitGigantic
+                | bigmap_core::AllocBackend::ExplicitHuge => TelemetryEvent::AllocExplicitHuge,
+                bigmap_core::AllocBackend::Thp => TelemetryEvent::AllocThp,
+                bigmap_core::AllocBackend::Plain => TelemetryEvent::AllocPlain,
+            });
+            if fell_back {
+                telemetry.incr(TelemetryEvent::AllocFallback);
+            }
+        }
+        match bigmap_core::alloc::thread_numa_outcome() {
+            Some(true) => telemetry.incr(TelemetryEvent::NumaPin),
+            Some(false) => telemetry.incr(TelemetryEvent::NumaPinFail),
+            None => {}
+        }
         self.telemetry = Some(telemetry);
     }
 

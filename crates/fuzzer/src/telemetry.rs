@@ -137,11 +137,31 @@ pub enum TelemetryEvent {
     /// (mutation hit the first read, budget mismatch, or an overflowed
     /// recording) and re-executed from scratch.
     SnapshotMiss,
+    /// Campaign instances whose coverage map was served by explicit
+    /// hugetlb pages (`BIGMAP_HUGE=explicit`, reservation succeeded).
+    AllocExplicitHuge,
+    /// Campaign instances whose coverage map went down the THP-advised
+    /// heap path (the default, or the explicit backend's fallback).
+    AllocThp,
+    /// Campaign instances whose coverage map sits on plain pages
+    /// (`BIGMAP_HUGE=off`, or a sub-huge-page map).
+    AllocPlain,
+    /// Campaign instances whose explicit-huge-page request could not be
+    /// served and fell back to THP (empty hugetlb pool, unsupported
+    /// kernel, non-Linux host).
+    AllocFallback,
+    /// Campaign instances whose worker thread was pinned to its NUMA node
+    /// (`BIGMAP_NUMA=auto|node:<n>` on a host where the pin succeeded).
+    NumaPin,
+    /// Campaign instances where NUMA placement was requested but the node
+    /// pin was refused (denied syscall, bogus node) and the instance ran
+    /// unpinned on kernel first-touch.
+    NumaPinFail,
 }
 
 impl TelemetryEvent {
     /// Every event, in serialization order.
-    pub const ALL: [TelemetryEvent; 29] = [
+    pub const ALL: [TelemetryEvent; 35] = [
         TelemetryEvent::MapReset,
         TelemetryEvent::ClassifyPass,
         TelemetryEvent::VirginCompare,
@@ -171,6 +191,12 @@ impl TelemetryEvent {
         TelemetryEvent::CompiledExec,
         TelemetryEvent::SnapshotHit,
         TelemetryEvent::SnapshotMiss,
+        TelemetryEvent::AllocExplicitHuge,
+        TelemetryEvent::AllocThp,
+        TelemetryEvent::AllocPlain,
+        TelemetryEvent::AllocFallback,
+        TelemetryEvent::NumaPin,
+        TelemetryEvent::NumaPinFail,
     ];
 
     #[inline]
@@ -205,6 +231,12 @@ impl TelemetryEvent {
             TelemetryEvent::CompiledExec => 26,
             TelemetryEvent::SnapshotHit => 27,
             TelemetryEvent::SnapshotMiss => 28,
+            TelemetryEvent::AllocExplicitHuge => 29,
+            TelemetryEvent::AllocThp => 30,
+            TelemetryEvent::AllocPlain => 31,
+            TelemetryEvent::AllocFallback => 32,
+            TelemetryEvent::NumaPin => 33,
+            TelemetryEvent::NumaPinFail => 34,
         }
     }
 
@@ -240,6 +272,12 @@ impl TelemetryEvent {
             TelemetryEvent::CompiledExec => "compiled_execs",
             TelemetryEvent::SnapshotHit => "snapshot_hits",
             TelemetryEvent::SnapshotMiss => "snapshot_misses",
+            TelemetryEvent::AllocExplicitHuge => "alloc_explicit_huge",
+            TelemetryEvent::AllocThp => "alloc_thp",
+            TelemetryEvent::AllocPlain => "alloc_plain",
+            TelemetryEvent::AllocFallback => "alloc_fallbacks",
+            TelemetryEvent::NumaPin => "numa_pins",
+            TelemetryEvent::NumaPinFail => "numa_pin_fails",
         }
     }
 
@@ -312,7 +350,7 @@ impl Stage {
 pub struct Telemetry {
     instance: usize,
     started: Instant,
-    events: [EventCounter; 29],
+    events: [EventCounter; 35],
     stages: [StageNanos; 4],
 }
 
@@ -375,7 +413,7 @@ impl Telemetry {
 
 /// A point-in-time copy of one instance's telemetry, serializable as one
 /// JSON line.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TelemetrySnapshot {
     /// Fleet instance index.
     pub instance: usize,
@@ -387,9 +425,22 @@ pub struct TelemetrySnapshot {
     /// Wall-clock nanoseconds since the instance's telemetry was created.
     pub wall_nanos: u64,
     /// Event counters, indexed in [`TelemetryEvent::ALL`] order.
-    pub events: [u64; 29],
+    pub events: [u64; 35],
     /// Stage accumulators (nanoseconds), indexed in [`Stage::ALL`] order.
     pub stage_nanos: [u64; 4],
+}
+
+// Manual impl: `[u64; 35]` outgrew the derive's 32-element array limit.
+impl Default for TelemetrySnapshot {
+    fn default() -> Self {
+        TelemetrySnapshot {
+            instance: 0,
+            node: 0,
+            wall_nanos: 0,
+            events: [0; 35],
+            stage_nanos: [0; 4],
+        }
+    }
 }
 
 impl TelemetrySnapshot {

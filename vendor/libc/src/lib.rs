@@ -2,24 +2,105 @@
 //!
 //! The registry is unreachable in this build environment, so this crate
 //! declares just the raw C bindings the workspace actually uses: `madvise`
-//! with `MADV_HUGEPAGE`. The symbols come straight from the platform's C
-//! library the binary links anyway.
+//! for the THP hints, `mmap`/`munmap` with the `MAP_HUGETLB` flags for the
+//! explicit-huge-page allocator, the raw `mbind` syscall number for NUMA
+//! placement and `sched_setaffinity` for node pinning. The symbols come
+//! straight from the platform's C library the binary links anyway.
 
 #![allow(non_camel_case_types)]
+#![allow(non_upper_case_globals)]
 
 /// C `int`.
 pub type c_int = i32;
+/// C `long`.
+pub type c_long = i64;
+/// C `unsigned long`.
+pub type c_ulong = u64;
 /// C `void` (for pointer types only).
 pub type c_void = core::ffi::c_void;
 /// C `size_t`.
 pub type size_t = usize;
+/// POSIX `off_t` (64-bit on every target we build).
+pub type off_t = i64;
+/// POSIX `pid_t`.
+pub type pid_t = i32;
 
 /// `MADV_HUGEPAGE` from `<sys/mman.h>` on Linux.
 #[cfg(target_os = "linux")]
 pub const MADV_HUGEPAGE: c_int = 14;
+/// `MADV_NOHUGEPAGE` from `<sys/mman.h>` on Linux.
+#[cfg(target_os = "linux")]
+pub const MADV_NOHUGEPAGE: c_int = 15;
+
+/// `PROT_READ` from `<sys/mman.h>`.
+#[cfg(unix)]
+pub const PROT_READ: c_int = 1;
+/// `PROT_WRITE` from `<sys/mman.h>`.
+#[cfg(unix)]
+pub const PROT_WRITE: c_int = 2;
+/// `MAP_PRIVATE` from `<sys/mman.h>`.
+#[cfg(unix)]
+pub const MAP_PRIVATE: c_int = 0x02;
+/// `MAP_ANONYMOUS` from `<sys/mman.h>` on Linux.
+#[cfg(target_os = "linux")]
+pub const MAP_ANONYMOUS: c_int = 0x20;
+/// `MAP_HUGETLB` from `<sys/mman.h>` on Linux.
+#[cfg(target_os = "linux")]
+pub const MAP_HUGETLB: c_int = 0x40000;
+/// `MAP_HUGE_SHIFT`: bit position of the encoded huge-page-size log2.
+#[cfg(target_os = "linux")]
+pub const MAP_HUGE_SHIFT: c_int = 26;
+/// `MAP_HUGE_2MB`: request 2 MiB hugetlb pages.
+#[cfg(target_os = "linux")]
+pub const MAP_HUGE_2MB: c_int = 21 << MAP_HUGE_SHIFT;
+/// `MAP_HUGE_1GB`: request 1 GiB hugetlb pages.
+#[cfg(target_os = "linux")]
+pub const MAP_HUGE_1GB: c_int = 30 << MAP_HUGE_SHIFT;
+/// `mmap` failure sentinel.
+#[cfg(unix)]
+pub const MAP_FAILED: *mut c_void = !0 as *mut c_void;
+
+/// `mbind(2)` syscall number on x86-64.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+pub const SYS_mbind: c_long = 237;
+/// `mbind(2)` syscall number on aarch64.
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+pub const SYS_mbind: c_long = 235;
+
+/// `MPOL_PREFERRED` from `<numaif.h>`: prefer a node, fall back silently.
+#[cfg(target_os = "linux")]
+pub const MPOL_PREFERRED: c_int = 1;
+
+/// glibc `cpu_set_t`: a 1024-bit CPU mask.
+#[cfg(target_os = "linux")]
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct cpu_set_t {
+    /// The mask words (`__CPU_SETSIZE / __NCPUBITS` = 1024 / 64).
+    pub bits: [u64; 16],
+}
 
 #[cfg(unix)]
 extern "C" {
     /// Give advice about use of memory; see `madvise(2)`.
     pub fn madvise(addr: *mut c_void, length: size_t, advice: c_int) -> c_int;
+    /// Map memory; see `mmap(2)`.
+    pub fn mmap(
+        addr: *mut c_void,
+        length: size_t,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: off_t,
+    ) -> *mut c_void;
+    /// Unmap memory; see `munmap(2)`.
+    pub fn munmap(addr: *mut c_void, length: size_t) -> c_int;
+    /// Raw indirect system call; see `syscall(2)`.
+    pub fn syscall(num: c_long, ...) -> c_long;
+}
+
+#[cfg(target_os = "linux")]
+extern "C" {
+    /// Pin a thread to a CPU set; see `sched_setaffinity(2)`.
+    pub fn sched_setaffinity(pid: pid_t, cpusetsize: size_t, cpuset: *const cpu_set_t) -> c_int;
 }
